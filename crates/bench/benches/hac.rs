@@ -1,0 +1,69 @@
+//! Benchmarks of the constrained hierarchical clustering step (§IV-A) — the
+//! most expensive part of graph construction.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use moby_cluster::constrained::{constrained_clustering, ConstrainedConfig};
+use moby_cluster::hac::hac_clusters;
+use moby_cluster::linkage::Linkage;
+use moby_geo::{destination_point, GeoPoint};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Points clustered around a handful of hotspots, mimicking dockless
+/// drop-off density around the city centre.
+fn hotspot_points(n: usize, seed: u64) -> Vec<GeoPoint> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let hotspots = [
+        GeoPoint::new(53.3525, -6.2608).unwrap(),
+        GeoPoint::new(53.3405, -6.2599).unwrap(),
+        GeoPoint::new(53.3440, -6.2370).unwrap(),
+        GeoPoint::new(53.3561, -6.3298).unwrap(),
+        GeoPoint::new(53.2945, -6.1336).unwrap(),
+    ];
+    (0..n)
+        .map(|i| {
+            let c = hotspots[i % hotspots.len()];
+            destination_point(
+                c,
+                rng.gen_range(0.0..360.0),
+                rng.gen_range(0.0..1_200.0) * rng.gen::<f64>(),
+            )
+        })
+        .collect()
+}
+
+fn bench_hac_linkages(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hac_flat_clusters");
+    group.sample_size(10);
+    for &n in &[500usize, 2_000, 6_000] {
+        let pts = hotspot_points(n, 3);
+        for linkage in [Linkage::Complete, Linkage::Average, Linkage::Single] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("{}_100m", linkage.name()), n),
+                &n,
+                |bench, _| bench.iter(|| hac_clusters(&pts, linkage, 100.0).len()),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_constrained(c: &mut Criterion) {
+    let mut group = c.benchmark_group("constrained_clustering");
+    group.sample_size(10);
+    let stations = hotspot_points(92, 11);
+    for &n in &[2_000usize, 6_000, 14_000] {
+        let locations = hotspot_points(n, 5);
+        group.bench_with_input(BenchmarkId::new("paper_rules", n), &n, |bench, _| {
+            bench.iter(|| {
+                constrained_clustering(&stations, &locations, &ConstrainedConfig::default())
+                    .expect("clustering runs")
+                    .total_groups()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_hac_linkages, bench_constrained);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Benchmarks of the network-metrics suite (degree/strength, clustering
+//! coefficient, PageRank, betweenness, Gini) on trip graphs taken from the
+//! pipeline.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use moby_bench::{run_pipeline, Scale};
+use moby_graph::metrics::{
+    average_clustering_coefficient, betweenness_centrality, closeness_centrality, degree_map,
+    gini_coefficient, pagerank, strength_map, PageRankConfig,
+};
+
+fn bench_metrics(c: &mut Criterion) {
+    let outcome = run_pipeline(Scale::Small);
+    let g = &outcome.selected.undirected;
+    let directed = &outcome.selected.directed;
+    let nodes = g.node_count();
+    let mut group = c.benchmark_group(format!("metrics_{nodes}_stations"));
+    group.sample_size(10);
+
+    group.bench_function("degree_and_strength", |bench| {
+        bench.iter(|| (degree_map(g).len(), strength_map(g).len()))
+    });
+    group.bench_function("clustering_coefficient", |bench| {
+        bench.iter(|| average_clustering_coefficient(g))
+    });
+    group.bench_function("pagerank", |bench| {
+        bench.iter(|| pagerank(directed, &PageRankConfig::default()).len())
+    });
+    group.bench_function("closeness", |bench| {
+        bench.iter(|| closeness_centrality(g, true).len())
+    });
+    group.bench_function("betweenness_weighted", |bench| {
+        bench.iter(|| betweenness_centrality(g, true, true).len())
+    });
+    group.bench_function("gini_over_strength", |bench| {
+        let strengths: Vec<f64> = strength_map(g).values().copied().collect();
+        bench.iter(|| gini_coefficient(&strengths))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_metrics);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Benchmark of the full end-to-end expansion pipeline (clean -> candidate
+//! graph -> Algorithm 1 -> reassignment -> temporal graphs -> Louvain at
+//! three granularities), the number a downstream operator cares about.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use moby_bench::{dataset, Scale};
+use moby_core::pipeline::{ExpansionPipeline, PipelineConfig};
+use moby_data::clean::clean_dataset;
+use moby_data::synth::generate;
+
+fn bench_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("end_to_end");
+    group.sample_size(10);
+    for scale in [Scale::Small, Scale::Medium] {
+        let raw = dataset(scale);
+        group.bench_with_input(
+            BenchmarkId::new("full_pipeline", scale.name()),
+            &scale,
+            |bench, _| {
+                let pipeline = ExpansionPipeline::new(PipelineConfig::default());
+                bench.iter(|| pipeline.run(&raw).expect("pipeline runs").new_station_count())
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_data_layer(c: &mut Criterion) {
+    let mut group = c.benchmark_group("data_layer");
+    group.sample_size(10);
+    for scale in [Scale::Small, Scale::Medium] {
+        let config = moby_bench::synth_config(scale);
+        group.bench_with_input(
+            BenchmarkId::new("synthesise", scale.name()),
+            &scale,
+            |bench, _| bench.iter(|| generate(&config).rentals.len()),
+        );
+        let raw = dataset(scale);
+        group.bench_with_input(
+            BenchmarkId::new("clean", scale.name()),
+            &scale,
+            |bench, _| bench.iter(|| clean_dataset(&raw).dataset.rentals.len()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline, bench_data_layer);
+criterion_main!(benches);

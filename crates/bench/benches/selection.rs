@@ -1,0 +1,64 @@
+//! Benchmarks of the station ranking and selection step (Algorithm 1) and
+//! the candidate-network construction that feeds it.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use moby_bench::{dataset, Scale};
+use moby_core::candidate::build_candidate_network;
+use moby_core::reassign::build_selected_network;
+use moby_core::selection::select_stations;
+use moby_core::ExpansionConfig;
+use moby_data::clean::clean_dataset;
+
+fn bench_candidate_and_selection(c: &mut Criterion) {
+    let mut group = c.benchmark_group("selection_pipeline");
+    group.sample_size(10);
+    for scale in [Scale::Small, Scale::Medium] {
+        let cleaned = clean_dataset(&dataset(scale)).dataset;
+        let config = ExpansionConfig::default();
+
+        group.bench_with_input(
+            BenchmarkId::new("build_candidate_network", scale.name()),
+            &scale,
+            |bench, _| {
+                bench.iter(|| {
+                    build_candidate_network(&cleaned, &config)
+                        .expect("network builds")
+                        .nodes
+                        .len()
+                })
+            },
+        );
+
+        let network = build_candidate_network(&cleaned, &config).expect("network builds");
+        group.bench_with_input(
+            BenchmarkId::new("algorithm1_select", scale.name()),
+            &scale,
+            |bench, _| {
+                bench.iter(|| {
+                    select_stations(&network, &config)
+                        .expect("selection runs")
+                        .selected
+                        .len()
+                })
+            },
+        );
+
+        let selection = select_stations(&network, &config).expect("selection runs");
+        group.bench_with_input(
+            BenchmarkId::new("reassign_and_build_selected", scale.name()),
+            &scale,
+            |bench, _| {
+                bench.iter(|| {
+                    build_selected_network(&cleaned, &network, &selection)
+                        .expect("selected network builds")
+                        .stations
+                        .len()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_candidate_and_selection);
+criterion_main!(benches);

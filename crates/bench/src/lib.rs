@@ -1,0 +1,93 @@
+//! Shared fixtures for the benchmark suite and the experiment-reproduction
+//! harness.
+//!
+//! Everything is deterministic: the same scale always produces the same
+//! dataset, candidate network and pipeline outcome.
+
+use moby_core::pipeline::{ExpansionOutcome, ExpansionPipeline, PipelineConfig};
+use moby_data::schema::RawDataset;
+use moby_data::synth::{generate, SynthConfig};
+use moby_data::timeparse::Timestamp;
+
+/// Workload scale used by benches and the reproduction harness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// ~2 k rentals, 4 months — unit-test sized, seconds end to end.
+    Small,
+    /// ~15 k rentals, 9 months — a mid-sized workload for Criterion.
+    Medium,
+    /// The paper's full scale: ≈62 k rentals, ≈14 k locations, 21 months.
+    Paper,
+}
+
+impl Scale {
+    /// Parse a scale name (`small` / `medium` / `paper`).
+    pub fn parse(name: &str) -> Option<Scale> {
+        match name.to_ascii_lowercase().as_str() {
+            "small" => Some(Scale::Small),
+            "medium" => Some(Scale::Medium),
+            "paper" | "full" => Some(Scale::Paper),
+            _ => None,
+        }
+    }
+
+    /// Human-readable name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Scale::Small => "small",
+            Scale::Medium => "medium",
+            Scale::Paper => "paper",
+        }
+    }
+}
+
+/// The synthetic-generator configuration for a scale.
+pub fn synth_config(scale: Scale) -> SynthConfig {
+    match scale {
+        Scale::Small => SynthConfig::small_test(),
+        Scale::Medium => SynthConfig {
+            clean_rentals: 15_000,
+            dockless_locations: 4_000,
+            dirty_rentals: 120,
+            dirty_locations: 30,
+            start: Timestamp::from_ymd_hms(2020, 6, 1, 0, 0, 0).expect("valid"),
+            end: Timestamp::from_ymd_hms(2021, 2, 28, 23, 59, 59).expect("valid"),
+            ..SynthConfig::paper_scale()
+        },
+        Scale::Paper => SynthConfig::paper_scale(),
+    }
+}
+
+/// Generate the raw dataset for a scale.
+pub fn dataset(scale: Scale) -> RawDataset {
+    generate(&synth_config(scale))
+}
+
+/// Run the full expansion pipeline for a scale with default settings.
+pub fn run_pipeline(scale: Scale) -> ExpansionOutcome {
+    let raw = dataset(scale);
+    ExpansionPipeline::new(PipelineConfig::default())
+        .run(&raw)
+        .expect("pipeline runs on synthetic data")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_parsing() {
+        assert_eq!(Scale::parse("small"), Some(Scale::Small));
+        assert_eq!(Scale::parse("PAPER"), Some(Scale::Paper));
+        assert_eq!(Scale::parse("full"), Some(Scale::Paper));
+        assert_eq!(Scale::parse("medium"), Some(Scale::Medium));
+        assert_eq!(Scale::parse("nope"), None);
+        assert_eq!(Scale::Medium.name(), "medium");
+    }
+
+    #[test]
+    fn small_scale_pipeline_runs() {
+        let outcome = run_pipeline(Scale::Small);
+        assert!(outcome.new_station_count() > 0);
+    }
+}

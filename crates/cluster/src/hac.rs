@@ -1,0 +1,512 @@
+//! Hierarchical agglomerative clustering over geographic points.
+//!
+//! The implementation is exact for the thresholds the pipeline uses and
+//! scales to the paper's ~14 k locations:
+//!
+//! 1. **Connectivity partition.** Points are first split into connected
+//!    components under the relation "within `threshold` metres" (computed
+//!    with a grid index). For complete and average linkage, any cluster
+//!    whose diameter / average spread is bounded by the threshold lies
+//!    entirely inside one such component, so clustering each component
+//!    independently is exact. For single linkage the components *are* the
+//!    flat clusters.
+//! 2. **Nearest-neighbour-chain HAC** inside each component, with
+//!    Lance–Williams distance updates over a dense matrix. NN-chain is
+//!    O(n²) time and the matrix is O(n²) memory per component, which is
+//!    fine because components are city-block sized, not city sized.
+//! 3. A **bisection safeguard**: a pathological component larger than
+//!    [`MAX_EXACT_COMPONENT`] points is split along its longer axis before
+//!    clustering (documented approximation; never triggered by the paper's
+//!    data volumes in practice).
+
+use crate::linkage::Linkage;
+use crate::{ClusterError, Result};
+use moby_geo::{haversine_m, GeoPoint, GridIndex};
+
+/// Components larger than this are recursively bisected before exact HAC.
+pub const MAX_EXACT_COMPONENT: usize = 5_000;
+
+/// One merge step of the dendrogram: clusters `a` and `b` (indices into the
+/// evolving cluster list, initial singletons are `0..n`) merged at the given
+/// linkage distance into a new cluster with id `n + step`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MergeStep {
+    /// First merged cluster id.
+    pub a: usize,
+    /// Second merged cluster id.
+    pub b: usize,
+    /// Linkage distance at which the merge happened (metres).
+    pub distance: f64,
+    /// Number of points in the merged cluster.
+    pub size: usize,
+}
+
+/// A full dendrogram over `n` points (only produced by
+/// [`hac_dendrogram`], which is intended for moderate `n`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dendrogram {
+    /// Number of leaf points.
+    pub n: usize,
+    /// Merge steps in the order they were performed.
+    pub merges: Vec<MergeStep>,
+}
+
+impl Dendrogram {
+    /// Cut the dendrogram at `threshold` metres: every merge with a linkage
+    /// distance `<= threshold` is applied, the rest are ignored. Returns the
+    /// member indices of each resulting cluster (singletons included),
+    /// sorted by their smallest member for determinism.
+    pub fn cut(&self, threshold: f64) -> Vec<Vec<usize>> {
+        let mut parent: Vec<usize> = (0..self.n + self.merges.len()).collect();
+        fn find(parent: &mut Vec<usize>, mut x: usize) -> usize {
+            while parent[x] != x {
+                parent[x] = parent[parent[x]];
+                x = parent[x];
+            }
+            x
+        }
+        for (step, m) in self.merges.iter().enumerate() {
+            if m.distance <= threshold {
+                let new_id = self.n + step;
+                let ra = find(&mut parent, m.a);
+                let rb = find(&mut parent, m.b);
+                parent[ra] = new_id;
+                parent[rb] = new_id;
+            }
+        }
+        let mut groups: std::collections::HashMap<usize, Vec<usize>> =
+            std::collections::HashMap::new();
+        for i in 0..self.n {
+            let root = find(&mut parent, i);
+            groups.entry(root).or_default().push(i);
+        }
+        let mut clusters: Vec<Vec<usize>> = groups.into_values().collect();
+        for c in clusters.iter_mut() {
+            c.sort_unstable();
+        }
+        clusters.sort_by_key(|c| c[0]);
+        clusters
+    }
+}
+
+/// Exact HAC dendrogram over all points (no partitioning). Quadratic memory
+/// — intended for input sizes up to a few thousand points (tests, ablations,
+/// single components).
+pub fn hac_dendrogram(points: &[GeoPoint], linkage: Linkage) -> Dendrogram {
+    let n = points.len();
+    let mut merges = Vec::new();
+    if n <= 1 {
+        return Dendrogram { n, merges };
+    }
+    // Dense distance matrix (f64, row-major). Entries for dead clusters stay
+    // but are never read again.
+    let mut dist = vec![0.0f64; n * n];
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let d = haversine_m(points[i], points[j]);
+            dist[i * n + j] = d;
+            dist[j * n + i] = d;
+        }
+    }
+    let mut active: Vec<bool> = vec![true; n];
+    let mut size: Vec<usize> = vec![1; n];
+    // Map from matrix slot to current cluster id (slots are reused for the
+    // merged cluster; ids follow the scipy convention n + step).
+    let mut cluster_id: Vec<usize> = (0..n).collect();
+
+    // Nearest-neighbour chain.
+    let mut chain: Vec<usize> = Vec::with_capacity(n);
+    let mut remaining = n;
+    while remaining > 1 {
+        if chain.is_empty() {
+            let start = (0..n).find(|&i| active[i]).expect("remaining > 1");
+            chain.push(start);
+        }
+        loop {
+            let top = *chain.last().expect("chain non-empty");
+            // Find nearest active neighbour of `top`.
+            let mut best = usize::MAX;
+            let mut best_d = f64::INFINITY;
+            for j in 0..n {
+                if j != top && active[j] {
+                    let d = dist[top * n + j];
+                    if d < best_d {
+                        best_d = d;
+                        best = j;
+                    }
+                }
+            }
+            debug_assert!(best != usize::MAX);
+            // Reciprocal nearest neighbours?
+            if chain.len() >= 2 && chain[chain.len() - 2] == best {
+                // Merge `top` and `best` (== previous chain element).
+                let a = chain.pop().expect("top");
+                let b = chain.pop().expect("prev");
+                let (keep, drop) = if a < b { (a, b) } else { (b, a) };
+                let merged_size = size[keep] + size[drop];
+                merges.push(MergeStep {
+                    a: cluster_id[keep],
+                    b: cluster_id[drop],
+                    distance: best_d,
+                    size: merged_size,
+                });
+                // Lance–Williams update into slot `keep`.
+                for j in 0..n {
+                    if j != keep && j != drop && active[j] {
+                        let d_aj = dist[keep * n + j];
+                        let d_bj = dist[drop * n + j];
+                        let nd = linkage.merge_distance(d_aj, d_bj, size[keep], size[drop]);
+                        dist[keep * n + j] = nd;
+                        dist[j * n + keep] = nd;
+                    }
+                }
+                active[drop] = false;
+                size[keep] = merged_size;
+                cluster_id[keep] = n + merges.len() - 1;
+                remaining -= 1;
+                break;
+            }
+            chain.push(best);
+        }
+        // Drop chain entries that are no longer active (merged away).
+        while let Some(&last) = chain.last() {
+            if active[last] {
+                break;
+            }
+            chain.pop();
+        }
+    }
+    Dendrogram { n, merges }
+}
+
+/// Connected components of the points under "within `threshold` metres",
+/// returned as lists of point indices.
+fn threshold_components(points: &[GeoPoint], threshold: f64) -> Vec<Vec<usize>> {
+    let mut grid = GridIndex::new(threshold.max(1.0), 53.35).expect("positive cell size");
+    for (i, p) in points.iter().enumerate() {
+        grid.insert(*p, i);
+    }
+    let mut component = vec![usize::MAX; points.len()];
+    let mut next = 0usize;
+    let mut stack = Vec::new();
+    for start in 0..points.len() {
+        if component[start] != usize::MAX {
+            continue;
+        }
+        component[start] = next;
+        stack.push(start);
+        while let Some(u) = stack.pop() {
+            let near = grid
+                .within_radius(points[u], threshold)
+                .expect("validated threshold");
+            for (_, &v, _) in near {
+                if component[v] == usize::MAX {
+                    component[v] = next;
+                    stack.push(v);
+                }
+            }
+        }
+        next += 1;
+    }
+    let mut out: Vec<Vec<usize>> = vec![Vec::new(); next];
+    for (i, &c) in component.iter().enumerate() {
+        out[c].push(i);
+    }
+    out
+}
+
+/// Split an oversized component along the longer geographic axis until each
+/// part is at most `max_size` points.
+fn bisect_component(points: &[GeoPoint], members: Vec<usize>, max_size: usize) -> Vec<Vec<usize>> {
+    if members.len() <= max_size {
+        return vec![members];
+    }
+    let lats: Vec<f64> = members.iter().map(|&i| points[i].lat()).collect();
+    let lons: Vec<f64> = members.iter().map(|&i| points[i].lon()).collect();
+    let lat_span = lats.iter().cloned().fold(f64::MIN, f64::max)
+        - lats.iter().cloned().fold(f64::MAX, f64::min);
+    let lon_span = lons.iter().cloned().fold(f64::MIN, f64::max)
+        - lons.iter().cloned().fold(f64::MAX, f64::min);
+    let mut sorted = members;
+    if lat_span >= lon_span {
+        sorted.sort_by(|&a, &b| points[a].lat().partial_cmp(&points[b].lat()).expect("finite"));
+    } else {
+        sorted.sort_by(|&a, &b| points[a].lon().partial_cmp(&points[b].lon()).expect("finite"));
+    }
+    let mid = sorted.len() / 2;
+    let right = sorted.split_off(mid);
+    let mut out = bisect_component(points, sorted, max_size);
+    out.extend(bisect_component(points, right, max_size));
+    out
+}
+
+/// Flat clusters from constrained-scale HAC: cluster `points` with the given
+/// linkage and cut so that the linkage distance never exceeds
+/// `threshold_m` metres.
+///
+/// For complete linkage this guarantees the paper's Rule 1: no two points in
+/// a returned cluster are farther apart than `threshold_m`.
+///
+/// Clusters are returned as lists of indices into `points`, each sorted, and
+/// the cluster list is sorted by smallest member index.
+pub fn hac_clusters(points: &[GeoPoint], linkage: Linkage, threshold_m: f64) -> Vec<Vec<usize>> {
+    try_hac_clusters(points, linkage, threshold_m).expect("non-negative finite threshold")
+}
+
+/// Checked variant of [`hac_clusters`].
+///
+/// # Errors
+///
+/// [`ClusterError::InvalidThreshold`] when `threshold_m` is negative or not
+/// finite.
+pub fn try_hac_clusters(
+    points: &[GeoPoint],
+    linkage: Linkage,
+    threshold_m: f64,
+) -> Result<Vec<Vec<usize>>> {
+    if !threshold_m.is_finite() || threshold_m < 0.0 {
+        return Err(ClusterError::InvalidThreshold(threshold_m));
+    }
+    if points.is_empty() {
+        return Ok(Vec::new());
+    }
+    let components = threshold_components(points, threshold_m);
+    let mut clusters: Vec<Vec<usize>> = Vec::new();
+    for comp in components {
+        // Single linkage: the component *is* the flat cluster at this cut.
+        if matches!(linkage, Linkage::Single) {
+            let mut c = comp;
+            c.sort_unstable();
+            clusters.push(c);
+            continue;
+        }
+        for part in bisect_component(points, comp, MAX_EXACT_COMPONENT) {
+            if part.len() == 1 {
+                clusters.push(part);
+                continue;
+            }
+            let sub_points: Vec<GeoPoint> = part.iter().map(|&i| points[i]).collect();
+            let dendro = hac_dendrogram(&sub_points, linkage);
+            for local in dendro.cut(threshold_m) {
+                let mut global: Vec<usize> = local.into_iter().map(|li| part[li]).collect();
+                global.sort_unstable();
+                clusters.push(global);
+            }
+        }
+    }
+    clusters.sort_by_key(|c| c[0]);
+    Ok(clusters)
+}
+
+/// The maximum pairwise Haversine distance (metres) among the given members.
+pub fn cluster_diameter(points: &[GeoPoint], members: &[usize]) -> f64 {
+    let mut max = 0.0f64;
+    for (k, &i) in members.iter().enumerate() {
+        for &j in &members[k + 1..] {
+            max = max.max(haversine_m(points[i], points[j]));
+        }
+    }
+    max
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use moby_geo::destination_point;
+    use rand::{Rng, SeedableRng};
+
+    fn p(lat: f64, lon: f64) -> GeoPoint {
+        GeoPoint::new(lat, lon).unwrap()
+    }
+
+    /// Three blobs of points, blob centres ~1 km apart, blob radius ~30 m.
+    fn three_blobs(per_blob: usize, seed: u64) -> (Vec<GeoPoint>, Vec<usize>) {
+        let centres = [p(53.34, -6.26), p(53.35, -6.26), p(53.34, -6.245)];
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut pts = Vec::new();
+        let mut labels = Vec::new();
+        for (bi, c) in centres.iter().enumerate() {
+            for _ in 0..per_blob {
+                let angle = rng.gen_range(0.0..360.0);
+                let dist = rng.gen_range(0.0..30.0);
+                pts.push(destination_point(*c, angle, dist));
+                labels.push(bi);
+            }
+        }
+        (pts, labels)
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        assert!(hac_clusters(&[], Linkage::Complete, 100.0).is_empty());
+        let one = vec![p(53.34, -6.26)];
+        let c = hac_clusters(&one, Linkage::Complete, 100.0);
+        assert_eq!(c, vec![vec![0]]);
+    }
+
+    #[test]
+    fn invalid_threshold_rejected() {
+        let pts = vec![p(53.34, -6.26)];
+        assert!(try_hac_clusters(&pts, Linkage::Complete, -1.0).is_err());
+        assert!(try_hac_clusters(&pts, Linkage::Complete, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn blobs_are_recovered_by_all_linkages() {
+        let (pts, labels) = three_blobs(20, 3);
+        for linkage in [Linkage::Complete, Linkage::Single, Linkage::Average] {
+            let clusters = hac_clusters(&pts, linkage, 100.0);
+            assert_eq!(clusters.len(), 3, "{linkage:?}");
+            for c in &clusters {
+                let blob = labels[c[0]];
+                assert!(c.iter().all(|&i| labels[i] == blob), "{linkage:?}");
+                assert_eq!(c.len(), 20, "{linkage:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn every_point_appears_exactly_once() {
+        let (pts, _) = three_blobs(15, 9);
+        let clusters = hac_clusters(&pts, Linkage::Complete, 100.0);
+        let mut seen = vec![false; pts.len()];
+        for c in &clusters {
+            for &i in c {
+                assert!(!seen[i], "point {i} appears twice");
+                seen[i] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn complete_linkage_respects_diameter_bound() {
+        // A chain of points 60 m apart: single linkage keeps the chain as
+        // one cluster at a 100 m cut, complete linkage must split it so the
+        // diameter never exceeds 100 m.
+        let base = p(53.34, -6.26);
+        let pts: Vec<GeoPoint> = (0..10)
+            .map(|i| destination_point(base, 90.0, i as f64 * 60.0))
+            .collect();
+        let complete = hac_clusters(&pts, Linkage::Complete, 100.0);
+        for c in &complete {
+            assert!(
+                cluster_diameter(&pts, c) <= 100.0 + 1e-6,
+                "diameter {} exceeds bound",
+                cluster_diameter(&pts, c)
+            );
+        }
+        let single = hac_clusters(&pts, Linkage::Single, 100.0);
+        assert_eq!(single.len(), 1, "single linkage chains everything");
+        assert!(complete.len() > 1);
+    }
+
+    #[test]
+    fn dendrogram_merge_count_and_cut_extremes() {
+        let (pts, _) = three_blobs(5, 1);
+        let d = hac_dendrogram(&pts, Linkage::Complete);
+        assert_eq!(d.merges.len(), pts.len() - 1);
+        // Cut at 0: everything is a singleton.
+        assert_eq!(d.cut(0.0).len(), pts.len());
+        // Cut at infinity: one cluster.
+        assert_eq!(d.cut(f64::INFINITY).len(), 1);
+    }
+
+    #[test]
+    fn dendrogram_distances_are_monotone_for_complete_linkage() {
+        let (pts, _) = three_blobs(8, 5);
+        let d = hac_dendrogram(&pts, Linkage::Complete);
+        // NN-chain emits merges out of global order, but sorted distances
+        // must form a valid monotone sequence for a reducible linkage: the
+        // sorted order equals a valid agglomeration order.
+        let mut dists: Vec<f64> = d.merges.iter().map(|m| m.distance).collect();
+        let sorted = {
+            let mut s = dists.clone();
+            s.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            s
+        };
+        dists.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert_eq!(dists, sorted);
+        // Merge sizes are consistent: final merge covers all points.
+        assert_eq!(d.merges.last().unwrap().size, pts.len());
+    }
+
+    #[test]
+    fn matches_bruteforce_flat_clustering_on_small_input() {
+        // Brute-force reference: repeatedly merge the closest pair of
+        // clusters (complete linkage) while the distance <= threshold.
+        fn reference(points: &[GeoPoint], threshold: f64) -> Vec<Vec<usize>> {
+            let mut clusters: Vec<Vec<usize>> = (0..points.len()).map(|i| vec![i]).collect();
+            loop {
+                let mut best = (f64::INFINITY, 0usize, 0usize);
+                for i in 0..clusters.len() {
+                    for j in (i + 1)..clusters.len() {
+                        let mut dmax = 0.0f64;
+                        for &a in &clusters[i] {
+                            for &b in &clusters[j] {
+                                dmax = dmax.max(haversine_m(points[a], points[b]));
+                            }
+                        }
+                        if dmax < best.0 {
+                            best = (dmax, i, j);
+                        }
+                    }
+                }
+                if best.0 > threshold || clusters.len() <= 1 {
+                    break;
+                }
+                let merged = clusters.remove(best.2);
+                clusters[best.1].extend(merged);
+            }
+            for c in clusters.iter_mut() {
+                c.sort_unstable();
+            }
+            clusters.sort_by_key(|c| c[0]);
+            clusters
+        }
+
+        let mut rng = rand::rngs::StdRng::seed_from_u64(17);
+        for _ in 0..5 {
+            let pts: Vec<GeoPoint> = (0..25)
+                .map(|_| {
+                    destination_point(
+                        p(53.34, -6.26),
+                        rng.gen_range(0.0..360.0),
+                        rng.gen_range(0.0..400.0),
+                    )
+                })
+                .collect();
+            let got = hac_clusters(&pts, Linkage::Complete, 120.0);
+            let want = reference(&pts, 120.0);
+            assert_eq!(got, want);
+        }
+    }
+
+    #[test]
+    fn bisect_component_respects_max_size() {
+        let (pts, _) = three_blobs(30, 2);
+        let members: Vec<usize> = (0..pts.len()).collect();
+        let parts = bisect_component(&pts, members, 40);
+        assert!(parts.iter().all(|p| p.len() <= 40));
+        let total: usize = parts.iter().map(|p| p.len()).sum();
+        assert_eq!(total, pts.len());
+    }
+
+    #[test]
+    fn duplicate_points_cluster_together() {
+        let dup = p(53.34, -6.26);
+        let pts = vec![dup, dup, dup, p(53.36, -6.26)];
+        let clusters = hac_clusters(&pts, Linkage::Complete, 50.0);
+        assert_eq!(clusters.len(), 2);
+        assert_eq!(clusters[0], vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn cluster_diameter_helper() {
+        let base = p(53.34, -6.26);
+        let pts = vec![base, destination_point(base, 90.0, 80.0)];
+        let d = cluster_diameter(&pts, &[0, 1]);
+        assert!((d - 80.0).abs() < 0.5);
+        assert_eq!(cluster_diameter(&pts, &[0]), 0.0);
+    }
+}

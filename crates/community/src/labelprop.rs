@@ -1,0 +1,181 @@
+//! Label propagation community detection.
+//!
+//! The paper lists the Label Propagation algorithm as future work ("Future
+//! studies should compare the results of a range of community detection
+//! algorithms, such as the Infomap algorithm and the Label Propagation
+//! algorithm"). It is implemented here so the detector-ablation benchmark
+//! can make that comparison.
+//!
+//! The algorithm: every node starts in its own community; nodes are visited
+//! in (seeded) random order and adopt the label carrying the largest total
+//! incident edge weight, ties broken by the smallest label. Iterate until no
+//! label changes or the iteration cap is hit.
+
+use crate::Partition;
+use moby_graph::WeightedGraph;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use std::collections::HashMap;
+
+/// Configuration for [`label_propagation`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct LabelPropagationConfig {
+    /// Seed for the node visiting order (label propagation is order
+    /// sensitive; a fixed seed keeps runs reproducible).
+    pub seed: u64,
+    /// Maximum number of full sweeps.
+    pub max_iterations: usize,
+}
+
+impl Default for LabelPropagationConfig {
+    fn default() -> Self {
+        Self {
+            seed: 1,
+            max_iterations: 100,
+        }
+    }
+}
+
+/// Run (weighted, synchronous-free) label propagation on the undirected
+/// projection of `graph` and return the detected partition with canonical
+/// labels.
+pub fn label_propagation(graph: &WeightedGraph, config: &LabelPropagationConfig) -> Partition {
+    let undirected;
+    let g = if graph.is_directed() {
+        undirected = graph.to_undirected();
+        &undirected
+    } else {
+        graph
+    };
+    let n = g.node_count();
+    if n == 0 {
+        return Partition::new();
+    }
+    let mut labels: Vec<usize> = (0..n).collect();
+    let mut order: Vec<usize> = (0..n).collect();
+    let mut rng = StdRng::seed_from_u64(config.seed);
+
+    for _ in 0..config.max_iterations {
+        order.shuffle(&mut rng);
+        let mut changed = false;
+        for &node in &order {
+            let mut weight_by_label: HashMap<usize, f64> = HashMap::new();
+            for (nbr, w) in g.neighbors(node) {
+                if nbr != node {
+                    *weight_by_label.entry(labels[nbr]).or_insert(0.0) += w;
+                }
+            }
+            if weight_by_label.is_empty() {
+                continue; // isolated node keeps its own label
+            }
+            // Highest total weight, ties to the smallest label.
+            let mut best_label = labels[node];
+            let mut best_weight = f64::NEG_INFINITY;
+            let mut entries: Vec<(usize, f64)> =
+                weight_by_label.into_iter().collect();
+            entries.sort_by_key(|&(l, _)| l);
+            for (label, weight) in entries {
+                if weight > best_weight + 1e-12 {
+                    best_weight = weight;
+                    best_label = label;
+                }
+            }
+            if best_label != labels[node] {
+                labels[node] = best_label;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    let partition: Partition = g
+        .node_ids()
+        .iter()
+        .enumerate()
+        .map(|(i, &id)| (id, labels[i]))
+        .collect();
+    partition.renumbered()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::modularity;
+
+    fn two_cliques() -> WeightedGraph {
+        let mut g = WeightedGraph::new_undirected();
+        for (a, b) in [(1, 2), (2, 3), (1, 3), (4, 5), (5, 6), (4, 6)] {
+            g.add_edge(a, b, 5.0);
+        }
+        g.add_edge(3, 4, 1.0);
+        g
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = WeightedGraph::new_undirected();
+        assert!(label_propagation(&g, &LabelPropagationConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn splits_two_cliques() {
+        let g = two_cliques();
+        let p = label_propagation(&g, &LabelPropagationConfig::default());
+        assert_eq!(p.len(), 6);
+        // Both cliques should be internally consistent.
+        assert_eq!(p.community_of(1), p.community_of(2));
+        assert_eq!(p.community_of(1), p.community_of(3));
+        assert_eq!(p.community_of(4), p.community_of(5));
+        assert_eq!(p.community_of(4), p.community_of(6));
+        // And the partition should carry positive modularity.
+        assert!(modularity(&g, &p) > 0.0);
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let g = two_cliques();
+        let cfg = LabelPropagationConfig::default();
+        assert_eq!(label_propagation(&g, &cfg), label_propagation(&g, &cfg));
+    }
+
+    #[test]
+    fn isolated_nodes_keep_their_own_community() {
+        let mut g = two_cliques();
+        g.add_node(42);
+        let p = label_propagation(&g, &LabelPropagationConfig::default());
+        let c42 = p.community_of(42);
+        assert!(c42.is_some());
+        for id in 1..=6u64 {
+            assert_ne!(p.community_of(id), c42);
+        }
+    }
+
+    #[test]
+    fn iteration_cap_is_respected() {
+        let g = two_cliques();
+        let cfg = LabelPropagationConfig {
+            max_iterations: 1,
+            ..Default::default()
+        };
+        // One sweep still produces a full assignment.
+        let p = label_propagation(&g, &cfg);
+        assert_eq!(p.len(), 6);
+    }
+
+    #[test]
+    fn weighted_ties_favor_heavier_edges() {
+        // Node 3 is pulled to {1,2} by heavy edges and to {4} by a light one.
+        let mut g = WeightedGraph::new_undirected();
+        g.add_edge(1, 2, 5.0);
+        g.add_edge(1, 3, 5.0);
+        g.add_edge(2, 3, 5.0);
+        g.add_edge(3, 4, 1.0);
+        g.add_edge(4, 5, 5.0);
+        let p = label_propagation(&g, &LabelPropagationConfig::default());
+        assert_eq!(p.community_of(3), p.community_of(1));
+        assert_ne!(p.community_of(3), p.community_of(4));
+    }
+}

@@ -1,0 +1,440 @@
+//! The Louvain community-detection algorithm.
+//!
+//! Louvain (Blondel et al. 2008) is the detector the paper uses, chosen for
+//! its "rapid convergence properties, high modularity, hierarchical
+//! partitioning and its ability to incorporate weighted edges". The
+//! implementation is the standard two-phase loop:
+//!
+//! 1. **Local moving.** Every node is repeatedly offered to the community of
+//!    each of its neighbours; it takes the move with the largest positive
+//!    modularity gain. The sweep repeats until no node moves.
+//! 2. **Aggregation.** Each community collapses into a single super-node;
+//!    intra-community weight becomes a self-loop. The local-moving phase
+//!    then runs on the aggregated graph.
+//!
+//! The loop ends when an aggregation pass no longer improves modularity.
+//! Node visiting order is the graph's dense index order by default, or a
+//! seeded shuffle when [`LouvainConfig::seed`] is set — either way the
+//! result is deterministic for a given input and configuration.
+
+use crate::{modularity, Partition};
+use moby_graph::{NodeId, WeightedGraph};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use std::collections::HashMap;
+
+/// Configuration of the Louvain run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LouvainConfig {
+    /// Optional shuffle seed for the node visiting order. `None` visits
+    /// nodes in dense-index order (fully deterministic, the default).
+    pub seed: Option<u64>,
+    /// Maximum number of aggregation passes (each pass contains a full local
+    /// moving phase). The algorithm almost always converges in < 10.
+    pub max_passes: usize,
+    /// Minimum modularity improvement for a pass to be considered progress.
+    pub min_modularity_gain: f64,
+}
+
+impl Default for LouvainConfig {
+    fn default() -> Self {
+        Self {
+            seed: None,
+            max_passes: 20,
+            min_modularity_gain: 1e-7,
+        }
+    }
+}
+
+/// Internal working representation of the (aggregated) graph for one pass.
+struct LocalGraph {
+    /// Adjacency: for each node, (neighbour, weight), excluding self-loops.
+    adj: Vec<Vec<(usize, f64)>>,
+    /// Self-loop weight per node.
+    self_loops: Vec<f64>,
+    /// Weighted degree per node (self-loops count twice).
+    degree: Vec<f64>,
+    /// Total edge weight m (undirected edges once, self-loops once).
+    m: f64,
+}
+
+impl LocalGraph {
+    fn from_weighted(graph: &WeightedGraph) -> (Self, Vec<NodeId>) {
+        let n = graph.node_count();
+        let mut adj = vec![Vec::new(); n];
+        let mut self_loops = vec![0.0; n];
+        let mut degree = vec![0.0; n];
+        for i in 0..n {
+            for (j, w) in graph.neighbors(i) {
+                if i == j {
+                    self_loops[i] = w;
+                    degree[i] += 2.0 * w;
+                } else {
+                    adj[i].push((j, w));
+                    degree[i] += w;
+                }
+            }
+            // Deterministic neighbour order.
+            adj[i].sort_by(|a, b| a.0.cmp(&b.0));
+        }
+        let m = graph.total_weight();
+        (
+            Self {
+                adj,
+                self_loops,
+                degree,
+                m,
+            },
+            graph.node_ids().to_vec(),
+        )
+    }
+
+    fn node_count(&self) -> usize {
+        self.adj.len()
+    }
+}
+
+/// One local-moving phase. Returns the community assignment (dense labels
+/// may have gaps) and whether any node moved.
+fn local_moving(graph: &LocalGraph, order: &[usize]) -> (Vec<usize>, bool) {
+    let n = graph.node_count();
+    let mut community: Vec<usize> = (0..n).collect();
+    // Total degree per community.
+    let mut comm_degree: Vec<f64> = graph.degree.clone();
+    let two_m = 2.0 * graph.m;
+    if two_m <= 0.0 {
+        return (community, false);
+    }
+
+    let mut moved_any = false;
+    let mut improved = true;
+    // Re-usable scratch map: community -> weight of links from current node.
+    let mut links_to_comm: HashMap<usize, f64> = HashMap::new();
+
+    while improved {
+        improved = false;
+        for &node in order {
+            let node_comm = community[node];
+            let k_i = graph.degree[node];
+
+            links_to_comm.clear();
+            for &(nbr, w) in &graph.adj[node] {
+                *links_to_comm.entry(community[nbr]).or_insert(0.0) += w;
+            }
+
+            // Remove the node from its community.
+            comm_degree[node_comm] -= k_i;
+            let k_i_in_own = links_to_comm.get(&node_comm).copied().unwrap_or(0.0);
+
+            // Best target community: the gain of moving node i into community
+            // C (after removal) is  k_i_in_C / m  -  Σ_tot_C * k_i / (2 m²);
+            // comparing across C we can drop the constant factor 1/m and use
+            // k_i_in_C - Σ_tot_C * k_i / (2m).
+            let mut best_comm = node_comm;
+            let mut best_gain = k_i_in_own - comm_degree[node_comm] * k_i / two_m;
+            let mut candidates: Vec<(usize, f64)> =
+                links_to_comm.iter().map(|(&c, &w)| (c, w)).collect();
+            candidates.sort_by(|a, b| a.0.cmp(&b.0)); // deterministic tie-breaks
+            for (c, k_i_in_c) in candidates {
+                if c == node_comm {
+                    continue;
+                }
+                let gain = k_i_in_c - comm_degree[c] * k_i / two_m;
+                if gain > best_gain + 1e-12 {
+                    best_gain = gain;
+                    best_comm = c;
+                }
+            }
+
+            comm_degree[best_comm] += k_i;
+            if best_comm != node_comm {
+                community[node] = best_comm;
+                improved = true;
+                moved_any = true;
+            }
+        }
+    }
+    (community, moved_any)
+}
+
+/// Aggregate a graph by communities: each community becomes one node whose
+/// id is the community label; edge weights are summed.
+fn aggregate(graph: &LocalGraph, community: &[usize]) -> WeightedGraph {
+    let mut agg = WeightedGraph::new_undirected();
+    // Ensure every community node exists even if it has no edges.
+    for &c in community {
+        agg.add_node(c as NodeId);
+    }
+    for i in 0..graph.node_count() {
+        let ci = community[i] as NodeId;
+        if graph.self_loops[i] > 0.0 {
+            agg.add_edge(ci, ci, graph.self_loops[i]);
+        }
+        for &(j, w) in &graph.adj[i] {
+            if j > i {
+                let cj = community[j] as NodeId;
+                agg.add_edge(ci, cj, w);
+            }
+        }
+    }
+    agg
+}
+
+/// Run the Louvain algorithm over an undirected weighted graph (directed
+/// graphs are projected to undirected first) and return the detected
+/// partition with canonical community labels `0..k`.
+pub fn louvain(graph: &WeightedGraph, config: &LouvainConfig) -> Partition {
+    let undirected;
+    let g0 = if graph.is_directed() {
+        undirected = graph.to_undirected();
+        &undirected
+    } else {
+        graph
+    };
+    if g0.node_count() == 0 {
+        return Partition::new();
+    }
+
+    // Work on a relabelled copy whose node ids are the dense indices of
+    // `g0`, so that membership values always match the current graph's node
+    // ids (after each aggregation pass the node ids are community labels).
+    let original_ids: Vec<NodeId> = g0.node_ids().to_vec();
+    let n = original_ids.len();
+    let mut current = WeightedGraph::new_undirected();
+    for i in 0..n {
+        current.add_node(i as NodeId);
+    }
+    for (src, dst, w) in g0.edges() {
+        let si = g0.index_of(src).expect("edge endpoint exists") as NodeId;
+        let di = g0.index_of(dst).expect("edge endpoint exists") as NodeId;
+        current.add_edge(si, di, w);
+    }
+    let mut membership: Vec<usize> = (0..n).collect();
+    let mut rng = config.seed.map(StdRng::seed_from_u64);
+    let mut last_q = modularity(
+        g0,
+        &membership_to_partition(&original_ids, &membership),
+    );
+
+    for _pass in 0..config.max_passes {
+        let (local, current_ids) = LocalGraph::from_weighted(&current);
+        let mut order: Vec<usize> = (0..local.node_count()).collect();
+        if let Some(rng) = rng.as_mut() {
+            order.shuffle(rng);
+        }
+        let (community, moved) = local_moving(&local, &order);
+        if !moved {
+            break;
+        }
+        // Compact community labels to 0..k for the aggregated graph.
+        let mut relabel: HashMap<usize, usize> = HashMap::new();
+        let mut compact = vec![0usize; community.len()];
+        for (i, &c) in community.iter().enumerate() {
+            let next = relabel.len();
+            let label = *relabel.entry(c).or_insert(next);
+            compact[i] = label;
+        }
+        // current_ids[i] was itself a community label of the previous level
+        // (or an original dense index on the first pass); map memberships
+        // through this pass's assignment.
+        let id_to_index: HashMap<NodeId, usize> = current_ids
+            .iter()
+            .enumerate()
+            .map(|(i, &id)| (id, i))
+            .collect();
+        for m in membership.iter_mut() {
+            let idx = id_to_index[&(*m as NodeId)];
+            *m = compact[idx];
+        }
+
+        let aggregated = aggregate(&local, &compact);
+        let q = modularity(
+            g0,
+            &membership_to_partition(&original_ids, &membership),
+        );
+        if q - last_q < config.min_modularity_gain {
+            // Keep the (slightly) better assignment but stop iterating.
+            break;
+        }
+        last_q = q;
+        current = aggregated;
+    }
+
+    membership_to_partition(&original_ids, &membership).renumbered()
+}
+
+fn membership_to_partition(ids: &[NodeId], membership: &[usize]) -> Partition {
+    ids.iter()
+        .zip(membership)
+        .map(|(&id, &c)| (id, c))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    fn two_cliques(bridge_weight: f64) -> WeightedGraph {
+        let mut g = WeightedGraph::new_undirected();
+        for (a, b) in [(1, 2), (2, 3), (1, 3), (4, 5), (5, 6), (4, 6)] {
+            g.add_edge(a, b, 5.0);
+        }
+        g.add_edge(3, 4, bridge_weight);
+        g
+    }
+
+    #[test]
+    fn empty_graph_gives_empty_partition() {
+        let g = WeightedGraph::new_undirected();
+        assert!(louvain(&g, &LouvainConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn single_node_graph() {
+        let mut g = WeightedGraph::new_undirected();
+        g.add_node(7);
+        let p = louvain(&g, &LouvainConfig::default());
+        assert_eq!(p.len(), 1);
+        assert_eq!(p.community_count(), 1);
+    }
+
+    #[test]
+    fn two_cliques_are_split() {
+        let p = louvain(&two_cliques(1.0), &LouvainConfig::default());
+        assert_eq!(p.community_count(), 2);
+        assert_eq!(p.community_of(1), p.community_of(2));
+        assert_eq!(p.community_of(1), p.community_of(3));
+        assert_eq!(p.community_of(4), p.community_of(5));
+        assert_ne!(p.community_of(1), p.community_of(4));
+    }
+
+    #[test]
+    fn deterministic_for_fixed_config() {
+        let g = two_cliques(1.0);
+        let a = louvain(&g, &LouvainConfig::default());
+        let b = louvain(&g, &LouvainConfig::default());
+        assert_eq!(a, b);
+        let seeded = LouvainConfig {
+            seed: Some(3),
+            ..Default::default()
+        };
+        assert_eq!(louvain(&g, &seeded), louvain(&g, &seeded));
+    }
+
+    #[test]
+    fn louvain_partition_beats_trivial_partitions() {
+        let g = two_cliques(1.0);
+        let p = louvain(&g, &LouvainConfig::default());
+        let q = modularity(&g, &p);
+        let q_single = modularity(&g, &g.node_ids().iter().map(|&n| (n, 0usize)).collect());
+        let q_singletons = modularity(&g, &Partition::singletons(g.node_ids()));
+        assert!(q >= q_single);
+        assert!(q >= q_singletons);
+        assert!(q > 0.3);
+    }
+
+    #[test]
+    fn ring_of_cliques_recovers_cliques() {
+        // Four 4-cliques connected in a ring by single edges: the canonical
+        // Louvain test case; expected answer is 4 communities.
+        let mut g = WeightedGraph::new_undirected();
+        let clique_nodes: Vec<Vec<u64>> = (0..4).map(|c| (0..4).map(|i| c * 4 + i + 1).collect()).collect();
+        for nodes in &clique_nodes {
+            for i in 0..nodes.len() {
+                for j in (i + 1)..nodes.len() {
+                    g.add_edge(nodes[i], nodes[j], 1.0);
+                }
+            }
+        }
+        for c in 0..4usize {
+            let from = clique_nodes[c][0];
+            let to = clique_nodes[(c + 1) % 4][1];
+            g.add_edge(from, to, 1.0);
+        }
+        let p = louvain(&g, &LouvainConfig::default());
+        assert_eq!(p.community_count(), 4);
+        for nodes in &clique_nodes {
+            let c0 = p.community_of(nodes[0]);
+            for &n in nodes {
+                assert_eq!(p.community_of(n), c0);
+            }
+        }
+    }
+
+    #[test]
+    fn weighted_edges_dominate_topology() {
+        // A path 1-2-3-4 where 1-2 and 3-4 are heavy and 2-3 light: the cut
+        // should fall on the light edge.
+        let mut g = WeightedGraph::new_undirected();
+        g.add_edge(1, 2, 10.0);
+        g.add_edge(2, 3, 0.5);
+        g.add_edge(3, 4, 10.0);
+        let p = louvain(&g, &LouvainConfig::default());
+        assert_eq!(p.community_of(1), p.community_of(2));
+        assert_eq!(p.community_of(3), p.community_of(4));
+        assert_ne!(p.community_of(2), p.community_of(3));
+    }
+
+    #[test]
+    fn strong_bridge_merges_cliques() {
+        // If the bridge is overwhelmingly heavy, the bridge endpoints are
+        // pulled into the same community (possibly splitting off the clique
+        // remainders, so up to 3 communities remain).
+        let p = louvain(&two_cliques(100.0), &LouvainConfig::default());
+        assert!(p.community_count() <= 3);
+        // Nodes 3 and 4 (the bridge endpoints) must share a community.
+        assert_eq!(p.community_of(3), p.community_of(4));
+    }
+
+    #[test]
+    fn every_node_is_assigned() {
+        let g = two_cliques(1.0);
+        let p = louvain(&g, &LouvainConfig::default());
+        assert_eq!(p.len(), g.node_count());
+        for &id in g.node_ids() {
+            assert!(p.community_of(id).is_some());
+        }
+    }
+
+    #[test]
+    fn random_graph_modularity_is_sane() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut g = WeightedGraph::new_undirected();
+        // Three planted communities of 20 nodes.
+        for c in 0..3u64 {
+            for i in 0..20u64 {
+                for j in (i + 1)..20 {
+                    if rng.gen::<f64>() < 0.4 {
+                        g.add_edge(c * 100 + i, c * 100 + j, 1.0);
+                    }
+                }
+            }
+        }
+        // Sparse noise between communities.
+        for _ in 0..30 {
+            let a = rng.gen_range(0..3u64) * 100 + rng.gen_range(0..20u64);
+            let b = rng.gen_range(0..3u64) * 100 + rng.gen_range(0..20u64);
+            if a != b {
+                g.add_edge(a, b, 1.0);
+            }
+        }
+        let p = louvain(&g, &LouvainConfig::default());
+        let q = modularity(&g, &p);
+        assert!(q > 0.4, "expected strong community structure, q = {q}");
+        assert!(p.community_count() >= 3);
+        assert!(p.community_count() <= 6);
+    }
+
+    #[test]
+    fn isolated_nodes_form_their_own_communities() {
+        let mut g = two_cliques(1.0);
+        g.add_node(100);
+        g.add_node(101);
+        let p = louvain(&g, &LouvainConfig::default());
+        assert_eq!(p.len(), 8);
+        assert_ne!(p.community_of(100), p.community_of(101));
+        assert_ne!(p.community_of(100), p.community_of(1));
+    }
+}

@@ -1,0 +1,203 @@
+//! Weighted Newman modularity (paper eq. 2).
+
+use crate::Partition;
+use moby_graph::WeightedGraph;
+use std::collections::HashMap;
+
+/// Weighted modularity of a partition over an undirected weighted graph.
+///
+/// Follows the standard Newman formulation also used by Neo4j GDS and
+/// NetworkX:
+///
+/// ```text
+/// Q = Σ_c [ L_c / m  -  ( k_c / (2m) )² ]
+/// ```
+///
+/// where `m` is the total edge weight (each undirected edge counted once,
+/// self-loops once), `L_c` the total weight of edges with both endpoints in
+/// community `c`, and `k_c` the total weighted degree of `c`'s nodes
+/// (self-loops contribute twice to the degree, per convention).
+///
+/// Directed graphs are converted to their undirected projection first (the
+/// paper runs Louvain on "bidirectional" graphs). Nodes missing from the
+/// partition are treated as singleton communities. Returns 0 for graphs with
+/// no edge weight.
+pub fn modularity(graph: &WeightedGraph, partition: &Partition) -> f64 {
+    let undirected;
+    let g = if graph.is_directed() {
+        undirected = graph.to_undirected();
+        &undirected
+    } else {
+        graph
+    };
+
+    let m = g.total_weight();
+    if m <= 0.0 {
+        return 0.0;
+    }
+
+    // Effective community of each node: the partition's label, or a unique
+    // synthetic label for unassigned nodes.
+    let mut next_free = usize::MAX;
+    let community = |node: u64, next_free: &mut usize| -> usize {
+        partition.community_of(node).unwrap_or_else(|| {
+            *next_free -= 1;
+            *next_free
+        })
+    };
+
+    let mut internal: HashMap<usize, f64> = HashMap::new();
+    let mut degree: HashMap<usize, f64> = HashMap::new();
+
+    // Cache node -> community to keep synthetic labels stable per node.
+    let mut node_comm: HashMap<u64, usize> = HashMap::new();
+    for &id in g.node_ids() {
+        let c = community(id, &mut next_free);
+        node_comm.insert(id, c);
+    }
+
+    // Sort edges so floating-point accumulation order (and therefore the
+    // last-ULP value of Q) is identical across runs.
+    let mut edges = g.edges();
+    edges.sort_by(|a, b| (a.0, a.1).cmp(&(b.0, b.1)));
+    for (src, dst, w) in edges {
+        let cs = node_comm[&src];
+        let cd = node_comm[&dst];
+        if src == dst {
+            // Self-loop: weight counts once towards internal, twice to degree.
+            *internal.entry(cs).or_insert(0.0) += w;
+            *degree.entry(cs).or_insert(0.0) += 2.0 * w;
+        } else {
+            if cs == cd {
+                *internal.entry(cs).or_insert(0.0) += w;
+            }
+            *degree.entry(cs).or_insert(0.0) += w;
+            *degree.entry(cd).or_insert(0.0) += w;
+        }
+    }
+
+    let mut q = 0.0;
+    let all_communities: std::collections::BTreeSet<usize> =
+        node_comm.values().copied().collect();
+    for c in all_communities {
+        let l_c = internal.get(&c).copied().unwrap_or(0.0);
+        let k_c = degree.get(&c).copied().unwrap_or(0.0);
+        q += l_c / m - (k_c / (2.0 * m)).powi(2);
+    }
+    q
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_cliques() -> WeightedGraph {
+        let mut g = WeightedGraph::new_undirected();
+        for (a, b) in [(1, 2), (2, 3), (1, 3), (4, 5), (5, 6), (4, 6)] {
+            g.add_edge(a, b, 1.0);
+        }
+        g.add_edge(3, 4, 1.0); // bridge
+        g
+    }
+
+    fn good_partition() -> Partition {
+        [(1u64, 0usize), (2, 0), (3, 0), (4, 1), (5, 1), (6, 1)]
+            .into_iter()
+            .collect()
+    }
+
+    #[test]
+    fn two_cliques_well_separated() {
+        // Known value: m = 7, each community L_c = 3, k_c = 7.
+        // Q = 2 * (3/7 - (7/14)^2) = 6/7 - 0.5 = 0.357142...
+        let q = modularity(&two_cliques(), &good_partition());
+        assert!((q - (6.0 / 7.0 - 0.5)).abs() < 1e-9, "q = {q}");
+    }
+
+    #[test]
+    fn all_in_one_community_is_zero() {
+        let g = two_cliques();
+        let p: Partition = g.node_ids().iter().map(|&n| (n, 0usize)).collect();
+        let q = modularity(&g, &p);
+        assert!(q.abs() < 1e-12, "q = {q}");
+    }
+
+    #[test]
+    fn singletons_score_negative() {
+        let g = two_cliques();
+        let p = Partition::singletons(g.node_ids());
+        assert!(modularity(&g, &p) < 0.0);
+    }
+
+    #[test]
+    fn bad_partition_scores_lower_than_good() {
+        let g = two_cliques();
+        let bad: Partition = [(1u64, 0usize), (2, 1), (3, 0), (4, 1), (5, 0), (6, 1)]
+            .into_iter()
+            .collect();
+        assert!(modularity(&g, &bad) < modularity(&g, &good_partition()));
+    }
+
+    #[test]
+    fn modularity_is_bounded() {
+        let g = two_cliques();
+        for p in [
+            good_partition(),
+            Partition::singletons(g.node_ids()),
+            g.node_ids().iter().map(|&n| (n, 0usize)).collect(),
+        ] {
+            let q = modularity(&g, &p);
+            assert!((-1.0..=1.0).contains(&q), "q = {q}");
+        }
+    }
+
+    #[test]
+    fn empty_graph_is_zero() {
+        let g = WeightedGraph::new_undirected();
+        assert_eq!(modularity(&g, &Partition::new()), 0.0);
+    }
+
+    #[test]
+    fn unassigned_nodes_are_singletons() {
+        let g = two_cliques();
+        // Only assign the first clique; the second behaves as singletons.
+        let p: Partition = [(1u64, 0usize), (2, 0), (3, 0)].into_iter().collect();
+        let q_partial = modularity(&g, &p);
+        let q_explicit: Partition = [
+            (1u64, 0usize),
+            (2, 0),
+            (3, 0),
+            (4, 10),
+            (5, 11),
+            (6, 12),
+        ]
+        .into_iter()
+        .collect();
+        assert!((q_partial - modularity(&g, &q_explicit)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn self_loops_affect_degree_convention() {
+        // A single node with a self-loop and an isolated edge elsewhere.
+        let mut g = WeightedGraph::new_undirected();
+        g.add_edge(1, 1, 2.0);
+        g.add_edge(2, 3, 1.0);
+        let p: Partition = [(1u64, 0usize), (2, 1), (3, 1)].into_iter().collect();
+        // m = 3, L_0 = 2, k_0 = 4, L_1 = 1, k_1 = 2.
+        // Q = (2/3 - (4/6)^2) + (1/3 - (2/6)^2) = 2/3 - 4/9 + 1/3 - 1/9 = 4/9.
+        let q = modularity(&g, &p);
+        assert!((q - 4.0 / 9.0).abs() < 1e-9, "q = {q}");
+    }
+
+    #[test]
+    fn directed_graph_uses_undirected_projection() {
+        let mut d = WeightedGraph::new_directed();
+        for (a, b) in [(1, 2), (2, 3), (1, 3), (4, 5), (5, 6), (4, 6)] {
+            d.add_edge(a, b, 1.0);
+        }
+        d.add_edge(3, 4, 1.0);
+        let q_dir = modularity(&d, &good_partition());
+        let q_undir = modularity(&two_cliques(), &good_partition());
+        assert!((q_dir - q_undir).abs() < 1e-12);
+    }
+}

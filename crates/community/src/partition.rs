@@ -1,0 +1,174 @@
+//! Community assignments.
+
+use moby_graph::NodeId;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, HashMap};
+
+/// An assignment of nodes to communities.
+///
+/// Community labels are plain `usize` values; [`Partition::renumbered`]
+/// canonicalises them to `0..k` in order of each community's smallest node
+/// id, which keeps reports and tests deterministic.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Partition {
+    assignment: HashMap<NodeId, usize>,
+}
+
+impl Partition {
+    /// An empty partition.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Build from an explicit assignment.
+    pub fn from_assignment(assignment: HashMap<NodeId, usize>) -> Self {
+        Self { assignment }
+    }
+
+    /// A partition that puts every listed node in its own singleton
+    /// community.
+    pub fn singletons(nodes: &[NodeId]) -> Self {
+        Self {
+            assignment: nodes.iter().enumerate().map(|(i, &n)| (n, i)).collect(),
+        }
+    }
+
+    /// Assign a node to a community.
+    pub fn assign(&mut self, node: NodeId, community: usize) {
+        self.assignment.insert(node, community);
+    }
+
+    /// The community of a node, if assigned.
+    pub fn community_of(&self, node: NodeId) -> Option<usize> {
+        self.assignment.get(&node).copied()
+    }
+
+    /// Number of assigned nodes.
+    pub fn len(&self) -> usize {
+        self.assignment.len()
+    }
+
+    /// Whether no node is assigned.
+    pub fn is_empty(&self) -> bool {
+        self.assignment.is_empty()
+    }
+
+    /// Number of distinct communities.
+    pub fn community_count(&self) -> usize {
+        let mut seen: Vec<usize> = self.assignment.values().copied().collect();
+        seen.sort_unstable();
+        seen.dedup();
+        seen.len()
+    }
+
+    /// Iterate over `(node, community)` pairs in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, usize)> + '_ {
+        self.assignment.iter().map(|(&n, &c)| (n, c))
+    }
+
+    /// The members of every community, keyed by community label, each member
+    /// list sorted ascending.
+    pub fn communities(&self) -> BTreeMap<usize, Vec<NodeId>> {
+        let mut out: BTreeMap<usize, Vec<NodeId>> = BTreeMap::new();
+        for (&n, &c) in &self.assignment {
+            out.entry(c).or_default().push(n);
+        }
+        for members in out.values_mut() {
+            members.sort_unstable();
+        }
+        out
+    }
+
+    /// A copy with community labels renumbered to `0..k`, ordered by each
+    /// community's smallest member node id.
+    pub fn renumbered(&self) -> Partition {
+        let communities = self.communities();
+        let mut order: Vec<(usize, NodeId)> = communities
+            .iter()
+            .map(|(&label, members)| (label, members[0]))
+            .collect();
+        order.sort_by_key(|&(_, min_node)| min_node);
+        let relabel: HashMap<usize, usize> = order
+            .iter()
+            .enumerate()
+            .map(|(new, &(old, _))| (old, new))
+            .collect();
+        Partition {
+            assignment: self
+                .assignment
+                .iter()
+                .map(|(&n, &c)| (n, relabel[&c]))
+                .collect(),
+        }
+    }
+
+    /// The size of each community, keyed by label.
+    pub fn sizes(&self) -> BTreeMap<usize, usize> {
+        let mut out: BTreeMap<usize, usize> = BTreeMap::new();
+        for &c in self.assignment.values() {
+            *out.entry(c).or_default() += 1;
+        }
+        out
+    }
+}
+
+impl FromIterator<(NodeId, usize)> for Partition {
+    fn from_iter<T: IntoIterator<Item = (NodeId, usize)>>(iter: T) -> Self {
+        Self {
+            assignment: iter.into_iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_assignment() {
+        let mut p = Partition::new();
+        assert!(p.is_empty());
+        p.assign(1, 10);
+        p.assign(2, 10);
+        p.assign(3, 20);
+        assert_eq!(p.len(), 3);
+        assert_eq!(p.community_of(1), Some(10));
+        assert_eq!(p.community_of(99), None);
+        assert_eq!(p.community_count(), 2);
+    }
+
+    #[test]
+    fn singletons() {
+        let p = Partition::singletons(&[5, 6, 7]);
+        assert_eq!(p.community_count(), 3);
+        assert_ne!(p.community_of(5), p.community_of(6));
+    }
+
+    #[test]
+    fn communities_are_sorted() {
+        let p: Partition = [(3u64, 1usize), (1, 1), (2, 0)].into_iter().collect();
+        let c = p.communities();
+        assert_eq!(c[&1], vec![1, 3]);
+        assert_eq!(c[&0], vec![2]);
+    }
+
+    #[test]
+    fn renumbering_is_canonical() {
+        // Labels 7 and 3; community with node 1 should become label 0.
+        let p: Partition = [(1u64, 7usize), (2, 7), (3, 3)].into_iter().collect();
+        let r = p.renumbered();
+        assert_eq!(r.community_of(1), Some(0));
+        assert_eq!(r.community_of(2), Some(0));
+        assert_eq!(r.community_of(3), Some(1));
+        // Renumbering twice is a fixed point.
+        assert_eq!(r.renumbered(), r);
+    }
+
+    #[test]
+    fn sizes() {
+        let p: Partition = [(1u64, 0usize), (2, 0), (3, 1)].into_iter().collect();
+        let s = p.sizes();
+        assert_eq!(s[&0], 2);
+        assert_eq!(s[&1], 1);
+    }
+}

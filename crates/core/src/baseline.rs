@@ -1,0 +1,240 @@
+//! The prior-work baseline and the access-quality comparison against it.
+//!
+//! The paper's earlier system (reference [17], "Analyzing shared bike usage
+//! through graph-based spatio-temporal modelling") reassigned every
+//! non-station rental/return location to its **closest fixed station**
+//! without creating any new stations; the contribution of this paper is the
+//! controlled expansion that removes the resulting bottlenecks. This module
+//! implements that baseline and quantifies what the expansion buys:
+//!
+//! * how far users are from the network (walk distance from each trip
+//!   endpoint to its assigned station);
+//! * what share of demand is covered within the paper's 250 m threshold;
+//! * how evenly the load spreads over stations (Gini coefficient), the
+//!   equity metric the related work uses.
+
+use crate::pipeline::ExpansionOutcome;
+use moby_cluster::assign::StationAssigner;
+use moby_graph::metrics::gini_coefficient;
+use moby_geo::GeoPoint;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+/// Access-quality statistics of one network variant.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AccessStats {
+    /// Number of stations in the variant.
+    pub stations: usize,
+    /// Mean walk distance from a trip endpoint to its assigned station (m).
+    pub mean_walk_m: f64,
+    /// Median walk distance (m).
+    pub median_walk_m: f64,
+    /// 90th-percentile walk distance (m).
+    pub p90_walk_m: f64,
+    /// Share of trip endpoints within 100 m of a station.
+    pub within_100m: f64,
+    /// Share of trip endpoints within 250 m of a station (the paper's
+    /// secondary-distance threshold).
+    pub within_250m: f64,
+    /// Gini coefficient of per-station endpoint load (0 = perfectly even).
+    pub load_gini: f64,
+}
+
+/// The baseline-vs-expanded comparison.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NetworkComparison {
+    /// Fixed stations only (the prior-work baseline).
+    pub baseline: AccessStats,
+    /// Fixed plus newly selected stations (this paper's expansion).
+    pub expanded: AccessStats,
+}
+
+impl NetworkComparison {
+    /// Relative reduction of the mean walk distance achieved by the
+    /// expansion (0.25 = 25 % shorter walks).
+    pub fn mean_walk_reduction(&self) -> f64 {
+        if self.baseline.mean_walk_m <= 0.0 {
+            0.0
+        } else {
+            1.0 - self.expanded.mean_walk_m / self.baseline.mean_walk_m
+        }
+    }
+
+    /// Absolute gain in 250 m coverage (percentage points / 100).
+    pub fn coverage_gain_250m(&self) -> f64 {
+        self.expanded.within_250m - self.baseline.within_250m
+    }
+
+    /// Render an aligned text table for reports.
+    pub fn render(&self) -> String {
+        let mut out = String::from("BASELINE COMPARISON — nearest-station access\n");
+        let _ = writeln!(
+            out,
+            "{:<22} {:>12} {:>12}",
+            "measure", "baseline", "expanded"
+        );
+        let rows: [(&str, f64, f64); 6] = [
+            (
+                "stations",
+                self.baseline.stations as f64,
+                self.expanded.stations as f64,
+            ),
+            ("mean walk (m)", self.baseline.mean_walk_m, self.expanded.mean_walk_m),
+            (
+                "median walk (m)",
+                self.baseline.median_walk_m,
+                self.expanded.median_walk_m,
+            ),
+            ("p90 walk (m)", self.baseline.p90_walk_m, self.expanded.p90_walk_m),
+            (
+                "coverage <=250 m (%)",
+                self.baseline.within_250m * 100.0,
+                self.expanded.within_250m * 100.0,
+            ),
+            ("load gini", self.baseline.load_gini, self.expanded.load_gini),
+        ];
+        for (label, b, e) in rows {
+            let _ = writeln!(out, "{label:<22} {b:>12.1} {e:>12.1}");
+        }
+        let _ = writeln!(
+            out,
+            "mean-walk reduction: {:.1}%   coverage gain: {:+.1} pp",
+            self.mean_walk_reduction() * 100.0,
+            self.coverage_gain_250m() * 100.0
+        );
+        out
+    }
+}
+
+/// Compute access statistics for a set of station positions, evaluated over
+/// every trip endpoint in the outcome's cleaned dataset. Returns `None` when
+/// the station set is empty or there are no trips.
+pub fn access_stats(outcome: &ExpansionOutcome, stations: &[GeoPoint]) -> Option<AccessStats> {
+    let assigner = StationAssigner::new(stations)?;
+    let location_positions: HashMap<u64, GeoPoint> = outcome
+        .dataset
+        .locations
+        .iter()
+        .map(|l| (l.id, l.position))
+        .collect();
+
+    let mut walks: Vec<f64> = Vec::with_capacity(outcome.dataset.rentals.len() * 2);
+    let mut load: HashMap<usize, f64> = HashMap::new();
+    for rental in &outcome.dataset.rentals {
+        for loc in [rental.rental_location_id, rental.return_location_id] {
+            let Some(&pos) = location_positions.get(&loc) else {
+                continue;
+            };
+            let assignment = assigner.assign(pos);
+            walks.push(assignment.distance_m);
+            *load.entry(assignment.station_index).or_insert(0.0) += 1.0;
+        }
+    }
+    if walks.is_empty() {
+        return None;
+    }
+    walks.sort_by(|a, b| a.partial_cmp(b).expect("finite distances"));
+    let n = walks.len();
+    let percentile = |p: f64| walks[((n - 1) as f64 * p).round() as usize];
+    // Stations with no assigned endpoints still count for the Gini.
+    let mut loads: Vec<f64> = (0..stations.len())
+        .map(|i| load.get(&i).copied().unwrap_or(0.0))
+        .collect();
+    loads.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    Some(AccessStats {
+        stations: stations.len(),
+        mean_walk_m: walks.iter().sum::<f64>() / n as f64,
+        median_walk_m: percentile(0.5),
+        p90_walk_m: percentile(0.9),
+        within_100m: walks.iter().filter(|d| **d <= 100.0).count() as f64 / n as f64,
+        within_250m: walks.iter().filter(|d| **d <= 250.0).count() as f64 / n as f64,
+        load_gini: gini_coefficient(&loads),
+    })
+}
+
+/// Compare the prior-work baseline (fixed stations only) against the
+/// expanded network produced by the pipeline. Returns `None` for degenerate
+/// outcomes (no stations or no trips).
+pub fn compare_with_baseline(outcome: &ExpansionOutcome) -> Option<NetworkComparison> {
+    let fixed: Vec<GeoPoint> = outcome
+        .selected
+        .stations
+        .iter()
+        .filter(|s| s.is_fixed)
+        .map(|s| s.position)
+        .collect();
+    let all: Vec<GeoPoint> = outcome.selected.stations.iter().map(|s| s.position).collect();
+    Some(NetworkComparison {
+        baseline: access_stats(outcome, &fixed)?,
+        expanded: access_stats(outcome, &all)?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::{ExpansionPipeline, PipelineConfig};
+    use moby_data::synth::{generate, SynthConfig};
+
+    fn outcome() -> ExpansionOutcome {
+        let raw = generate(&SynthConfig::small_test());
+        ExpansionPipeline::new(PipelineConfig::default())
+            .run(&raw)
+            .unwrap()
+    }
+
+    #[test]
+    fn expansion_improves_access() {
+        let out = outcome();
+        let cmp = compare_with_baseline(&out).expect("comparison computes");
+        // More stations, never worse walks, never worse coverage.
+        assert!(cmp.expanded.stations > cmp.baseline.stations);
+        assert!(cmp.expanded.mean_walk_m <= cmp.baseline.mean_walk_m);
+        assert!(cmp.expanded.median_walk_m <= cmp.baseline.median_walk_m);
+        assert!(cmp.expanded.within_250m >= cmp.baseline.within_250m);
+        assert!(cmp.mean_walk_reduction() >= 0.0);
+        assert!(cmp.coverage_gain_250m() >= 0.0);
+    }
+
+    #[test]
+    fn stats_are_well_formed() {
+        let out = outcome();
+        let cmp = compare_with_baseline(&out).expect("comparison computes");
+        for stats in [&cmp.baseline, &cmp.expanded] {
+            assert!(stats.mean_walk_m >= 0.0);
+            assert!(stats.median_walk_m <= stats.p90_walk_m);
+            assert!((0.0..=1.0).contains(&stats.within_100m));
+            assert!((0.0..=1.0).contains(&stats.within_250m));
+            assert!(stats.within_100m <= stats.within_250m);
+            assert!((0.0..=1.0).contains(&stats.load_gini));
+        }
+    }
+
+    #[test]
+    fn render_contains_both_columns() {
+        let out = outcome();
+        let cmp = compare_with_baseline(&out).expect("comparison computes");
+        let text = cmp.render();
+        assert!(text.contains("baseline"));
+        assert!(text.contains("expanded"));
+        assert!(text.contains("coverage"));
+        assert!(text.lines().count() >= 8);
+    }
+
+    #[test]
+    fn empty_station_set_gives_none() {
+        let out = outcome();
+        assert!(access_stats(&out, &[]).is_none());
+    }
+
+    #[test]
+    fn access_stats_against_single_far_station_have_long_walks() {
+        let out = outcome();
+        let far = vec![moby_geo::GeoPoint::new(53.20, -6.53).unwrap()];
+        let stats = access_stats(&out, &far).expect("computes");
+        assert_eq!(stats.stations, 1);
+        assert!(stats.mean_walk_m > 1_000.0);
+        assert!(stats.within_250m < 0.1);
+    }
+}

@@ -1,0 +1,97 @@
+//! # moby-core
+//!
+//! The paper's primary contribution: graph-based optimisation of network
+//! expansion for a dockless bike-sharing system.
+//!
+//! The crate composes the substrates (`moby-geo`, `moby-data`,
+//! `moby-graph`, `moby-cluster`, `moby-community`) into the three-step
+//! methodology of §IV:
+//!
+//! 1. **Graph construction** ([`candidate`]) — constrained hierarchical
+//!    clustering condenses the raw dockless locations into candidate
+//!    stations and builds the candidate trip graph (Table II / Fig. 1);
+//! 2. **Station ranking and selection** ([`selection`], [`reassign`]) —
+//!    Algorithm 1 with Rules 1–4 promotes the strongest candidates to new
+//!    stations and folds the rest back onto the nearest station
+//!    (Table III / Fig. 2);
+//! 3. **Community detection** ([`temporal`], [`detect`]) — Louvain over the
+//!    `GBasic` / `GDay` / `GHour` graphs validates that the expanded
+//!    network exhibits coherent spatiotemporal communities
+//!    (Tables IV–VI, Figs. 3–7).
+//!
+//! [`pipeline`] wires the full end-to-end run; [`report`] renders every
+//! table and figure series as text/CSV; [`validate`] checks that newly
+//! selected stations behave like pre-existing ones.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use moby_core::pipeline::{ExpansionPipeline, PipelineConfig};
+//! use moby_data::synth::{generate, SynthConfig};
+//!
+//! let raw = generate(&SynthConfig::small_test());
+//! let outcome = ExpansionPipeline::new(PipelineConfig::default()).run(&raw).unwrap();
+//! assert!(outcome.selection.selected.len() > 0);
+//! assert!(outcome.communities.basic.table.community_count() >= 2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod baseline;
+pub mod candidate;
+pub mod config;
+pub mod detect;
+pub mod pipeline;
+pub mod reassign;
+pub mod report;
+pub mod selection;
+pub mod temporal;
+pub mod validate;
+
+pub use config::ExpansionConfig;
+pub use pipeline::{ExpansionOutcome, ExpansionPipeline, PipelineConfig};
+
+use std::fmt;
+
+/// Errors produced by the expansion pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// The cleaned dataset has no usable fixed stations.
+    NoStations,
+    /// The cleaned dataset has no rentals.
+    NoRentals,
+    /// A configuration threshold was invalid.
+    InvalidConfig(String),
+    /// An internal invariant was violated (bug); the message describes it.
+    Internal(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::NoStations => write!(f, "dataset contains no usable fixed stations"),
+            CoreError::NoRentals => write!(f, "dataset contains no rentals"),
+            CoreError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            CoreError::Internal(msg) => write!(f, "internal error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+/// Result alias used across the crate.
+pub type Result<T> = std::result::Result<T, CoreError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display() {
+        assert!(!CoreError::NoStations.to_string().is_empty());
+        assert!(CoreError::InvalidConfig("x".into()).to_string().contains('x'));
+        assert!(CoreError::Internal("y".into()).to_string().contains('y'));
+        assert!(!CoreError::NoRentals.to_string().is_empty());
+    }
+}

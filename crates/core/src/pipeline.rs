@@ -1,0 +1,233 @@
+//! The end-to-end expansion pipeline.
+//!
+//! [`ExpansionPipeline::run`] chains the paper's three steps over a raw
+//! dataset: clean → construct candidate graph → rank & select new stations →
+//! reassign → build temporal graphs → detect communities at the three
+//! granularities. The result, [`ExpansionOutcome`], carries every
+//! intermediate artefact needed to reproduce Tables I–VI and Figures 1–7.
+
+use crate::candidate::{build_candidate_network, CandidateNetwork};
+use crate::detect::{detect_communities, CommunityDetection, DetectConfig};
+use crate::reassign::{build_selected_network, SelectedNetwork};
+use crate::selection::{select_stations, SelectionOutcome};
+use crate::temporal::{build_temporal_graph, TemporalGranularity};
+use crate::{ExpansionConfig, Result};
+use moby_data::clean::{clean_dataset, CleaningReport};
+use moby_data::schema::{CleanDataset, RawDataset};
+use moby_data::stats::DatasetOverview;
+
+/// Configuration of a full pipeline run.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct PipelineConfig {
+    /// Station-selection thresholds (§IV).
+    pub expansion: ExpansionConfig,
+    /// Community-detection settings (§IV-C).
+    pub detect: DetectConfig,
+}
+
+/// Community detection results at the three temporal granularities.
+#[derive(Debug, Clone)]
+pub struct CommunitySet {
+    /// `GBasic` (no temporal feature) — Table IV / Fig. 3.
+    pub basic: CommunityDetection,
+    /// `GDay` (day of week) — Table V / Figs. 4–5.
+    pub day: CommunityDetection,
+    /// `GHour` (hour of day) — Table VI / Figs. 6–7.
+    pub hour: CommunityDetection,
+}
+
+impl CommunitySet {
+    /// The detections in granularity order.
+    pub fn all(&self) -> [&CommunityDetection; 3] {
+        [&self.basic, &self.day, &self.hour]
+    }
+}
+
+/// Everything a pipeline run produces.
+#[derive(Debug, Clone)]
+pub struct ExpansionOutcome {
+    /// Table I — original vs cleaned dataset.
+    pub overview: DatasetOverview,
+    /// Per-rule cleaning audit.
+    pub cleaning: CleaningReport,
+    /// The cleaned dataset used downstream.
+    pub dataset: CleanDataset,
+    /// Step 1 — candidate network (Table II / Fig. 1).
+    pub candidate: CandidateNetwork,
+    /// Step 2 — Algorithm 1 outcome.
+    pub selection: SelectionOutcome,
+    /// Step 2b — the expanded network and its trip graph (Table III / Fig. 2).
+    pub selected: SelectedNetwork,
+    /// Step 3 — community detection at the three granularities
+    /// (Tables IV–VI, Figs. 3–7).
+    pub communities: CommunitySet,
+}
+
+impl ExpansionOutcome {
+    /// Convenience: number of newly selected stations.
+    pub fn new_station_count(&self) -> usize {
+        self.selection.selected.len()
+    }
+
+    /// Convenience: total stations in the expanded network.
+    pub fn total_station_count(&self) -> usize {
+        self.selected.stations.len()
+    }
+}
+
+/// The pipeline runner.
+#[derive(Debug, Clone, Default)]
+pub struct ExpansionPipeline {
+    config: PipelineConfig,
+}
+
+impl ExpansionPipeline {
+    /// Create a pipeline with the given configuration.
+    pub fn new(config: PipelineConfig) -> Self {
+        Self { config }
+    }
+
+    /// The pipeline's configuration.
+    pub fn config(&self) -> &PipelineConfig {
+        &self.config
+    }
+
+    /// Run the full pipeline over a raw dataset.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration and data errors from the individual steps
+    /// (empty station list, no rentals, invalid thresholds).
+    pub fn run(&self, raw: &RawDataset) -> Result<ExpansionOutcome> {
+        let cleaning_outcome = clean_dataset(raw);
+        let overview = DatasetOverview::from_cleaning(raw, &cleaning_outcome);
+        let dataset = cleaning_outcome.dataset;
+
+        let candidate = build_candidate_network(&dataset, &self.config.expansion)?;
+        let selection = select_stations(&candidate, &self.config.expansion)?;
+        let selected = build_selected_network(&dataset, &candidate, &selection)?;
+
+        let old_ids = selected.fixed_ids();
+        let mut detections = Vec::with_capacity(3);
+        for granularity in TemporalGranularity::ALL {
+            let temporal = build_temporal_graph(&selected.store, granularity);
+            detections.push(detect_communities(
+                &temporal,
+                &selected.directed,
+                &old_ids,
+                &self.config.detect,
+            ));
+        }
+        let hour = detections.pop().expect("three granularities");
+        let day = detections.pop().expect("three granularities");
+        let basic = detections.pop().expect("three granularities");
+
+        Ok(ExpansionOutcome {
+            overview,
+            cleaning: cleaning_outcome.report,
+            dataset,
+            candidate,
+            selection,
+            selected,
+            communities: CommunitySet { basic, day, hour },
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use moby_data::synth::{generate, SynthConfig};
+
+    fn outcome() -> ExpansionOutcome {
+        let raw = generate(&SynthConfig::small_test());
+        ExpansionPipeline::new(PipelineConfig::default())
+            .run(&raw)
+            .unwrap()
+    }
+
+    #[test]
+    fn pipeline_produces_all_artifacts() {
+        let out = outcome();
+        // Table I shape.
+        assert!(out.overview.rentals.0 > out.overview.rentals.1);
+        assert!(out.overview.stations.0 > out.overview.stations.1);
+        // Candidate graph is much larger than the station set.
+        assert!(out.candidate.nodes.len() > out.dataset.stations.len());
+        assert_eq!(out.candidate.summary.trips, out.dataset.rentals.len());
+        // Selection produced new stations but fewer than the candidates.
+        assert!(out.new_station_count() > 0);
+        assert!(out.new_station_count() < out.candidate.candidate_ids().len());
+        // Selected network contains both groups and conserves trips.
+        assert_eq!(
+            out.total_station_count(),
+            out.dataset.stations.len() + out.new_station_count()
+        );
+        assert_eq!(out.selected.table.total_trips, out.dataset.rentals.len());
+        // Community detection ran at all three granularities.
+        assert!(out.communities.basic.community_count() >= 2);
+        assert!(out.communities.day.community_count() >= 2);
+        assert!(out.communities.hour.community_count() >= 2);
+    }
+
+    #[test]
+    fn modularity_trend_matches_paper_shape() {
+        // The paper reports Q rising with temporal granularity
+        // (0.25 -> 0.32 -> 0.54). Allow slack but require the coarse trend.
+        let out = outcome();
+        let q_basic = out.communities.basic.modularity;
+        let q_day = out.communities.day.modularity;
+        let q_hour = out.communities.hour.modularity;
+        assert!(q_basic > 0.0);
+        assert!(
+            q_hour > q_basic,
+            "expected GHour modularity ({q_hour:.3}) above GBasic ({q_basic:.3})"
+        );
+        assert!(
+            q_day >= q_basic - 0.05,
+            "expected GDay modularity ({q_day:.3}) to be at least near GBasic ({q_basic:.3})"
+        );
+    }
+
+    #[test]
+    fn community_counts_rise_with_granularity() {
+        let out = outcome();
+        let n_basic = out.communities.basic.community_count();
+        let n_hour = out.communities.hour.community_count();
+        assert!(
+            n_hour >= n_basic,
+            "GHour should have at least as many communities ({n_hour} vs {n_basic})"
+        );
+    }
+
+    #[test]
+    fn majority_of_trips_are_self_contained() {
+        // Paper: ~74% of trips start and end in the same GBasic community.
+        let out = outcome();
+        let share = out.communities.basic.table.self_contained_share();
+        assert!(
+            share > 0.5,
+            "expected a majority of self-contained trips, got {share:.2}"
+        );
+    }
+
+    #[test]
+    fn pipeline_is_deterministic() {
+        let raw = generate(&SynthConfig::small_test());
+        let pipeline = ExpansionPipeline::new(PipelineConfig::default());
+        let a = pipeline.run(&raw).unwrap();
+        let b = pipeline.run(&raw).unwrap();
+        assert_eq!(a.selection.selected, b.selection.selected);
+        assert_eq!(
+            a.communities.basic.station_partition,
+            b.communities.basic.station_partition
+        );
+        assert_eq!(a.communities.hour.modularity, b.communities.hour.modularity);
+    }
+
+    #[test]
+    fn empty_dataset_is_rejected() {
+        let pipeline = ExpansionPipeline::new(PipelineConfig::default());
+        assert!(pipeline.run(&RawDataset::default()).is_err());
+    }
+}

@@ -1,0 +1,390 @@
+//! Step 2b — folding rejected candidates back into the network and building
+//! the *selected graph* (§IV-B step 3, Table III, Fig. 2).
+//!
+//! After Algorithm 1 picks the new stations, every location that belonged to
+//! a rejected candidate is "reassigned to the nearest station" — nearest
+//! among the union of pre-existing and newly selected stations. The total
+//! number of trips is unchanged by construction, which is the invariant the
+//! paper calls out under Table III.
+
+use crate::candidate::{CandidateNetwork, TRIP_LABEL};
+use crate::selection::SelectionOutcome;
+use crate::{CoreError, Result};
+use moby_cluster::assign::StationAssigner;
+use moby_data::schema::{CleanDataset, LocationId};
+use moby_geo::GeoPoint;
+use moby_graph::aggregate;
+use moby_graph::{props, GraphStore, NodeId, PropValue, WeightedGraph};
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, HashSet};
+
+/// A station of the final (expanded) network.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FinalStation {
+    /// Node id (original station id, or the candidate id for new stations).
+    pub id: NodeId,
+    /// Display name.
+    pub name: String,
+    /// Position.
+    pub position: GeoPoint,
+    /// Whether the station pre-existed (as opposed to newly selected).
+    pub is_fixed: bool,
+}
+
+/// One group row of Table III (pre-existing or selected stations).
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct GroupRow {
+    /// Number of stations in the group.
+    pub stations: usize,
+    /// Trips departing from the group's stations.
+    pub trips_from: usize,
+    /// Trips arriving at the group's stations.
+    pub trips_to: usize,
+    /// Distinct directed edges departing from the group's stations.
+    pub edges_from: usize,
+    /// Distinct directed edges arriving at the group's stations.
+    pub edges_to: usize,
+}
+
+/// The paper's Table III: the selected graph broken down by station group.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct SelectedGraphTable {
+    /// Pre-existing stations row.
+    pub pre_existing: GroupRow,
+    /// Newly selected stations row.
+    pub selected: GroupRow,
+    /// Total number of stations.
+    pub total_stations: usize,
+    /// Total number of trips.
+    pub total_trips: usize,
+    /// Total number of distinct directed edges.
+    pub total_edges: usize,
+}
+
+/// The final expanded network with its trip graph.
+#[derive(Debug, Clone)]
+pub struct SelectedNetwork {
+    /// All stations (pre-existing first, then selected, each sorted by id).
+    pub stations: Vec<FinalStation>,
+    /// Mapping from cleaned location id to its final station.
+    pub location_to_station: HashMap<LocationId, NodeId>,
+    /// Property-graph store with one `TRIP` relationship per rental.
+    pub store: GraphStore,
+    /// Directed weighted trip graph.
+    pub directed: WeightedGraph,
+    /// Undirected weighted trip graph (`GBasic` before temporal splitting).
+    pub undirected: WeightedGraph,
+    /// Table III counts.
+    pub table: SelectedGraphTable,
+}
+
+impl SelectedNetwork {
+    /// Ids of the pre-existing stations.
+    pub fn fixed_ids(&self) -> HashSet<NodeId> {
+        self.stations
+            .iter()
+            .filter(|s| s.is_fixed)
+            .map(|s| s.id)
+            .collect()
+    }
+
+    /// Ids of the newly selected stations.
+    pub fn new_ids(&self) -> HashSet<NodeId> {
+        self.stations
+            .iter()
+            .filter(|s| !s.is_fixed)
+            .map(|s| s.id)
+            .collect()
+    }
+
+    /// Positions of all stations keyed by id.
+    pub fn positions(&self) -> HashMap<NodeId, GeoPoint> {
+        self.stations.iter().map(|s| (s.id, s.position)).collect()
+    }
+
+    /// Look up a station by id.
+    pub fn station(&self, id: NodeId) -> Option<&FinalStation> {
+        self.stations.iter().find(|s| s.id == id)
+    }
+}
+
+/// Build the selected network: the expanded station set, the reassigned
+/// location mapping, the trip store/graphs and Table III.
+pub fn build_selected_network(
+    dataset: &CleanDataset,
+    network: &CandidateNetwork,
+    selection: &SelectionOutcome,
+) -> Result<SelectedNetwork> {
+    // --- Final station list. ---
+    let mut stations: Vec<FinalStation> = network
+        .nodes
+        .iter()
+        .filter(|n| n.kind.is_fixed())
+        .map(|n| FinalStation {
+            id: n.id,
+            name: n.name.clone(),
+            position: n.position,
+            is_fixed: true,
+        })
+        .collect();
+    stations.sort_by_key(|s| s.id);
+    let mut new_stations: Vec<FinalStation> = selection
+        .selected
+        .iter()
+        .map(|s| FinalStation {
+            id: s.id,
+            name: format!("New station (rank {:03})", s.rank),
+            position: s.position,
+            is_fixed: false,
+        })
+        .collect();
+    new_stations.sort_by_key(|s| s.id);
+    stations.extend(new_stations);
+    if stations.is_empty() {
+        return Err(CoreError::NoStations);
+    }
+
+    let final_ids: HashSet<NodeId> = stations.iter().map(|s| s.id).collect();
+    let assigner = StationAssigner::new(
+        &stations.iter().map(|s| s.position).collect::<Vec<_>>(),
+    )
+    .ok_or(CoreError::NoStations)?;
+    let station_id_by_index: Vec<NodeId> = stations.iter().map(|s| s.id).collect();
+
+    // --- Location reassignment. ---
+    let location_positions: HashMap<LocationId, GeoPoint> = dataset
+        .locations
+        .iter()
+        .map(|l| (l.id, l.position))
+        .collect();
+    let mut location_to_station: HashMap<LocationId, NodeId> = HashMap::new();
+    for (&loc_id, &node) in &network.location_to_node {
+        if final_ids.contains(&node) {
+            location_to_station.insert(loc_id, node);
+        } else {
+            let pos = location_positions.get(&loc_id).ok_or_else(|| {
+                CoreError::Internal(format!("location {loc_id} missing a position"))
+            })?;
+            let assignment = assigner.assign(*pos);
+            location_to_station.insert(loc_id, station_id_by_index[assignment.station_index]);
+        }
+    }
+
+    // --- Trip store over final stations. ---
+    let mut store = GraphStore::new();
+    for s in &stations {
+        store.add_node(
+            s.id,
+            if s.is_fixed { "Station" } else { "NewStation" },
+            props([
+                ("name", PropValue::from(s.name.as_str())),
+                ("lat", PropValue::from(s.position.lat())),
+                ("lon", PropValue::from(s.position.lon())),
+                ("fixed", PropValue::from(s.is_fixed)),
+            ]),
+        );
+    }
+    for r in &dataset.rentals {
+        let (Some(&src), Some(&dst)) = (
+            location_to_station.get(&r.rental_location_id),
+            location_to_station.get(&r.return_location_id),
+        ) else {
+            return Err(CoreError::Internal(format!(
+                "rental {} references an unmapped location",
+                r.id
+            )));
+        };
+        store
+            .add_edge(
+                src,
+                dst,
+                TRIP_LABEL,
+                props([
+                    (
+                        "day",
+                        PropValue::from(i64::from(r.start_time.weekday().index())),
+                    ),
+                    ("hour", PropValue::from(i64::from(r.start_time.hour()))),
+                ]),
+            )
+            .map_err(|e| CoreError::Internal(format!("failed to add trip edge: {e}")))?;
+    }
+
+    let directed = aggregate::project_directed(&store, TRIP_LABEL);
+    let undirected = aggregate::project_undirected(&store, TRIP_LABEL);
+    let table = build_table(&stations, &store, &directed);
+
+    Ok(SelectedNetwork {
+        stations,
+        location_to_station,
+        store,
+        directed,
+        undirected,
+        table,
+    })
+}
+
+fn build_table(
+    stations: &[FinalStation],
+    store: &GraphStore,
+    directed: &WeightedGraph,
+) -> SelectedGraphTable {
+    let fixed: HashSet<NodeId> = stations
+        .iter()
+        .filter(|s| s.is_fixed)
+        .map(|s| s.id)
+        .collect();
+    let mut pre = GroupRow {
+        stations: fixed.len(),
+        ..Default::default()
+    };
+    let mut sel = GroupRow {
+        stations: stations.len() - fixed.len(),
+        ..Default::default()
+    };
+
+    // Trips per group (every relationship counted once per endpoint role).
+    for e in store.edges_with_label(TRIP_LABEL) {
+        if fixed.contains(&e.src) {
+            pre.trips_from += 1;
+        } else {
+            sel.trips_from += 1;
+        }
+        if fixed.contains(&e.dst) {
+            pre.trips_to += 1;
+        } else {
+            sel.trips_to += 1;
+        }
+    }
+    // Distinct directed edges per group.
+    let mut total_edges = 0usize;
+    for (src, dst, _) in directed.edges() {
+        total_edges += 1;
+        if fixed.contains(&src) {
+            pre.edges_from += 1;
+        } else {
+            sel.edges_from += 1;
+        }
+        if fixed.contains(&dst) {
+            pre.edges_to += 1;
+        } else {
+            sel.edges_to += 1;
+        }
+    }
+    SelectedGraphTable {
+        total_stations: stations.len(),
+        total_trips: store.edges_with_label(TRIP_LABEL).count(),
+        total_edges,
+        pre_existing: pre,
+        selected: sel,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::candidate::build_candidate_network;
+    use crate::selection::select_stations;
+    use crate::ExpansionConfig;
+    use moby_data::clean::clean_dataset;
+    use moby_data::synth::{generate, SynthConfig};
+
+    fn setup() -> (CleanDataset, CandidateNetwork, SelectionOutcome) {
+        let ds = clean_dataset(&generate(&SynthConfig::small_test())).dataset;
+        let cfg = ExpansionConfig::default();
+        let net = build_candidate_network(&ds, &cfg).unwrap();
+        let sel = select_stations(&net, &cfg).unwrap();
+        (ds, net, sel)
+    }
+
+    #[test]
+    fn station_counts_add_up() {
+        let (ds, net, sel) = setup();
+        let out = build_selected_network(&ds, &net, &sel).unwrap();
+        assert_eq!(
+            out.stations.len(),
+            ds.stations.len() + sel.selected.len()
+        );
+        assert_eq!(out.fixed_ids().len(), ds.stations.len());
+        assert_eq!(out.new_ids().len(), sel.selected.len());
+        assert_eq!(out.table.total_stations, out.stations.len());
+    }
+
+    #[test]
+    fn trips_are_conserved() {
+        let (ds, net, sel) = setup();
+        let out = build_selected_network(&ds, &net, &sel).unwrap();
+        assert_eq!(out.table.total_trips, ds.rentals.len());
+        assert_eq!(out.store.edge_count(), ds.rentals.len());
+        // From/To breakdowns each sum to the total trips.
+        assert_eq!(
+            out.table.pre_existing.trips_from + out.table.selected.trips_from,
+            ds.rentals.len()
+        );
+        assert_eq!(
+            out.table.pre_existing.trips_to + out.table.selected.trips_to,
+            ds.rentals.len()
+        );
+    }
+
+    #[test]
+    fn edge_breakdown_sums_to_total() {
+        let (ds, net, sel) = setup();
+        let out = build_selected_network(&ds, &net, &sel).unwrap();
+        assert_eq!(
+            out.table.pre_existing.edges_from + out.table.selected.edges_from,
+            out.table.total_edges
+        );
+        assert_eq!(
+            out.table.pre_existing.edges_to + out.table.selected.edges_to,
+            out.table.total_edges
+        );
+        assert_eq!(out.directed.edge_count(), out.table.total_edges);
+    }
+
+    #[test]
+    fn every_location_maps_to_a_final_station() {
+        let (ds, net, sel) = setup();
+        let out = build_selected_network(&ds, &net, &sel).unwrap();
+        let ids: HashSet<NodeId> = out.stations.iter().map(|s| s.id).collect();
+        for loc in &ds.locations {
+            let st = out.location_to_station.get(&loc.id).copied().unwrap();
+            assert!(ids.contains(&st));
+        }
+    }
+
+    #[test]
+    fn rejected_candidates_are_not_final_stations() {
+        let (ds, net, sel) = setup();
+        let out = build_selected_network(&ds, &net, &sel).unwrap();
+        let final_ids: HashSet<NodeId> = out.stations.iter().map(|s| s.id).collect();
+        for rejected_id in sel.rejected.keys() {
+            assert!(!final_ids.contains(rejected_id));
+        }
+    }
+
+    #[test]
+    fn pre_existing_stations_carry_most_trips() {
+        // The paper's Table III: the 92 pre-existing stations carry ~88% of
+        // trips. The synthetic network should show the same dominance
+        // (station endpoints are favoured and rejected candidates fold back
+        // onto the nearest station, which is usually a fixed one).
+        let (ds, net, sel) = setup();
+        let out = build_selected_network(&ds, &net, &sel).unwrap();
+        let share = out.table.pre_existing.trips_from as f64 / ds.rentals.len() as f64;
+        assert!(share > 0.5, "pre-existing share {share}");
+    }
+
+    #[test]
+    fn new_station_names_carry_rank() {
+        let (ds, net, sel) = setup();
+        let out = build_selected_network(&ds, &net, &sel).unwrap();
+        let new_station = out
+            .stations
+            .iter()
+            .find(|s| !s.is_fixed)
+            .expect("at least one new station");
+        assert!(new_station.name.contains("rank"));
+        assert!(out.station(new_station.id).is_some());
+    }
+}

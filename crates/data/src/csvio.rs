@@ -1,0 +1,393 @@
+//! Plain CSV readers and writers for the `Rental` and `Location` tables.
+//!
+//! The operator's export format is simple comma-separated text with a header
+//! row; fields never contain embedded commas, but quoted fields are accepted
+//! for robustness. Missing values are encoded as empty fields, matching how
+//! the defects described in paper §III appear in the raw export.
+
+use crate::schema::{RawLocation, RawRental, Station};
+use crate::timeparse::Timestamp;
+use crate::{DataError, Result};
+use moby_geo::GeoPoint;
+use std::fmt::Write as _;
+
+/// Split a single CSV line into fields, honouring double-quoted fields with
+/// `""` escapes.
+fn split_csv_line(line: &str) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut cur = String::new();
+    let mut in_quotes = false;
+    let mut chars = line.chars().peekable();
+    while let Some(c) = chars.next() {
+        match c {
+            '"' if in_quotes => {
+                if chars.peek() == Some(&'"') {
+                    cur.push('"');
+                    chars.next();
+                } else {
+                    in_quotes = false;
+                }
+            }
+            '"' if cur.is_empty() => in_quotes = true,
+            ',' if !in_quotes => {
+                fields.push(std::mem::take(&mut cur));
+            }
+            c => cur.push(c),
+        }
+    }
+    fields.push(cur);
+    fields
+}
+
+/// Parse a CSV document into a header and rows.
+fn parse_csv(text: &str) -> Result<(Vec<String>, Vec<(usize, Vec<String>)>)> {
+    let mut lines = text
+        .lines()
+        .enumerate()
+        .filter(|(_, l)| !l.trim().is_empty());
+    let (_, header_line) = lines.next().ok_or(DataError::EmptyInput)?;
+    let header: Vec<String> = split_csv_line(header_line)
+        .into_iter()
+        .map(|h| h.trim().to_lowercase())
+        .collect();
+    let mut rows = Vec::new();
+    for (i, line) in lines {
+        let fields = split_csv_line(line);
+        if fields.len() != header.len() {
+            return Err(DataError::MalformedRow {
+                line: i + 1,
+                expected: header.len(),
+                found: fields.len(),
+            });
+        }
+        rows.push((i + 1, fields));
+    }
+    Ok((header, rows))
+}
+
+fn column_index(header: &[String], name: &str) -> Result<usize> {
+    header
+        .iter()
+        .position(|h| h == name)
+        .ok_or_else(|| DataError::MissingColumn(name.to_owned()))
+}
+
+fn parse_opt_f64(line: usize, column: &str, raw: &str) -> Result<Option<f64>> {
+    let raw = raw.trim();
+    if raw.is_empty() {
+        return Ok(None);
+    }
+    raw.parse::<f64>()
+        .map(Some)
+        .map_err(|_| DataError::FieldParse {
+            line,
+            column: column.to_owned(),
+            value: raw.to_owned(),
+        })
+}
+
+fn parse_opt_u64(line: usize, column: &str, raw: &str) -> Result<Option<u64>> {
+    let raw = raw.trim();
+    if raw.is_empty() {
+        return Ok(None);
+    }
+    raw.parse::<u64>()
+        .map(Some)
+        .map_err(|_| DataError::FieldParse {
+            line,
+            column: column.to_owned(),
+            value: raw.to_owned(),
+        })
+}
+
+fn parse_u64(line: usize, column: &str, raw: &str) -> Result<u64> {
+    parse_opt_u64(line, column, raw)?.ok_or_else(|| DataError::FieldParse {
+        line,
+        column: column.to_owned(),
+        value: raw.to_owned(),
+    })
+}
+
+fn parse_timestamp(line: usize, column: &str, raw: &str) -> Result<Timestamp> {
+    Timestamp::parse_iso(raw).map_err(|_| DataError::FieldParse {
+        line,
+        column: column.to_owned(),
+        value: raw.to_owned(),
+    })
+}
+
+/// Read the `Location` table from CSV.
+///
+/// Expected header: `id,lat,lon,station_id` (order-insensitive, extra
+/// columns ignored). Empty `lat`/`lon`/`station_id` become `None`.
+pub fn read_locations(text: &str) -> Result<Vec<RawLocation>> {
+    let (header, rows) = parse_csv(text)?;
+    let c_id = column_index(&header, "id")?;
+    let c_lat = column_index(&header, "lat")?;
+    let c_lon = column_index(&header, "lon")?;
+    let c_station = column_index(&header, "station_id")?;
+    rows.into_iter()
+        .map(|(line, f)| {
+            Ok(RawLocation {
+                id: parse_u64(line, "id", &f[c_id])?,
+                lat: parse_opt_f64(line, "lat", &f[c_lat])?,
+                lon: parse_opt_f64(line, "lon", &f[c_lon])?,
+                station_id: parse_opt_u64(line, "station_id", &f[c_station])?,
+            })
+        })
+        .collect()
+}
+
+/// Read the `Rental` table from CSV.
+///
+/// Expected header:
+/// `id,bike_id,start_time,end_time,rental_location_id,return_location_id`.
+pub fn read_rentals(text: &str) -> Result<Vec<RawRental>> {
+    let (header, rows) = parse_csv(text)?;
+    let c_id = column_index(&header, "id")?;
+    let c_bike = column_index(&header, "bike_id")?;
+    let c_start = column_index(&header, "start_time")?;
+    let c_end = column_index(&header, "end_time")?;
+    let c_rent = column_index(&header, "rental_location_id")?;
+    let c_ret = column_index(&header, "return_location_id")?;
+    rows.into_iter()
+        .map(|(line, f)| {
+            Ok(RawRental {
+                id: parse_u64(line, "id", &f[c_id])?,
+                bike_id: parse_u64(line, "bike_id", &f[c_bike])? as u32,
+                start_time: parse_timestamp(line, "start_time", &f[c_start])?,
+                end_time: parse_timestamp(line, "end_time", &f[c_end])?,
+                rental_location_id: parse_opt_u64(line, "rental_location_id", &f[c_rent])?,
+                return_location_id: parse_opt_u64(line, "return_location_id", &f[c_ret])?,
+            })
+        })
+        .collect()
+}
+
+/// Read the fixed-station table from CSV.
+///
+/// Expected header: `id,name,lat,lon`. Stations must have valid coordinates;
+/// a bad row is an error rather than a defect (the station list is small and
+/// operator-curated).
+pub fn read_stations(text: &str) -> Result<Vec<Station>> {
+    let (header, rows) = parse_csv(text)?;
+    let c_id = column_index(&header, "id")?;
+    let c_name = column_index(&header, "name")?;
+    let c_lat = column_index(&header, "lat")?;
+    let c_lon = column_index(&header, "lon")?;
+    rows.into_iter()
+        .map(|(line, f)| {
+            let lat = parse_opt_f64(line, "lat", &f[c_lat])?.ok_or_else(|| DataError::FieldParse {
+                line,
+                column: "lat".into(),
+                value: f[c_lat].clone(),
+            })?;
+            let lon = parse_opt_f64(line, "lon", &f[c_lon])?.ok_or_else(|| DataError::FieldParse {
+                line,
+                column: "lon".into(),
+                value: f[c_lon].clone(),
+            })?;
+            let position = GeoPoint::new(lat, lon).map_err(|_| DataError::FieldParse {
+                line,
+                column: "lat/lon".into(),
+                value: format!("{lat},{lon}"),
+            })?;
+            Ok(Station {
+                id: parse_u64(line, "id", &f[c_id])?,
+                name: f[c_name].trim().to_owned(),
+                position,
+            })
+        })
+        .collect()
+}
+
+fn csv_quote(field: &str) -> String {
+    if field.contains(',') || field.contains('"') || field.contains('\n') {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_owned()
+    }
+}
+
+/// Serialise locations to CSV (inverse of [`read_locations`]).
+pub fn write_locations(locations: &[RawLocation]) -> String {
+    let mut out = String::from("id,lat,lon,station_id\n");
+    for l in locations {
+        let _ = writeln!(
+            out,
+            "{},{},{},{}",
+            l.id,
+            l.lat.map(|v| v.to_string()).unwrap_or_default(),
+            l.lon.map(|v| v.to_string()).unwrap_or_default(),
+            l.station_id.map(|v| v.to_string()).unwrap_or_default(),
+        );
+    }
+    out
+}
+
+/// Serialise rentals to CSV (inverse of [`read_rentals`]).
+pub fn write_rentals(rentals: &[RawRental]) -> String {
+    let mut out =
+        String::from("id,bike_id,start_time,end_time,rental_location_id,return_location_id\n");
+    for r in rentals {
+        let _ = writeln!(
+            out,
+            "{},{},{},{},{},{}",
+            r.id,
+            r.bike_id,
+            r.start_time.to_iso(),
+            r.end_time.to_iso(),
+            r.rental_location_id.map(|v| v.to_string()).unwrap_or_default(),
+            r.return_location_id.map(|v| v.to_string()).unwrap_or_default(),
+        );
+    }
+    out
+}
+
+/// Serialise stations to CSV (inverse of [`read_stations`]).
+pub fn write_stations(stations: &[Station]) -> String {
+    let mut out = String::from("id,name,lat,lon\n");
+    for s in stations {
+        let _ = writeln!(
+            out,
+            "{},{},{},{}",
+            s.id,
+            csv_quote(&s.name),
+            s.position.lat(),
+            s.position.lon()
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_handles_quotes_and_escapes() {
+        assert_eq!(split_csv_line("a,b,c"), vec!["a", "b", "c"]);
+        assert_eq!(split_csv_line("a,\"b,c\",d"), vec!["a", "b,c", "d"]);
+        assert_eq!(split_csv_line("a,\"he said \"\"hi\"\"\",c"), vec![
+            "a",
+            "he said \"hi\"",
+            "c"
+        ]);
+        assert_eq!(split_csv_line("a,,c"), vec!["a", "", "c"]);
+    }
+
+    #[test]
+    fn read_locations_with_missing_fields() {
+        let csv = "id,lat,lon,station_id\n1,53.35,-6.26,10\n2,,,\n3,53.30,-6.20,\n";
+        let locs = read_locations(csv).unwrap();
+        assert_eq!(locs.len(), 3);
+        assert_eq!(locs[0].station_id, Some(10));
+        assert_eq!(locs[1].lat, None);
+        assert_eq!(locs[1].lon, None);
+        assert_eq!(locs[2].station_id, None);
+    }
+
+    #[test]
+    fn read_locations_rejects_bad_rows() {
+        assert!(matches!(
+            read_locations("id,lat,lon,station_id\n1,53.35\n"),
+            Err(DataError::MalformedRow { .. })
+        ));
+        assert!(matches!(
+            read_locations("id,lat,lon,station_id\nx,53.35,-6.26,1\n"),
+            Err(DataError::FieldParse { .. })
+        ));
+        assert!(matches!(
+            read_locations("id,lat,lon\n1,2,3\n"),
+            Err(DataError::MissingColumn(_))
+        ));
+        assert!(matches!(read_locations(""), Err(DataError::EmptyInput)));
+    }
+
+    #[test]
+    fn read_rentals_round_trip() {
+        let rentals = vec![
+            RawRental {
+                id: 1,
+                bike_id: 42,
+                start_time: Timestamp::from_ymd_hms(2020, 5, 1, 8, 15, 0).unwrap(),
+                end_time: Timestamp::from_ymd_hms(2020, 5, 1, 8, 45, 0).unwrap(),
+                rental_location_id: Some(10),
+                return_location_id: Some(20),
+            },
+            RawRental {
+                id: 2,
+                bike_id: 43,
+                start_time: Timestamp::from_ymd_hms(2020, 5, 2, 17, 0, 0).unwrap(),
+                end_time: Timestamp::from_ymd_hms(2020, 5, 2, 17, 20, 0).unwrap(),
+                rental_location_id: None,
+                return_location_id: Some(20),
+            },
+        ];
+        let csv = write_rentals(&rentals);
+        let parsed = read_rentals(&csv).unwrap();
+        assert_eq!(parsed, rentals);
+    }
+
+    #[test]
+    fn locations_round_trip() {
+        let locs = vec![
+            RawLocation {
+                id: 7,
+                lat: Some(53.3),
+                lon: Some(-6.2),
+                station_id: None,
+            },
+            RawLocation {
+                id: 8,
+                lat: None,
+                lon: None,
+                station_id: Some(3),
+            },
+        ];
+        let parsed = read_locations(&write_locations(&locs)).unwrap();
+        assert_eq!(parsed, locs);
+    }
+
+    #[test]
+    fn stations_round_trip_with_comma_in_name() {
+        let stations = vec![Station {
+            id: 1,
+            name: "Smithfield, North".into(),
+            position: GeoPoint::new(53.3498, -6.2786).unwrap(),
+        }];
+        let csv = write_stations(&stations);
+        let parsed = read_stations(&csv).unwrap();
+        assert_eq!(parsed, stations);
+    }
+
+    #[test]
+    fn stations_require_coordinates() {
+        let res = read_stations("id,name,lat,lon\n1,Broken,,\n");
+        assert!(matches!(res, Err(DataError::FieldParse { .. })));
+        let res2 = read_stations("id,name,lat,lon\n1,Broken,95.0,-6.2\n");
+        assert!(matches!(res2, Err(DataError::FieldParse { .. })));
+    }
+
+    #[test]
+    fn rentals_reject_bad_timestamp() {
+        let csv = "id,bike_id,start_time,end_time,rental_location_id,return_location_id\n\
+                   1,2,not-a-time,2020-05-01T08:45:00,1,2\n";
+        assert!(matches!(read_rentals(csv), Err(DataError::FieldParse { .. })));
+    }
+
+    #[test]
+    fn header_order_is_flexible_and_case_insensitive() {
+        let csv = "Station_ID,LON,LAT,ID\n5,-6.2,53.3,1\n";
+        let locs = read_locations(csv).unwrap();
+        assert_eq!(locs[0].id, 1);
+        assert_eq!(locs[0].lat, Some(53.3));
+        assert_eq!(locs[0].station_id, Some(5));
+    }
+
+    #[test]
+    fn blank_lines_are_skipped() {
+        let csv = "id,lat,lon,station_id\n\n1,53.35,-6.26,\n\n";
+        assert_eq!(read_locations(csv).unwrap().len(), 1);
+    }
+}

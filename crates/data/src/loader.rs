@@ -1,0 +1,127 @@
+//! Directory-level dataset loading and saving.
+//!
+//! Operators who have a real trip export (rather than the synthetic
+//! generator) drop three CSV files into a directory and load them in one
+//! call:
+//!
+//! ```text
+//! dataset/
+//!   stations.csv    id,name,lat,lon
+//!   locations.csv   id,lat,lon,station_id
+//!   rentals.csv     id,bike_id,start_time,end_time,rental_location_id,return_location_id
+//! ```
+
+use crate::csvio;
+use crate::schema::RawDataset;
+use crate::{DataError, Result};
+use std::fs;
+use std::path::Path;
+
+/// File name of the stations table inside a dataset directory.
+pub const STATIONS_FILE: &str = "stations.csv";
+/// File name of the locations table inside a dataset directory.
+pub const LOCATIONS_FILE: &str = "locations.csv";
+/// File name of the rentals table inside a dataset directory.
+pub const RENTALS_FILE: &str = "rentals.csv";
+
+fn read_file(dir: &Path, name: &str) -> Result<String> {
+    let path = dir.join(name);
+    fs::read_to_string(&path).map_err(|e| DataError::Io {
+        path: path.display().to_string(),
+        message: e.to_string(),
+    })
+}
+
+fn write_file(dir: &Path, name: &str, content: &str) -> Result<()> {
+    let path = dir.join(name);
+    fs::write(&path, content).map_err(|e| DataError::Io {
+        path: path.display().to_string(),
+        message: e.to_string(),
+    })
+}
+
+/// Load a raw dataset from a directory containing the three CSV files.
+///
+/// # Errors
+///
+/// I/O failures are reported as [`DataError::Io`]; malformed rows propagate
+/// the usual CSV parsing errors.
+pub fn load_raw_dataset(dir: &Path) -> Result<RawDataset> {
+    Ok(RawDataset {
+        stations: csvio::read_stations(&read_file(dir, STATIONS_FILE)?)?,
+        locations: csvio::read_locations(&read_file(dir, LOCATIONS_FILE)?)?,
+        rentals: csvio::read_rentals(&read_file(dir, RENTALS_FILE)?)?,
+    })
+}
+
+/// Save a raw dataset into a directory as the three CSV files, creating the
+/// directory if necessary.
+///
+/// # Errors
+///
+/// I/O failures are reported as [`DataError::Io`].
+pub fn save_raw_dataset(dir: &Path, dataset: &RawDataset) -> Result<()> {
+    fs::create_dir_all(dir).map_err(|e| DataError::Io {
+        path: dir.display().to_string(),
+        message: e.to_string(),
+    })?;
+    write_file(dir, STATIONS_FILE, &csvio::write_stations(&dataset.stations))?;
+    write_file(dir, LOCATIONS_FILE, &csvio::write_locations(&dataset.locations))?;
+    write_file(dir, RENTALS_FILE, &csvio::write_rentals(&dataset.rentals))?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::{generate, SynthConfig};
+    use std::path::PathBuf;
+
+    fn scratch_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "moby-loader-test-{}-{tag}",
+            std::process::id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn round_trip_through_a_directory() {
+        let dir = scratch_dir("roundtrip");
+        let mut cfg = SynthConfig::small_test();
+        cfg.clean_rentals = 200;
+        cfg.dockless_locations = 80;
+        let original = generate(&cfg);
+        save_raw_dataset(&dir, &original).expect("save succeeds");
+        let loaded = load_raw_dataset(&dir).expect("load succeeds");
+        assert_eq!(loaded.stations.len(), original.stations.len());
+        assert_eq!(loaded.locations.len(), original.locations.len());
+        assert_eq!(loaded.rentals, original.rentals);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_directory_reports_io_error() {
+        let dir = scratch_dir("missing").join("does-not-exist");
+        let err = load_raw_dataset(&dir).unwrap_err();
+        assert!(matches!(err, DataError::Io { .. }));
+        assert!(err.to_string().contains("stations.csv"));
+    }
+
+    #[test]
+    fn malformed_file_reports_parse_error() {
+        let dir = scratch_dir("malformed");
+        fs::create_dir_all(&dir).unwrap();
+        fs::write(dir.join(STATIONS_FILE), "id,name,lat,lon\n1,Ok,53.3,-6.2\n").unwrap();
+        fs::write(dir.join(LOCATIONS_FILE), "id,lat,lon,station_id\nbroken\n").unwrap();
+        fs::write(
+            dir.join(RENTALS_FILE),
+            "id,bike_id,start_time,end_time,rental_location_id,return_location_id\n",
+        )
+        .unwrap();
+        let err = load_raw_dataset(&dir).unwrap_err();
+        assert!(matches!(err, DataError::MalformedRow { .. }));
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

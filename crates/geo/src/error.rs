@@ -1,0 +1,68 @@
+//! Error type for geospatial operations.
+
+use std::fmt;
+
+/// Errors produced by geospatial primitives.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GeoError {
+    /// A latitude was outside the valid range `[-90, 90]` or was not finite.
+    InvalidLatitude(f64),
+    /// A longitude was outside the valid range `[-180, 180]` or was not finite.
+    InvalidLongitude(f64),
+    /// A polygon needs at least three vertices.
+    DegeneratePolygon {
+        /// Number of vertices supplied.
+        vertices: usize,
+    },
+    /// A spatial query was issued against an empty index.
+    EmptyIndex,
+    /// A radius or distance parameter was negative or not finite.
+    InvalidDistance(f64),
+}
+
+impl fmt::Display for GeoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GeoError::InvalidLatitude(v) => {
+                write!(f, "invalid latitude {v}: must be finite and within [-90, 90]")
+            }
+            GeoError::InvalidLongitude(v) => {
+                write!(f, "invalid longitude {v}: must be finite and within [-180, 180]")
+            }
+            GeoError::DegeneratePolygon { vertices } => {
+                write!(f, "polygon needs at least 3 vertices, got {vertices}")
+            }
+            GeoError::EmptyIndex => write!(f, "spatial query issued against an empty index"),
+            GeoError::InvalidDistance(v) => {
+                write!(f, "invalid distance {v}: must be finite and non-negative")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GeoError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let msgs = [
+            GeoError::InvalidLatitude(91.0).to_string(),
+            GeoError::InvalidLongitude(-200.0).to_string(),
+            GeoError::DegeneratePolygon { vertices: 2 }.to_string(),
+            GeoError::EmptyIndex.to_string(),
+            GeoError::InvalidDistance(-1.0).to_string(),
+        ];
+        for m in msgs {
+            assert!(!m.is_empty());
+        }
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_err<E: std::error::Error>(_e: &E) {}
+        assert_err(&GeoError::EmptyIndex);
+    }
+}

@@ -1,0 +1,272 @@
+//! A uniform-cell spatial hash index.
+//!
+//! The grid index answers radius queries ("every location within 50 m of a
+//! fixed station") and nearest-neighbour queries ("closest station to this
+//! rejected candidate") in roughly O(1) per query for city-scale data. It is
+//! the workhorse index used by the cleaning pipeline, the constrained
+//! clustering pre-assignment, and the trip re-assignment step.
+
+use crate::{haversine_m, GeoError, GeoPoint, Result};
+use std::collections::HashMap;
+
+/// Approximate metres per degree of latitude.
+const M_PER_DEG_LAT: f64 = 111_195.0;
+
+/// A spatial hash over uniform latitude/longitude cells, mapping points to
+/// caller-supplied payloads of type `T`.
+///
+/// The cell size is chosen in metres at construction; all distance
+/// computations inside queries use the exact Haversine distance, the grid
+/// only prunes candidates.
+#[derive(Debug, Clone)]
+pub struct GridIndex<T> {
+    cell_m: f64,
+    cos_ref_lat: f64,
+    cells: HashMap<(i64, i64), Vec<usize>>,
+    entries: Vec<(GeoPoint, T)>,
+}
+
+impl<T> GridIndex<T> {
+    /// Create an empty index with the given cell edge length in metres.
+    ///
+    /// `reference_lat_deg` is used to convert longitude degrees to metres;
+    /// pass the approximate latitude of the working area (Dublin ≈ 53.35).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GeoError::InvalidDistance`] if the cell size is not a
+    /// positive finite number.
+    pub fn new(cell_m: f64, reference_lat_deg: f64) -> Result<Self> {
+        if !cell_m.is_finite() || cell_m <= 0.0 {
+            return Err(GeoError::InvalidDistance(cell_m));
+        }
+        Ok(Self {
+            cell_m,
+            cos_ref_lat: reference_lat_deg.to_radians().cos().max(1e-6),
+            cells: HashMap::new(),
+            entries: Vec::new(),
+        })
+    }
+
+    /// Number of indexed points.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    fn cell_of(&self, p: GeoPoint) -> (i64, i64) {
+        let y = (p.lat() * M_PER_DEG_LAT / self.cell_m).floor() as i64;
+        let x = (p.lon() * M_PER_DEG_LAT * self.cos_ref_lat / self.cell_m).floor() as i64;
+        (y, x)
+    }
+
+    /// Insert a point with its payload.
+    pub fn insert(&mut self, p: GeoPoint, payload: T) {
+        let idx = self.entries.len();
+        let cell = self.cell_of(p);
+        self.entries.push((p, payload));
+        self.cells.entry(cell).or_default().push(idx);
+    }
+
+    /// All payloads (with their points and exact distances) within
+    /// `radius_m` of `query`, unsorted.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GeoError::InvalidDistance`] for a negative or non-finite
+    /// radius.
+    pub fn within_radius(&self, query: GeoPoint, radius_m: f64) -> Result<Vec<(&GeoPoint, &T, f64)>> {
+        if !radius_m.is_finite() || radius_m < 0.0 {
+            return Err(GeoError::InvalidDistance(radius_m));
+        }
+        let mut out = Vec::new();
+        let (cy, cx) = self.cell_of(query);
+        let span = (radius_m / self.cell_m).ceil() as i64 + 1;
+        for dy in -span..=span {
+            for dx in -span..=span {
+                if let Some(bucket) = self.cells.get(&(cy + dy, cx + dx)) {
+                    for &i in bucket {
+                        let (p, payload) = &self.entries[i];
+                        let d = haversine_m(query, *p);
+                        if d <= radius_m {
+                            out.push((p, payload, d));
+                        }
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// The nearest indexed point to `query`, together with its payload and
+    /// the exact distance in metres.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GeoError::EmptyIndex`] when nothing has been inserted.
+    pub fn nearest(&self, query: GeoPoint) -> Result<(&GeoPoint, &T, f64)> {
+        if self.entries.is_empty() {
+            return Err(GeoError::EmptyIndex);
+        }
+        let (cy, cx) = self.cell_of(query);
+        let mut best: Option<(usize, f64)> = None;
+        // Expand rings of cells until the best candidate cannot be beaten by
+        // anything in a farther ring.
+        let mut ring = 0i64;
+        loop {
+            let mut found_any = false;
+            for dy in -ring..=ring {
+                for dx in -ring..=ring {
+                    // Only the outermost shell of the current ring.
+                    if dy.abs() != ring && dx.abs() != ring {
+                        continue;
+                    }
+                    if let Some(bucket) = self.cells.get(&(cy + dy, cx + dx)) {
+                        found_any = true;
+                        for &i in bucket {
+                            let d = haversine_m(query, self.entries[i].0);
+                            if best.map(|(_, bd)| d < bd).unwrap_or(true) {
+                                best = Some((i, d));
+                            }
+                        }
+                    }
+                }
+            }
+            // Distance to the inner edge of the next ring, in metres.
+            let ring_guard_m = ring as f64 * self.cell_m;
+            if let Some((_, bd)) = best {
+                if bd <= ring_guard_m {
+                    break;
+                }
+            }
+            ring += 1;
+            // Safety stop: after covering the whole populated area we must
+            // have found something (entries is non-empty). 40,000 km of
+            // rings is unreachable in practice; bail out by scanning all.
+            if ring as f64 * self.cell_m > 45_000_000.0 {
+                break;
+            }
+            // If the grid is sparse we might wander for a while before
+            // hitting a populated cell; fall back to a full scan once the
+            // ring count gets silly relative to the number of cells.
+            if !found_any && ring > 4 && (ring * ring) as usize > 4 * self.cells.len() + 64 {
+                for (i, (p, _)) in self.entries.iter().enumerate() {
+                    let d = haversine_m(query, *p);
+                    if best.map(|(_, bd)| d < bd).unwrap_or(true) {
+                        best = Some((i, d));
+                    }
+                }
+                break;
+            }
+        }
+        let (i, d) = best.expect("non-empty index yields a nearest point");
+        let (p, payload) = &self.entries[i];
+        Ok((p, payload, d))
+    }
+
+    /// Iterate over all indexed `(point, payload)` pairs in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (&GeoPoint, &T)> {
+        self.entries.iter().map(|(p, t)| (p, t))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(lat: f64, lon: f64) -> GeoPoint {
+        GeoPoint::new(lat, lon).unwrap()
+    }
+
+    fn brute_nearest(pts: &[(GeoPoint, usize)], q: GeoPoint) -> (usize, f64) {
+        pts.iter()
+            .map(|(p, id)| (*id, haversine_m(q, *p)))
+            .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+            .unwrap()
+    }
+
+    #[test]
+    fn rejects_bad_cell_size() {
+        assert!(GridIndex::<u32>::new(0.0, 53.0).is_err());
+        assert!(GridIndex::<u32>::new(-5.0, 53.0).is_err());
+        assert!(GridIndex::<u32>::new(f64::NAN, 53.0).is_err());
+    }
+
+    #[test]
+    fn empty_index_nearest_errors() {
+        let g = GridIndex::<u32>::new(100.0, 53.35).unwrap();
+        assert!(matches!(g.nearest(p(53.3, -6.2)), Err(GeoError::EmptyIndex)));
+    }
+
+    #[test]
+    fn within_radius_respects_threshold() {
+        let mut g = GridIndex::new(50.0, 53.35).unwrap();
+        let base = p(53.3500, -6.2600);
+        // ~0, ~55 m, ~111 m north of base.
+        g.insert(base, 0u32);
+        g.insert(p(53.3505, -6.2600), 1u32);
+        g.insert(p(53.3510, -6.2600), 2u32);
+        let near = g.within_radius(base, 60.0).unwrap();
+        let ids: Vec<u32> = near.iter().map(|(_, id, _)| **id).collect();
+        assert!(ids.contains(&0));
+        assert!(ids.contains(&1));
+        assert!(!ids.contains(&2));
+    }
+
+    #[test]
+    fn within_radius_rejects_bad_radius() {
+        let g = GridIndex::<u32>::new(50.0, 53.35).unwrap();
+        assert!(g.within_radius(p(53.3, -6.2), -1.0).is_err());
+        assert!(g.within_radius(p(53.3, -6.2), f64::NAN).is_err());
+    }
+
+    #[test]
+    fn nearest_matches_brute_force_on_random_points() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let mut g = GridIndex::new(200.0, 53.35).unwrap();
+        let mut pts = Vec::new();
+        for id in 0..500usize {
+            let lat = rng.gen_range(53.25..53.42);
+            let lon = rng.gen_range(-6.45..-6.08);
+            let pt = p(lat, lon);
+            g.insert(pt, id);
+            pts.push((pt, id));
+        }
+        for _ in 0..200 {
+            let q = p(rng.gen_range(53.25..53.42), rng.gen_range(-6.45..-6.08));
+            let (_, got_id, got_d) = g.nearest(q).unwrap();
+            let (want_id, want_d) = brute_nearest(&pts, q);
+            assert!(
+                (got_d - want_d).abs() < 1e-6,
+                "query {q}: got {got_id}@{got_d}, want {want_id}@{want_d}"
+            );
+        }
+    }
+
+    #[test]
+    fn nearest_works_for_far_away_query() {
+        let mut g = GridIndex::new(100.0, 53.35).unwrap();
+        g.insert(p(53.35, -6.26), 1u32);
+        g.insert(p(53.36, -6.25), 2u32);
+        // Query from Cork, ~220 km away, far outside populated cells.
+        let (_, id, d) = g.nearest(p(51.8985, -8.4756)).unwrap();
+        assert!(d > 200_000.0);
+        assert!(*id == 1 || *id == 2);
+    }
+
+    #[test]
+    fn len_and_iter() {
+        let mut g = GridIndex::new(100.0, 53.35).unwrap();
+        assert!(g.is_empty());
+        g.insert(p(53.35, -6.26), "a");
+        g.insert(p(53.36, -6.25), "b");
+        assert_eq!(g.len(), 2);
+        let collected: Vec<&str> = g.iter().map(|(_, v)| *v).collect();
+        assert_eq!(collected, vec!["a", "b"]);
+    }
+}

@@ -1,0 +1,110 @@
+//! Lightweight distance unit newtype.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, Div, Mul, Sub};
+
+/// A distance in metres.
+///
+/// The paper expresses every threshold in metres (50 m, 100 m, 250 m) while
+/// Algorithm 1 writes the secondary distance as `0.25` (kilometres). Using a
+/// newtype keeps the unit explicit at API boundaries and prevents mixing the
+/// two conventions.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+pub struct Meters(pub f64);
+
+impl Meters {
+    /// Construct from a value in kilometres.
+    pub fn from_km(km: f64) -> Self {
+        Meters(km * 1000.0)
+    }
+
+    /// The raw value in metres.
+    pub fn as_m(&self) -> f64 {
+        self.0
+    }
+
+    /// The value in kilometres.
+    pub fn as_km(&self) -> f64 {
+        self.0 / 1000.0
+    }
+
+    /// Whether the value is finite and non-negative — the only values that
+    /// make sense as thresholds.
+    pub fn is_valid_threshold(&self) -> bool {
+        self.0.is_finite() && self.0 >= 0.0
+    }
+}
+
+impl fmt::Display for Meters {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1000.0 {
+            write!(f, "{:.2} km", self.as_km())
+        } else {
+            write!(f, "{:.1} m", self.0)
+        }
+    }
+}
+
+impl Add for Meters {
+    type Output = Meters;
+    fn add(self, rhs: Meters) -> Meters {
+        Meters(self.0 + rhs.0)
+    }
+}
+
+impl Sub for Meters {
+    type Output = Meters;
+    fn sub(self, rhs: Meters) -> Meters {
+        Meters(self.0 - rhs.0)
+    }
+}
+
+impl Mul<f64> for Meters {
+    type Output = Meters;
+    fn mul(self, rhs: f64) -> Meters {
+        Meters(self.0 * rhs)
+    }
+}
+
+impl Div<f64> for Meters {
+    type Output = Meters;
+    fn div(self, rhs: f64) -> Meters {
+        Meters(self.0 / rhs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn km_round_trip() {
+        let m = Meters::from_km(0.25);
+        assert_eq!(m.as_m(), 250.0);
+        assert_eq!(m.as_km(), 0.25);
+    }
+
+    #[test]
+    fn arithmetic() {
+        assert_eq!((Meters(100.0) + Meters(50.0)).as_m(), 150.0);
+        assert_eq!((Meters(100.0) - Meters(50.0)).as_m(), 50.0);
+        assert_eq!((Meters(100.0) * 2.0).as_m(), 200.0);
+        assert_eq!((Meters(100.0) / 4.0).as_m(), 25.0);
+    }
+
+    #[test]
+    fn display_switches_units() {
+        assert_eq!(Meters(50.0).to_string(), "50.0 m");
+        assert_eq!(Meters(1500.0).to_string(), "1.50 km");
+    }
+
+    #[test]
+    fn threshold_validity() {
+        assert!(Meters(0.0).is_valid_threshold());
+        assert!(Meters(250.0).is_valid_threshold());
+        assert!(!Meters(-1.0).is_valid_threshold());
+        assert!(!Meters(f64::NAN).is_valid_threshold());
+        assert!(!Meters(f64::INFINITY).is_valid_threshold());
+    }
+}

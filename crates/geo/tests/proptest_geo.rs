@@ -1,0 +1,142 @@
+//! Property-based tests for the geospatial primitives.
+
+use moby_geo::{
+    destination_point, equirectangular_m, haversine_m, BoundingBox, GeoPoint, GridIndex, KdTree,
+};
+use proptest::prelude::*;
+
+/// Strategy producing points inside the greater Dublin bounding box, the
+/// domain every pipeline component operates in.
+fn dublin_point() -> impl Strategy<Value = GeoPoint> {
+    (53.20f64..53.46, -6.55f64..-6.03)
+        .prop_map(|(lat, lon)| GeoPoint::new(lat, lon).expect("in range"))
+}
+
+/// Strategy producing arbitrary valid points anywhere on Earth.
+fn any_point() -> impl Strategy<Value = GeoPoint> {
+    (-89.9f64..89.9, -179.9f64..179.9)
+        .prop_map(|(lat, lon)| GeoPoint::new(lat, lon).expect("in range"))
+}
+
+proptest! {
+    #[test]
+    fn haversine_is_symmetric(a in any_point(), b in any_point()) {
+        let ab = haversine_m(a, b);
+        let ba = haversine_m(b, a);
+        prop_assert!((ab - ba).abs() <= 1e-6 * ab.max(1.0));
+    }
+
+    #[test]
+    fn haversine_is_nonnegative_and_zero_on_identity(a in any_point()) {
+        prop_assert_eq!(haversine_m(a, a), 0.0);
+    }
+
+    #[test]
+    fn haversine_triangle_inequality(a in any_point(), b in any_point(), c in any_point()) {
+        // Great-circle distance is a metric; allow a small numeric slack.
+        let ab = haversine_m(a, b);
+        let bc = haversine_m(b, c);
+        let ac = haversine_m(a, c);
+        prop_assert!(ac <= ab + bc + 1e-3);
+    }
+
+    #[test]
+    fn haversine_bounded_by_half_circumference(a in any_point(), b in any_point()) {
+        let d = haversine_m(a, b);
+        let max = std::f64::consts::PI * moby_geo::EARTH_RADIUS_M;
+        prop_assert!(d <= max + 1e-3);
+    }
+
+    #[test]
+    fn equirectangular_close_to_haversine_in_dublin(a in dublin_point(), b in dublin_point()) {
+        let h = haversine_m(a, b);
+        let e = equirectangular_m(a, b);
+        // Within 0.5% (or 1 m absolute for tiny distances).
+        prop_assert!((h - e).abs() <= (h * 5e-3).max(1.0));
+    }
+
+    #[test]
+    fn destination_point_distance_round_trip(
+        start in dublin_point(),
+        bearing in 0.0f64..360.0,
+        dist in 0.0f64..20_000.0,
+    ) {
+        let dest = destination_point(start, bearing, dist);
+        let d = haversine_m(start, dest);
+        prop_assert!((d - dist).abs() < 0.5, "wanted {dist}, got {d}");
+    }
+
+    #[test]
+    fn bbox_from_points_contains_all(points in prop::collection::vec(dublin_point(), 1..50)) {
+        let bb = BoundingBox::from_points(&points).unwrap();
+        for p in &points {
+            prop_assert!(bb.contains(*p));
+        }
+    }
+
+    #[test]
+    fn centroid_inside_bounding_box(points in prop::collection::vec(dublin_point(), 1..50)) {
+        let bb = BoundingBox::from_points(&points).unwrap();
+        let c = GeoPoint::centroid(&points).unwrap();
+        prop_assert!(bb.contains(c));
+    }
+
+    #[test]
+    fn kdtree_nearest_equals_brute_force(
+        points in prop::collection::vec(dublin_point(), 1..120),
+        query in dublin_point(),
+    ) {
+        let items: Vec<(GeoPoint, usize)> =
+            points.iter().copied().enumerate().map(|(i, p)| (p, i)).collect();
+        let tree = KdTree::build(items);
+        let (_, _, got) = tree.nearest(query).unwrap();
+        let want = points
+            .iter()
+            .map(|p| haversine_m(query, *p))
+            .fold(f64::INFINITY, f64::min);
+        prop_assert!((got - want).abs() < 1e-6);
+    }
+
+    #[test]
+    fn grid_within_radius_equals_brute_force(
+        points in prop::collection::vec(dublin_point(), 1..120),
+        query in dublin_point(),
+        radius in 10.0f64..5_000.0,
+    ) {
+        let mut grid = GridIndex::new(250.0, 53.35).unwrap();
+        for (i, p) in points.iter().enumerate() {
+            grid.insert(*p, i);
+        }
+        let mut got: Vec<usize> = grid
+            .within_radius(query, radius)
+            .unwrap()
+            .iter()
+            .map(|(_, i, _)| **i)
+            .collect();
+        got.sort_unstable();
+        let mut want: Vec<usize> = points
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| haversine_m(query, **p) <= radius)
+            .map(|(i, _)| i)
+            .collect();
+        want.sort_unstable();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn kdtree_k_nearest_sorted(
+        points in prop::collection::vec(dublin_point(), 1..80),
+        query in dublin_point(),
+        k in 1usize..10,
+    ) {
+        let items: Vec<(GeoPoint, usize)> =
+            points.iter().copied().enumerate().map(|(i, p)| (p, i)).collect();
+        let tree = KdTree::build(items);
+        let got = tree.k_nearest(query, k).unwrap();
+        prop_assert_eq!(got.len(), k.min(points.len()));
+        for w in got.windows(2) {
+            prop_assert!(w[0].2 <= w[1].2);
+        }
+    }
+}

@@ -1,0 +1,292 @@
+//! Projection of a raw multi-edge property graph into weighted graphs.
+//!
+//! The paper builds three "network structures" over the same station set
+//! (§IV-C): `GBasic` collapses every trip between a pair of stations into a
+//! single weighted edge; `GDay` and `GHour` keep one weighted edge per
+//! (station-pair, temporal-key) combination, where the key is the day of the
+//! week or the hour of the day the trip started. This module implements that
+//! projection generically: the caller supplies a function that maps each raw
+//! relationship to an optional grouping key.
+
+use crate::{EdgeRecord, GraphStore, NodeId, WeightedGraph};
+use std::collections::HashMap;
+
+/// Summary of a projection run, useful for the paper's Table II-style
+/// accounting of nodes / edges / loops / trips.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct AggregateSummary {
+    /// Nodes in the projected graph.
+    pub nodes: usize,
+    /// Distinct undirected station pairs (including self-pairs).
+    pub undirected_edges: usize,
+    /// Distinct undirected station pairs excluding self-pairs.
+    pub undirected_edges_no_loops: usize,
+    /// Distinct directed (src, dst) pairs (including self-loops).
+    pub directed_edges: usize,
+    /// Distinct directed (src, dst) pairs excluding self-loops.
+    pub directed_edges_no_loops: usize,
+    /// Total raw relationships (trips) aggregated.
+    pub trips: usize,
+}
+
+/// Aggregate every relationship with `edge_label` in `store` into a
+/// **directed** weighted graph: one edge per distinct `(src, dst)` pair,
+/// weighted by the number of relationships.
+///
+/// Nodes present in the store but without any matching relationship are
+/// still added, so isolated stations remain visible to downstream metrics.
+pub fn project_directed(store: &GraphStore, edge_label: &str) -> WeightedGraph {
+    let mut g = WeightedGraph::new_directed();
+    for id in store.node_ids_sorted() {
+        g.add_node(id);
+    }
+    for e in store.edges_with_label(edge_label) {
+        g.add_edge(e.src, e.dst, 1.0);
+    }
+    g
+}
+
+/// Aggregate into an **undirected** weighted graph: one edge per unordered
+/// station pair, weighted by the number of relationships in either
+/// direction. This is the paper's `GBasic`.
+pub fn project_undirected(store: &GraphStore, edge_label: &str) -> WeightedGraph {
+    let mut g = WeightedGraph::new_undirected();
+    for id in store.node_ids_sorted() {
+        g.add_node(id);
+    }
+    for e in store.edges_with_label(edge_label) {
+        g.add_edge(e.src, e.dst, 1.0);
+    }
+    g
+}
+
+/// Aggregate relationships into an undirected weighted graph **per temporal
+/// key**, the construction behind `GDay` / `GHour`.
+///
+/// `key_fn` maps each relationship to `Some(key)` (e.g. weekday 0–6 or hour
+/// 0–23) or `None` to skip it. The result maps each key to the weighted
+/// graph of trips that carry it. Every graph contains the full node set so
+/// that community structures remain comparable across keys.
+pub fn project_by_key<F>(
+    store: &GraphStore,
+    edge_label: &str,
+    key_fn: F,
+) -> HashMap<u32, WeightedGraph>
+where
+    F: Fn(&EdgeRecord) -> Option<u32>,
+{
+    let mut out: HashMap<u32, WeightedGraph> = HashMap::new();
+    let node_ids = store.node_ids_sorted();
+    for e in store.edges_with_label(edge_label) {
+        let Some(key) = key_fn(e) else { continue };
+        let g = out.entry(key).or_insert_with(|| {
+            let mut g = WeightedGraph::new_undirected();
+            for &id in &node_ids {
+                g.add_node(id);
+            }
+            g
+        });
+        g.add_edge(e.src, e.dst, 1.0);
+    }
+    out
+}
+
+/// Build a single **layered** undirected graph where each node is a
+/// `(station, key)` pair encoded as `station_id * stride + key`.
+///
+/// This mirrors how the paper attaches temporal properties to edges and then
+/// lets the community detector see temporally distinct interaction patterns:
+/// two stations that exchange trips only in the morning land in a different
+/// layer from two that exchange trips only at the weekend.
+///
+/// `stride` must exceed the largest key (use e.g. 32 for hours, 8 for
+/// weekdays). Returns the graph plus a reverse mapping from layered node id
+/// to `(station, key)`.
+pub fn project_layered<F>(
+    store: &GraphStore,
+    edge_label: &str,
+    stride: u64,
+    key_fn: F,
+) -> (WeightedGraph, HashMap<NodeId, (NodeId, u32)>)
+where
+    F: Fn(&EdgeRecord) -> Option<u32>,
+{
+    let mut g = WeightedGraph::new_undirected();
+    let mut reverse = HashMap::new();
+    for e in store.edges_with_label(edge_label) {
+        let Some(key) = key_fn(e) else { continue };
+        debug_assert!((key as u64) < stride, "key {key} exceeds stride {stride}");
+        let src = e.src * stride + key as u64;
+        let dst = e.dst * stride + key as u64;
+        reverse.insert(src, (e.src, key));
+        reverse.insert(dst, (e.dst, key));
+        g.add_edge(src, dst, 1.0);
+    }
+    (g, reverse)
+}
+
+/// Compute the Table II-style summary counts for the relationships with
+/// `edge_label` in the store.
+pub fn summarize(store: &GraphStore, edge_label: &str) -> AggregateSummary {
+    use std::collections::HashSet;
+    let mut directed: HashSet<(NodeId, NodeId)> = HashSet::new();
+    let mut undirected: HashSet<(NodeId, NodeId)> = HashSet::new();
+    let mut trips = 0usize;
+    for e in store.edges_with_label(edge_label) {
+        trips += 1;
+        directed.insert((e.src, e.dst));
+        let key = if e.src <= e.dst {
+            (e.src, e.dst)
+        } else {
+            (e.dst, e.src)
+        };
+        undirected.insert(key);
+    }
+    let directed_loops = directed.iter().filter(|(s, d)| s == d).count();
+    let undirected_loops = undirected.iter().filter(|(s, d)| s == d).count();
+    AggregateSummary {
+        nodes: store.node_count(),
+        undirected_edges: undirected.len(),
+        undirected_edges_no_loops: undirected.len() - undirected_loops,
+        directed_edges: directed.len(),
+        directed_edges_no_loops: directed.len() - directed_loops,
+        trips,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{props, PropMap, PropValue};
+
+    fn store_with_trips() -> GraphStore {
+        let mut s = GraphStore::new();
+        for id in 1..=4u64 {
+            s.add_node(id, "Station", PropMap::new());
+        }
+        // 3 trips 1->2, 1 trip 2->1, 2 self-loops at 3, 1 trip 3->4.
+        let trips: &[(u64, u64, i64, i64)] = &[
+            (1, 2, 0, 8),
+            (1, 2, 1, 9),
+            (1, 2, 5, 14),
+            (2, 1, 2, 17),
+            (3, 3, 6, 11),
+            (3, 3, 6, 12),
+            (3, 4, 3, 8),
+        ];
+        for &(src, dst, day, hour) in trips {
+            s.add_edge(
+                src,
+                dst,
+                "TRIP",
+                props([
+                    ("day", PropValue::from(day)),
+                    ("hour", PropValue::from(hour)),
+                ]),
+            )
+            .unwrap();
+        }
+        s
+    }
+
+    #[test]
+    fn directed_projection_weights_by_trip_count() {
+        let s = store_with_trips();
+        let g = project_directed(&s, "TRIP");
+        assert!(g.is_directed());
+        assert_eq!(g.node_count(), 4);
+        assert_eq!(g.edge_weight(1, 2), Some(3.0));
+        assert_eq!(g.edge_weight(2, 1), Some(1.0));
+        assert_eq!(g.edge_weight(3, 3), Some(2.0));
+        assert_eq!(g.edge_weight(3, 4), Some(1.0));
+        assert_eq!(g.edge_count(), 4);
+    }
+
+    #[test]
+    fn undirected_projection_merges_directions() {
+        let s = store_with_trips();
+        let g = project_undirected(&s, "TRIP");
+        assert!(!g.is_directed());
+        assert_eq!(g.edge_weight(1, 2), Some(4.0));
+        assert_eq!(g.edge_weight(2, 1), Some(4.0));
+        assert_eq!(g.self_loop_weight(3), 2.0);
+        assert_eq!(g.total_weight(), 7.0);
+    }
+
+    #[test]
+    fn isolated_nodes_are_kept() {
+        let mut s = store_with_trips();
+        s.add_node(99, "Station", PropMap::new());
+        let g = project_undirected(&s, "TRIP");
+        assert!(g.contains(99));
+        assert_eq!(g.degree_of(99), Some(0));
+    }
+
+    #[test]
+    fn project_by_key_splits_trips() {
+        let s = store_with_trips();
+        let by_day = project_by_key(&s, "TRIP", |e| {
+            e.props.get("day").and_then(|v| v.as_int()).map(|d| d as u32)
+        });
+        // Days used: 0, 1, 5, 2, 6, 3 -> 6 distinct keys.
+        assert_eq!(by_day.len(), 6);
+        let day0 = &by_day[&0];
+        assert_eq!(day0.edge_weight(1, 2), Some(1.0));
+        // Full node set present in every layer.
+        assert_eq!(day0.node_count(), 4);
+        // Total weight across layers equals total trips.
+        let total: f64 = by_day.values().map(|g| g.total_weight()).sum();
+        assert_eq!(total, 7.0);
+    }
+
+    #[test]
+    fn project_by_key_skips_none() {
+        let s = store_with_trips();
+        let by_hour = project_by_key(&s, "TRIP", |e| {
+            let h = e.props.get("hour").and_then(|v| v.as_int()).unwrap_or(0);
+            if h < 9 {
+                None
+            } else {
+                Some(h as u32)
+            }
+        });
+        let total: f64 = by_hour.values().map(|g| g.total_weight()).sum();
+        // Trips at hours >= 9: 9, 14, 17, 11, 12 -> 5 trips.
+        assert_eq!(total, 5.0);
+    }
+
+    #[test]
+    fn layered_projection_encodes_station_and_key() {
+        let s = store_with_trips();
+        let (g, reverse) = project_layered(&s, "TRIP", 32, |e| {
+            e.props.get("hour").and_then(|v| v.as_int()).map(|h| h as u32)
+        });
+        // Trip 1->2 at hour 8 becomes edge (1*32+8, 2*32+8).
+        assert_eq!(g.edge_weight(1 * 32 + 8, 2 * 32 + 8), Some(1.0));
+        assert_eq!(reverse[&(1 * 32 + 8)], (1, 8));
+        assert_eq!(reverse[&(2 * 32 + 8)], (2, 8));
+    }
+
+    #[test]
+    fn summary_counts_match_table_semantics() {
+        let s = store_with_trips();
+        let sum = summarize(&s, "TRIP");
+        assert_eq!(sum.nodes, 4);
+        assert_eq!(sum.trips, 7);
+        // Directed pairs: (1,2), (2,1), (3,3), (3,4) = 4; minus loop = 3.
+        assert_eq!(sum.directed_edges, 4);
+        assert_eq!(sum.directed_edges_no_loops, 3);
+        // Undirected pairs: {1,2}, {3,3}, {3,4} = 3; minus loop = 2.
+        assert_eq!(sum.undirected_edges, 3);
+        assert_eq!(sum.undirected_edges_no_loops, 2);
+    }
+
+    #[test]
+    fn summary_of_missing_label_is_empty() {
+        let s = store_with_trips();
+        let sum = summarize(&s, "NOPE");
+        assert_eq!(sum.trips, 0);
+        assert_eq!(sum.directed_edges, 0);
+        assert_eq!(sum.nodes, 4);
+    }
+}

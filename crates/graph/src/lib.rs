@@ -1,0 +1,113 @@
+//! # moby-graph
+//!
+//! An in-memory property-graph store and network-metrics suite.
+//!
+//! The paper stores its trip networks in Neo4j and runs the Graph Data
+//! Science library on top of it. This crate is the Rust substrate that
+//! replaces that stack for the reproduction:
+//!
+//! * [`GraphStore`] — a labelled property graph (nodes and relationships
+//!   carrying typed key/value properties), the analogue of the Neo4j store
+//!   that holds `Station` nodes and `TRIP` relationships;
+//! * [`WeightedGraph`] — a compact weighted (di)graph used by every
+//!   analytical algorithm (degree/strength, Louvain, centrality);
+//! * [`aggregate`] — the multi-edge → weighted-edge aggregation used to
+//!   build `GBasic`, `GDay` and `GHour` from raw trip relationships;
+//! * [`metrics`] — degree, strength, local clustering coefficient,
+//!   betweenness, closeness, PageRank, connected components and the Gini
+//!   coefficient, the network descriptors referenced in the paper's related
+//!   work and used for validation;
+//! * [`export`] — DOT / CSV / GeoJSON emission for the paper's figures.
+//!
+//! ## Example
+//!
+//! ```
+//! use moby_graph::WeightedGraph;
+//!
+//! let mut g = WeightedGraph::new_undirected();
+//! g.add_edge(1, 2, 3.0);
+//! g.add_edge(2, 3, 1.0);
+//! g.add_edge(1, 2, 2.0); // parallel edges merge their weights
+//! assert_eq!(g.node_count(), 3);
+//! assert_eq!(g.strength_of(1), Some(5.0));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod aggregate;
+pub mod export;
+mod graph;
+pub mod metrics;
+mod store;
+mod value;
+
+pub use graph::{NodeId, WeightedGraph};
+pub use store::{EdgeRecord, GraphStore, NodeRecord};
+pub use value::{props, PropMap, PropValue};
+
+use std::fmt;
+
+/// Errors produced by graph operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GraphError {
+    /// A referenced node does not exist in the store/graph.
+    MissingNode(NodeId),
+    /// An edge endpoint referenced a node that was never added.
+    DanglingEdge {
+        /// Source node id.
+        src: NodeId,
+        /// Destination node id.
+        dst: NodeId,
+    },
+    /// An edge weight was non-finite or negative.
+    InvalidWeight(f64),
+    /// The operation requires a non-empty graph.
+    EmptyGraph,
+    /// The operation is only defined for the other directedness.
+    WrongDirectedness {
+        /// Whether the graph the operation was invoked on is directed.
+        directed: bool,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::MissingNode(id) => write!(f, "node {id} does not exist"),
+            GraphError::DanglingEdge { src, dst } => {
+                write!(f, "edge {src} -> {dst} references a missing node")
+            }
+            GraphError::InvalidWeight(w) => {
+                write!(f, "invalid edge weight {w}: must be finite and non-negative")
+            }
+            GraphError::EmptyGraph => write!(f, "operation requires a non-empty graph"),
+            GraphError::WrongDirectedness { directed } => write!(
+                f,
+                "operation not defined for a {} graph",
+                if *directed { "directed" } else { "undirected" }
+            ),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+/// Result alias used across the crate.
+pub type Result<T> = std::result::Result<T, GraphError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display() {
+        assert!(GraphError::MissingNode(4).to_string().contains('4'));
+        assert!(GraphError::EmptyGraph.to_string().contains("non-empty"));
+        assert!(GraphError::InvalidWeight(-1.0).to_string().contains("-1"));
+        assert!(GraphError::DanglingEdge { src: 1, dst: 2 }.to_string().contains("->"));
+        assert!(GraphError::WrongDirectedness { directed: true }
+            .to_string()
+            .contains("directed"));
+    }
+}

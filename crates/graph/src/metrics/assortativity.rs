@@ -1,0 +1,131 @@
+//! Degree assortativity.
+
+use crate::WeightedGraph;
+
+/// Degree assortativity coefficient (Newman): the Pearson correlation of the
+/// degrees at either end of an edge, computed over the undirected projection
+/// with self-loops ignored.
+///
+/// Positive values mean hubs connect to hubs; negative values mean hubs
+/// connect to low-degree nodes (typical of hub-and-spoke transport
+/// networks). Returns 0 for degenerate graphs (fewer than two edges, or all
+/// endpoint degrees equal).
+pub fn degree_assortativity(graph: &WeightedGraph) -> f64 {
+    let undirected;
+    let g = if graph.is_directed() {
+        undirected = graph.to_undirected();
+        &undirected
+    } else {
+        graph
+    };
+    // Collect (deg(u), deg(v)) for each edge in both orientations, which is
+    // the standard symmetric treatment for undirected graphs.
+    let mut xs: Vec<f64> = Vec::new();
+    let mut ys: Vec<f64> = Vec::new();
+    for (u, v, _) in g.edges() {
+        if u == v {
+            continue;
+        }
+        let du = g.degree_of(u).unwrap_or(0) as f64;
+        let dv = g.degree_of(v).unwrap_or(0) as f64;
+        xs.push(du);
+        ys.push(dv);
+        xs.push(dv);
+        ys.push(du);
+    }
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let n = xs.len() as f64;
+    let mean_x = xs.iter().sum::<f64>() / n;
+    let mean_y = ys.iter().sum::<f64>() / n;
+    let mut cov = 0.0;
+    let mut var_x = 0.0;
+    let mut var_y = 0.0;
+    for (x, y) in xs.iter().zip(&ys) {
+        cov += (x - mean_x) * (y - mean_y);
+        var_x += (x - mean_x).powi(2);
+        var_y += (y - mean_y).powi(2);
+    }
+    if var_x <= 0.0 || var_y <= 0.0 {
+        return 0.0;
+    }
+    cov / (var_x.sqrt() * var_y.sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn star_graph_is_perfectly_disassortative() {
+        let mut g = WeightedGraph::new_undirected();
+        for leaf in 1..=5 {
+            g.add_edge(0, leaf, 1.0);
+        }
+        let r = degree_assortativity(&g);
+        assert!((r + 1.0).abs() < 1e-9, "star assortativity {r}");
+    }
+
+    #[test]
+    fn path_graph_is_disassortative() {
+        let mut g = WeightedGraph::new_undirected();
+        for (a, b) in [(1, 2), (2, 3), (3, 4)] {
+            g.add_edge(a, b, 1.0);
+        }
+        let r = degree_assortativity(&g);
+        assert!(r < 0.0);
+        assert!((-1.0..=1.0).contains(&r));
+    }
+
+    #[test]
+    fn regular_graph_is_degenerate_zero() {
+        // A cycle: every node has degree 2, variance is zero.
+        let mut g = WeightedGraph::new_undirected();
+        for (a, b) in [(1, 2), (2, 3), (3, 4), (4, 1)] {
+            g.add_edge(a, b, 1.0);
+        }
+        assert_eq!(degree_assortativity(&g), 0.0);
+    }
+
+    #[test]
+    fn two_hub_pairs_are_assortative() {
+        // Two connected hubs, each with private leaves: hub-hub edge plus
+        // hub-leaf edges gives a mix; removing it flips the sign, so check
+        // the relative ordering rather than an absolute value.
+        let mut with_hub_edge = WeightedGraph::new_undirected();
+        for leaf in 10..14 {
+            with_hub_edge.add_edge(1, leaf, 1.0);
+        }
+        for leaf in 20..24 {
+            with_hub_edge.add_edge(2, leaf, 1.0);
+        }
+        let without = degree_assortativity(&with_hub_edge);
+        with_hub_edge.add_edge(1, 2, 1.0);
+        let with = degree_assortativity(&with_hub_edge);
+        assert!(with > without);
+    }
+
+    #[test]
+    fn degenerate_inputs_are_zero() {
+        let empty = WeightedGraph::new_undirected();
+        assert_eq!(degree_assortativity(&empty), 0.0);
+        let mut single_edge = WeightedGraph::new_undirected();
+        single_edge.add_edge(1, 2, 3.0);
+        // Both endpoints have degree 1: zero variance.
+        assert_eq!(degree_assortativity(&single_edge), 0.0);
+        let mut loops_only = WeightedGraph::new_undirected();
+        loops_only.add_edge(1, 1, 2.0);
+        assert_eq!(degree_assortativity(&loops_only), 0.0);
+    }
+
+    #[test]
+    fn directed_input_uses_undirected_projection() {
+        let mut d = WeightedGraph::new_directed();
+        for leaf in 1..=5 {
+            d.add_edge(0, leaf, 1.0);
+        }
+        let r = degree_assortativity(&d);
+        assert!((r + 1.0).abs() < 1e-9);
+    }
+}

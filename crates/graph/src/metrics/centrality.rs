@@ -1,0 +1,330 @@
+//! Betweenness and closeness centrality.
+//!
+//! Both are computed on the weighted graph using Dijkstra shortest paths
+//! where the *length* of an edge is the reciprocal of its weight: heavily
+//! used station pairs are "close" in trip space, which matches how the
+//! bike-share literature applies these centralities to trip-weighted
+//! networks. Passing `weighted = false` uses hop counts instead.
+//!
+//! Betweenness uses Brandes' algorithm; the per-source accumulation is
+//! parallelised across threads with `crossbeam::scope` because the
+//! O(V·E log V) cost is the most expensive metric in the suite.
+
+use crate::{NodeId, WeightedGraph};
+use parking_lot::Mutex;
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashMap};
+
+/// A min-heap entry for Dijkstra.
+#[derive(Debug, PartialEq)]
+struct HeapEntry {
+    dist: f64,
+    node: usize,
+}
+
+impl Eq for HeapEntry {}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse so BinaryHeap (max-heap) pops the smallest distance.
+        other
+            .dist
+            .partial_cmp(&self.dist)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| other.node.cmp(&self.node))
+    }
+}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+fn edge_length(weight: f64, weighted: bool) -> f64 {
+    if weighted {
+        // Heavier traffic = shorter effective length. Weight 0 edges are
+        // treated as absent (infinite length) by returning INFINITY.
+        if weight > 0.0 {
+            1.0 / weight
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        1.0
+    }
+}
+
+/// Single-source shortest paths (Dijkstra) returning, for each node:
+/// distance, number of shortest paths (sigma) and predecessor lists.
+fn brandes_sssp(
+    graph: &WeightedGraph,
+    source: usize,
+    weighted: bool,
+) -> (Vec<f64>, Vec<f64>, Vec<Vec<usize>>, Vec<usize>) {
+    let n = graph.node_count();
+    let mut dist = vec![f64::INFINITY; n];
+    let mut sigma = vec![0.0; n];
+    let mut preds: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let mut order: Vec<usize> = Vec::with_capacity(n);
+    let mut settled = vec![false; n];
+
+    dist[source] = 0.0;
+    sigma[source] = 1.0;
+    let mut heap = BinaryHeap::new();
+    heap.push(HeapEntry {
+        dist: 0.0,
+        node: source,
+    });
+
+    while let Some(HeapEntry { dist: d, node: u }) = heap.pop() {
+        if settled[u] {
+            continue;
+        }
+        settled[u] = true;
+        order.push(u);
+        for (v, w) in graph.neighbors(u) {
+            if v == u {
+                continue; // self-loops never lie on shortest paths
+            }
+            let len = edge_length(w, weighted);
+            if !len.is_finite() {
+                continue;
+            }
+            let nd = d + len;
+            if nd < dist[v] - 1e-12 {
+                dist[v] = nd;
+                sigma[v] = sigma[u];
+                preds[v].clear();
+                preds[v].push(u);
+                heap.push(HeapEntry { dist: nd, node: v });
+            } else if (nd - dist[v]).abs() <= 1e-12 {
+                sigma[v] += sigma[u];
+                preds[v].push(u);
+            }
+        }
+    }
+    (dist, sigma, preds, order)
+}
+
+/// Brandes betweenness centrality for every node.
+///
+/// * `weighted` — use reciprocal trip weights as edge lengths (otherwise hop
+///   counts).
+/// * `normalized` — divide by `(n-1)(n-2)` (undirected: `(n-1)(n-2)/2`) so
+///   scores are comparable across graph sizes.
+pub fn betweenness_centrality(
+    graph: &WeightedGraph,
+    weighted: bool,
+    normalized: bool,
+) -> HashMap<NodeId, f64> {
+    let n = graph.node_count();
+    if n == 0 {
+        return HashMap::new();
+    }
+    let centrality = Mutex::new(vec![0.0f64; n]);
+    let n_threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+        .min(8)
+        .max(1);
+
+    let chunk = n.div_ceil(n_threads);
+    crossbeam::scope(|scope| {
+        for t in 0..n_threads {
+            let centrality = &centrality;
+            let lo = t * chunk;
+            let hi = ((t + 1) * chunk).min(n);
+            scope.spawn(move |_| {
+                let mut local = vec![0.0f64; n];
+                for s in lo..hi {
+                    let (_, sigma, preds, order) = brandes_sssp(graph, s, weighted);
+                    let mut delta = vec![0.0f64; n];
+                    for &w in order.iter().rev() {
+                        for &v in &preds[w] {
+                            if sigma[w] > 0.0 {
+                                delta[v] += sigma[v] / sigma[w] * (1.0 + delta[w]);
+                            }
+                        }
+                        if w != s {
+                            local[w] += delta[w];
+                        }
+                    }
+                }
+                let mut global = centrality.lock();
+                for i in 0..n {
+                    global[i] += local[i];
+                }
+            });
+        }
+    })
+    .expect("betweenness worker panicked");
+
+    let mut scores = centrality.into_inner();
+    if !graph.is_directed() {
+        // Each unordered pair was counted from both endpoints.
+        for s in scores.iter_mut() {
+            *s /= 2.0;
+        }
+    }
+    if normalized && n > 2 {
+        let scale = if graph.is_directed() {
+            ((n - 1) * (n - 2)) as f64
+        } else {
+            ((n - 1) * (n - 2)) as f64 / 2.0
+        };
+        for s in scores.iter_mut() {
+            *s /= scale;
+        }
+    }
+    (0..n)
+        .map(|i| (graph.id_of(i).expect("dense index valid"), scores[i]))
+        .collect()
+}
+
+/// Closeness centrality for every node: `(reachable - 1) / sum_of_distances`,
+/// scaled by the fraction of the graph that is reachable (the Wasserman–Faust
+/// correction), so nodes in small components do not get inflated scores.
+/// Unreachable or isolated nodes score 0.
+pub fn closeness_centrality(graph: &WeightedGraph, weighted: bool) -> HashMap<NodeId, f64> {
+    let n = graph.node_count();
+    let mut out = HashMap::with_capacity(n);
+    for s in 0..n {
+        let (dist, _, _, _) = brandes_sssp(graph, s, weighted);
+        let mut reachable = 0usize;
+        let mut total = 0.0f64;
+        for (i, d) in dist.iter().enumerate() {
+            if i != s && d.is_finite() {
+                reachable += 1;
+                total += d;
+            }
+        }
+        let score = if reachable == 0 || total == 0.0 {
+            0.0
+        } else {
+            let frac = reachable as f64 / (n - 1).max(1) as f64;
+            frac * reachable as f64 / total
+        };
+        out.insert(graph.id_of(s).expect("dense index valid"), score);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Path graph 1 - 2 - 3 - 4 - 5 with unit weights.
+    fn path5() -> WeightedGraph {
+        let mut g = WeightedGraph::new_undirected();
+        for (a, b) in [(1, 2), (2, 3), (3, 4), (4, 5)] {
+            g.add_edge(a, b, 1.0);
+        }
+        g
+    }
+
+    #[test]
+    fn betweenness_of_path_centre_is_highest() {
+        let g = path5();
+        let b = betweenness_centrality(&g, false, false);
+        // Exact values for P5: ends 0, next 3, centre 4.
+        assert_eq!(b[&1], 0.0);
+        assert_eq!(b[&5], 0.0);
+        assert!((b[&2] - 3.0).abs() < 1e-9);
+        assert!((b[&4] - 3.0).abs() < 1e-9);
+        assert!((b[&3] - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn betweenness_normalisation() {
+        let g = path5();
+        let b = betweenness_centrality(&g, false, true);
+        // Normalised by (n-1)(n-2)/2 = 6.
+        assert!((b[&3] - 4.0 / 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn star_centre_has_all_betweenness() {
+        let mut g = WeightedGraph::new_undirected();
+        for leaf in 1..=4 {
+            g.add_edge(0, leaf, 1.0);
+        }
+        let b = betweenness_centrality(&g, false, false);
+        // Centre lies on all C(4,2) = 6 pairs' shortest paths.
+        assert!((b[&0] - 6.0).abs() < 1e-9);
+        for leaf in 1..=4 {
+            assert_eq!(b[&leaf], 0.0);
+        }
+    }
+
+    #[test]
+    fn weighted_betweenness_prefers_heavy_edges() {
+        // Two routes from 1 to 3: via 2 (heavy = short) and via 4 (light = long).
+        let mut g = WeightedGraph::new_undirected();
+        g.add_edge(1, 2, 10.0);
+        g.add_edge(2, 3, 10.0);
+        g.add_edge(1, 4, 1.0);
+        g.add_edge(4, 3, 1.0);
+        let b = betweenness_centrality(&g, true, false);
+        assert!(b[&2] > b[&4]);
+    }
+
+    #[test]
+    fn closeness_of_path() {
+        let g = path5();
+        let c = closeness_centrality(&g, false);
+        // Centre: distances 2+1+1+2 = 6 -> 4/6; end: 1+2+3+4 = 10 -> 4/10.
+        assert!((c[&3] - 4.0 / 6.0).abs() < 1e-9);
+        assert!((c[&1] - 4.0 / 10.0).abs() < 1e-9);
+        assert!(c[&3] > c[&2]);
+        assert!(c[&2] > c[&1]);
+    }
+
+    #[test]
+    fn closeness_of_disconnected_parts_is_damped() {
+        let mut g = WeightedGraph::new_undirected();
+        g.add_edge(1, 2, 1.0);
+        g.add_edge(3, 4, 1.0);
+        g.add_edge(4, 5, 1.0);
+        let c = closeness_centrality(&g, false);
+        // Node 4 reaches 2 nodes at distance 1 each out of 4 possible:
+        // frac = 2/4, closeness = 0.5 * 2/2 = 0.5.
+        assert!((c[&4] - 0.5).abs() < 1e-9);
+        // Node 1 reaches 1 node at distance 1: 0.25 * 1/1 = 0.25.
+        assert!((c[&1] - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn isolated_node_scores_zero() {
+        let mut g = path5();
+        g.add_node(99);
+        let b = betweenness_centrality(&g, false, false);
+        let c = closeness_centrality(&g, false);
+        assert_eq!(b[&99], 0.0);
+        assert_eq!(c[&99], 0.0);
+    }
+
+    #[test]
+    fn empty_graph_is_empty_result() {
+        let g = WeightedGraph::new_undirected();
+        assert!(betweenness_centrality(&g, false, true).is_empty());
+        assert!(closeness_centrality(&g, false).is_empty());
+    }
+
+    #[test]
+    fn self_loops_do_not_affect_centrality() {
+        let mut a = path5();
+        let b = {
+            let mut g = path5();
+            g.add_edge(3, 3, 50.0);
+            g
+        };
+        let ba = betweenness_centrality(&a, false, false);
+        let bb = betweenness_centrality(&b, false, false);
+        for id in 1..=5u64 {
+            assert!((ba[&id] - bb[&id]).abs() < 1e-9);
+        }
+        // keep `a` used
+        a.add_node(100);
+    }
+}

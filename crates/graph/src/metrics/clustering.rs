@@ -1,0 +1,130 @@
+//! Local clustering coefficient.
+
+use crate::{NodeId, WeightedGraph};
+use std::collections::{HashMap, HashSet};
+
+/// The (unweighted) local clustering coefficient of every node: the
+/// fraction of pairs of a node's neighbours that are themselves connected.
+///
+/// Self-loops are ignored, as is edge weight — the coefficient describes
+/// the *spatial interconnection* of a station's neighbourhood (cf. the
+/// related-work metrics in the paper), not traffic volume. Nodes with fewer
+/// than two neighbours have a coefficient of 0.
+pub fn local_clustering_coefficient(graph: &WeightedGraph) -> HashMap<NodeId, f64> {
+    let n = graph.node_count();
+    // Neighbour sets without self-loops, on dense indices.
+    let neighbour_sets: Vec<HashSet<usize>> = (0..n)
+        .map(|i| {
+            graph
+                .neighbors(i)
+                .map(|(j, _)| j)
+                .filter(|&j| j != i)
+                .collect()
+        })
+        .collect();
+
+    let mut out = HashMap::with_capacity(n);
+    for i in 0..n {
+        let neigh: Vec<usize> = neighbour_sets[i].iter().copied().collect();
+        let k = neigh.len();
+        let coefficient = if k < 2 {
+            0.0
+        } else {
+            let mut links = 0usize;
+            for a in 0..k {
+                for b in (a + 1)..k {
+                    if neighbour_sets[neigh[a]].contains(&neigh[b]) {
+                        links += 1;
+                    }
+                }
+            }
+            2.0 * links as f64 / (k * (k - 1)) as f64
+        };
+        out.insert(graph.id_of(i).expect("dense index valid"), coefficient);
+    }
+    out
+}
+
+/// The mean local clustering coefficient over all nodes (0 for an empty
+/// graph).
+pub fn average_clustering_coefficient(graph: &WeightedGraph) -> f64 {
+    if graph.node_count() == 0 {
+        return 0.0;
+    }
+    let per_node = local_clustering_coefficient(graph);
+    per_node.values().sum::<f64>() / per_node.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn triangle_has_coefficient_one() {
+        let mut g = WeightedGraph::new_undirected();
+        g.add_edge(1, 2, 1.0);
+        g.add_edge(2, 3, 1.0);
+        g.add_edge(1, 3, 1.0);
+        let c = local_clustering_coefficient(&g);
+        for id in [1, 2, 3] {
+            assert!((c[&id] - 1.0).abs() < 1e-12);
+        }
+        assert!((average_clustering_coefficient(&g) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn star_has_coefficient_zero() {
+        let mut g = WeightedGraph::new_undirected();
+        g.add_edge(0, 1, 1.0);
+        g.add_edge(0, 2, 1.0);
+        g.add_edge(0, 3, 1.0);
+        let c = local_clustering_coefficient(&g);
+        assert_eq!(c[&0], 0.0);
+        assert_eq!(c[&1], 0.0);
+    }
+
+    #[test]
+    fn square_with_one_diagonal() {
+        // 1-2-3-4-1 plus diagonal 1-3.
+        let mut g = WeightedGraph::new_undirected();
+        g.add_edge(1, 2, 1.0);
+        g.add_edge(2, 3, 1.0);
+        g.add_edge(3, 4, 1.0);
+        g.add_edge(4, 1, 1.0);
+        g.add_edge(1, 3, 1.0);
+        let c = local_clustering_coefficient(&g);
+        // Node 1 has neighbours {2,3,4}; connected pairs among them: (2,3), (3,4) => 2/3.
+        assert!((c[&1] - 2.0 / 3.0).abs() < 1e-12);
+        // Node 2 has neighbours {1,3}; they are connected => 1.
+        assert!((c[&2] - 1.0).abs() < 1e-12);
+        // Node 4 has neighbours {1,3}; connected => 1.
+        assert!((c[&4] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn self_loops_do_not_count() {
+        let mut g = WeightedGraph::new_undirected();
+        g.add_edge(1, 1, 5.0);
+        g.add_edge(1, 2, 1.0);
+        g.add_edge(1, 3, 1.0);
+        g.add_edge(2, 3, 1.0);
+        let c = local_clustering_coefficient(&g);
+        assert!((c[&1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_graph_average_is_zero() {
+        let g = WeightedGraph::new_undirected();
+        assert_eq!(average_clustering_coefficient(&g), 0.0);
+    }
+
+    #[test]
+    fn isolated_and_leaf_nodes_are_zero() {
+        let mut g = WeightedGraph::new_undirected();
+        g.add_node(7);
+        g.add_edge(1, 2, 1.0);
+        let c = local_clustering_coefficient(&g);
+        assert_eq!(c[&7], 0.0);
+        assert_eq!(c[&1], 0.0);
+    }
+}

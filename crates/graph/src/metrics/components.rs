@@ -1,0 +1,95 @@
+//! Connected components.
+
+use crate::{NodeId, WeightedGraph};
+use std::collections::HashMap;
+
+/// Assign every node to a connected component (ignoring edge direction) and
+/// return the mapping from node id to component label (0-based, labelled in
+/// discovery order).
+pub fn connected_components(graph: &WeightedGraph) -> HashMap<NodeId, usize> {
+    let n = graph.node_count();
+    let mut label = vec![usize::MAX; n];
+    let mut next = 0usize;
+    let mut stack = Vec::new();
+    for start in 0..n {
+        if label[start] != usize::MAX {
+            continue;
+        }
+        label[start] = next;
+        stack.push(start);
+        while let Some(u) = stack.pop() {
+            // For directed graphs treat edges as undirected for reachability.
+            for (v, _) in graph.neighbors(u).chain(graph.in_neighbors(u)) {
+                if label[v] == usize::MAX {
+                    label[v] = next;
+                    stack.push(v);
+                }
+            }
+        }
+        next += 1;
+    }
+    (0..n)
+        .map(|i| (graph.id_of(i).expect("dense index valid"), label[i]))
+        .collect()
+}
+
+/// The number of nodes in the largest connected component (0 for an empty
+/// graph).
+pub fn largest_component_size(graph: &WeightedGraph) -> usize {
+    let comps = connected_components(graph);
+    let mut sizes: HashMap<usize, usize> = HashMap::new();
+    for c in comps.values() {
+        *sizes.entry(*c).or_insert(0) += 1;
+    }
+    sizes.values().copied().max().unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_component() {
+        let mut g = WeightedGraph::new_undirected();
+        g.add_edge(1, 2, 1.0);
+        g.add_edge(2, 3, 1.0);
+        let c = connected_components(&g);
+        assert_eq!(c[&1], c[&2]);
+        assert_eq!(c[&2], c[&3]);
+        assert_eq!(largest_component_size(&g), 3);
+    }
+
+    #[test]
+    fn two_components_and_isolate() {
+        let mut g = WeightedGraph::new_undirected();
+        g.add_edge(1, 2, 1.0);
+        g.add_edge(3, 4, 1.0);
+        g.add_edge(4, 5, 1.0);
+        g.add_node(9);
+        let c = connected_components(&g);
+        assert_eq!(c[&1], c[&2]);
+        assert_eq!(c[&3], c[&4]);
+        assert_ne!(c[&1], c[&3]);
+        assert_ne!(c[&9], c[&1]);
+        assert_ne!(c[&9], c[&3]);
+        assert_eq!(largest_component_size(&g), 3);
+    }
+
+    #[test]
+    fn directed_reachability_is_symmetric_for_components() {
+        let mut g = WeightedGraph::new_directed();
+        g.add_edge(1, 2, 1.0); // only 1 -> 2
+        g.add_edge(3, 2, 1.0); // only 3 -> 2
+        let c = connected_components(&g);
+        // Weakly connected: all in one component.
+        assert_eq!(c[&1], c[&2]);
+        assert_eq!(c[&2], c[&3]);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = WeightedGraph::new_undirected();
+        assert!(connected_components(&g).is_empty());
+        assert_eq!(largest_component_size(&g), 0);
+    }
+}

@@ -1,0 +1,123 @@
+//! Degree and strength statistics.
+
+use crate::{NodeId, WeightedGraph};
+use std::collections::HashMap;
+
+/// Per-graph degree summary statistics.
+///
+/// The station-selection algorithm needs the **minimum degree of the
+/// pre-existing stations** (Algorithm 1, line 1); the reporting layer also
+/// prints the mean and maximum.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DegreeSummary {
+    /// Smallest degree over the summarised nodes.
+    pub min: usize,
+    /// Largest degree over the summarised nodes.
+    pub max: usize,
+    /// Mean degree over the summarised nodes.
+    pub mean: f64,
+    /// Number of nodes summarised.
+    pub count: usize,
+}
+
+impl DegreeSummary {
+    /// Summarise the degrees of the given node ids in `graph`. Ids not in
+    /// the graph are skipped. Returns `None` when no listed node exists.
+    pub fn for_nodes(graph: &WeightedGraph, ids: &[NodeId]) -> Option<Self> {
+        let degrees: Vec<usize> = ids.iter().filter_map(|&id| graph.degree_of(id)).collect();
+        if degrees.is_empty() {
+            return None;
+        }
+        let min = *degrees.iter().min().expect("non-empty");
+        let max = *degrees.iter().max().expect("non-empty");
+        let mean = degrees.iter().sum::<usize>() as f64 / degrees.len() as f64;
+        Some(Self {
+            min,
+            max,
+            mean,
+            count: degrees.len(),
+        })
+    }
+
+    /// Summarise every node in the graph.
+    pub fn for_graph(graph: &WeightedGraph) -> Option<Self> {
+        Self::for_nodes(graph, graph.node_ids())
+    }
+}
+
+/// Degree (number of distinct neighbours) for every node id.
+pub fn degree_map(graph: &WeightedGraph) -> HashMap<NodeId, usize> {
+    graph
+        .node_ids()
+        .iter()
+        .map(|&id| (id, graph.degree_of(id).expect("listed id exists")))
+        .collect()
+}
+
+/// Strength (sum of incident edge weights) for every node id.
+pub fn strength_map(graph: &WeightedGraph) -> HashMap<NodeId, f64> {
+    graph
+        .node_ids()
+        .iter()
+        .map(|&id| (id, graph.strength_of(id).expect("listed id exists")))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle_plus_leaf() -> WeightedGraph {
+        let mut g = WeightedGraph::new_undirected();
+        g.add_edge(1, 2, 2.0);
+        g.add_edge(2, 3, 1.0);
+        g.add_edge(1, 3, 1.0);
+        g.add_edge(3, 4, 5.0);
+        g
+    }
+
+    #[test]
+    fn degree_map_counts_neighbours() {
+        let g = triangle_plus_leaf();
+        let d = degree_map(&g);
+        assert_eq!(d[&1], 2);
+        assert_eq!(d[&3], 3);
+        assert_eq!(d[&4], 1);
+    }
+
+    #[test]
+    fn strength_map_sums_weights() {
+        let g = triangle_plus_leaf();
+        let s = strength_map(&g);
+        assert_eq!(s[&1], 3.0);
+        assert_eq!(s[&3], 7.0);
+        assert_eq!(s[&4], 5.0);
+    }
+
+    #[test]
+    fn summary_for_all_nodes() {
+        let g = triangle_plus_leaf();
+        let s = DegreeSummary::for_graph(&g).unwrap();
+        assert_eq!(s.min, 1);
+        assert_eq!(s.max, 3);
+        assert_eq!(s.count, 4);
+        assert!((s.mean - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_for_subset_ignores_missing() {
+        let g = triangle_plus_leaf();
+        let s = DegreeSummary::for_nodes(&g, &[1, 4, 999]).unwrap();
+        assert_eq!(s.count, 2);
+        assert_eq!(s.min, 1);
+        assert_eq!(s.max, 2);
+    }
+
+    #[test]
+    fn summary_of_nothing_is_none() {
+        let g = triangle_plus_leaf();
+        assert!(DegreeSummary::for_nodes(&g, &[999]).is_none());
+        let empty = WeightedGraph::new_undirected();
+        assert!(DegreeSummary::for_graph(&empty).is_none());
+    }
+}

@@ -1,0 +1,28 @@
+//! Network metrics.
+//!
+//! The paper and the related work it builds on characterise bike-share
+//! networks with a standard battery of descriptors: degree and strength
+//! ("the level of activity and connectivity within a given location"),
+//! the local clustering coefficient (spatial distribution), centrality
+//! measures (betweenness, closeness, PageRank — network stability and
+//! prominence), and the Gini coefficient (equity of usage). The station
+//! selection algorithm itself (Algorithm 1) only needs degree, but the
+//! validation and reporting layers use the rest.
+
+mod assortativity;
+mod centrality;
+mod clustering;
+mod components;
+mod degree;
+mod gini;
+mod pagerank;
+mod paths;
+
+pub use assortativity::degree_assortativity;
+pub use centrality::{betweenness_centrality, closeness_centrality};
+pub use clustering::{average_clustering_coefficient, local_clustering_coefficient};
+pub use components::{connected_components, largest_component_size};
+pub use degree::{degree_map, strength_map, DegreeSummary};
+pub use gini::gini_coefficient;
+pub use pagerank::{pagerank, PageRankConfig};
+pub use paths::{average_path_length, diameter, global_efficiency, shortest_path_lengths};

@@ -1,0 +1,152 @@
+//! Weighted PageRank.
+
+use crate::{NodeId, WeightedGraph};
+use std::collections::HashMap;
+
+/// Configuration for [`pagerank`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct PageRankConfig {
+    /// Damping factor, conventionally 0.85.
+    pub damping: f64,
+    /// Maximum number of power iterations.
+    pub max_iterations: usize,
+    /// L1 convergence tolerance.
+    pub tolerance: f64,
+}
+
+impl Default for PageRankConfig {
+    fn default() -> Self {
+        Self {
+            damping: 0.85,
+            max_iterations: 100,
+            tolerance: 1e-9,
+        }
+    }
+}
+
+/// Weighted PageRank over the graph's (out-)edges.
+///
+/// Transition probability from `u` to `v` is proportional to the weight of
+/// the `u -> v` edge. Dangling nodes (no out-edges) redistribute their mass
+/// uniformly. Scores sum to 1 over all nodes. Returns an empty map for an
+/// empty graph.
+pub fn pagerank(graph: &WeightedGraph, config: &PageRankConfig) -> HashMap<NodeId, f64> {
+    let n = graph.node_count();
+    if n == 0 {
+        return HashMap::new();
+    }
+    let uniform = 1.0 / n as f64;
+    let mut rank = vec![uniform; n];
+    let out_strength: Vec<f64> = (0..n).map(|i| graph.strength(i)).collect();
+
+    for _ in 0..config.max_iterations {
+        let mut next = vec![(1.0 - config.damping) * uniform; n];
+        let mut dangling_mass = 0.0;
+        for u in 0..n {
+            if out_strength[u] <= 0.0 {
+                dangling_mass += rank[u];
+                continue;
+            }
+            for (v, w) in graph.neighbors(u) {
+                next[v] += config.damping * rank[u] * (w / out_strength[u]);
+            }
+        }
+        let dangling_share = config.damping * dangling_mass * uniform;
+        for r in next.iter_mut() {
+            *r += dangling_share;
+        }
+        let diff: f64 = next.iter().zip(&rank).map(|(a, b)| (a - b).abs()).sum();
+        rank = next;
+        if diff < config.tolerance {
+            break;
+        }
+    }
+    (0..n)
+        .map(|i| (graph.id_of(i).expect("dense index valid"), rank[i]))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_graph_returns_empty() {
+        let g = WeightedGraph::new_directed();
+        assert!(pagerank(&g, &PageRankConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn scores_sum_to_one() {
+        let mut g = WeightedGraph::new_directed();
+        g.add_edge(1, 2, 3.0);
+        g.add_edge(2, 3, 1.0);
+        g.add_edge(3, 1, 2.0);
+        g.add_edge(1, 3, 1.0);
+        let pr = pagerank(&g, &PageRankConfig::default());
+        let total: f64 = pr.values().sum();
+        assert!((total - 1.0).abs() < 1e-6, "total {total}");
+    }
+
+    #[test]
+    fn symmetric_cycle_is_uniform() {
+        let mut g = WeightedGraph::new_directed();
+        g.add_edge(1, 2, 1.0);
+        g.add_edge(2, 3, 1.0);
+        g.add_edge(3, 1, 1.0);
+        let pr = pagerank(&g, &PageRankConfig::default());
+        for id in [1, 2, 3] {
+            assert!((pr[&id] - 1.0 / 3.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn hub_receives_more_rank() {
+        let mut g = WeightedGraph::new_directed();
+        // Everyone points at 1; 1 points at 2.
+        for src in [2, 3, 4, 5] {
+            g.add_edge(src, 1, 1.0);
+        }
+        g.add_edge(1, 2, 1.0);
+        let pr = pagerank(&g, &PageRankConfig::default());
+        assert!(pr[&1] > pr[&3]);
+        assert!(pr[&1] > pr[&2]);
+        assert!(pr[&2] > pr[&3], "2 benefits from 1's endorsement");
+    }
+
+    #[test]
+    fn dangling_nodes_do_not_lose_mass() {
+        let mut g = WeightedGraph::new_directed();
+        g.add_edge(1, 2, 1.0); // 2 is dangling
+        g.add_node(3); // isolated & dangling
+        let pr = pagerank(&g, &PageRankConfig::default());
+        let total: f64 = pr.values().sum();
+        assert!((total - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn weights_steer_rank() {
+        let mut g = WeightedGraph::new_directed();
+        // 1 links to 2 (weight 9) and to 3 (weight 1).
+        g.add_edge(1, 2, 9.0);
+        g.add_edge(1, 3, 1.0);
+        g.add_edge(2, 1, 1.0);
+        g.add_edge(3, 1, 1.0);
+        let pr = pagerank(&g, &PageRankConfig::default());
+        assert!(pr[&2] > pr[&3]);
+    }
+
+    #[test]
+    fn respects_iteration_budget() {
+        let mut g = WeightedGraph::new_directed();
+        g.add_edge(1, 2, 1.0);
+        g.add_edge(2, 1, 1.0);
+        let cfg = PageRankConfig {
+            max_iterations: 1,
+            ..Default::default()
+        };
+        // One iteration must still produce finite, positive scores.
+        let pr = pagerank(&g, &cfg);
+        assert!(pr.values().all(|v| v.is_finite() && *v > 0.0));
+    }
+}

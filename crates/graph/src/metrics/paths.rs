@@ -1,0 +1,240 @@
+//! Shortest-path based descriptors: average path length, diameter and
+//! global efficiency.
+//!
+//! The related work the paper builds on characterises bike-share networks
+//! with "network efficiency" and connectivity descriptors alongside degree
+//! and centrality; these helpers provide them for the validation and
+//! reporting layers. Edge length is the reciprocal of the trip weight when
+//! `weighted` is true (heavily used pairs are "close"), or one hop
+//! otherwise.
+
+use crate::WeightedGraph;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+#[derive(Debug, PartialEq)]
+struct HeapEntry {
+    dist: f64,
+    node: usize,
+}
+
+impl Eq for HeapEntry {}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .dist
+            .partial_cmp(&self.dist)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| other.node.cmp(&self.node))
+    }
+}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Dijkstra distances from the node at dense index `source` to every node
+/// (`f64::INFINITY` for unreachable nodes). Self-loops are ignored.
+pub fn shortest_path_lengths(graph: &WeightedGraph, source: usize, weighted: bool) -> Vec<f64> {
+    let n = graph.node_count();
+    let mut dist = vec![f64::INFINITY; n];
+    if source >= n {
+        return dist;
+    }
+    dist[source] = 0.0;
+    let mut heap = BinaryHeap::new();
+    heap.push(HeapEntry {
+        dist: 0.0,
+        node: source,
+    });
+    let mut settled = vec![false; n];
+    while let Some(HeapEntry { dist: d, node: u }) = heap.pop() {
+        if settled[u] {
+            continue;
+        }
+        settled[u] = true;
+        for (v, w) in graph.neighbors(u) {
+            if v == u {
+                continue;
+            }
+            let len = if weighted {
+                if w > 0.0 {
+                    1.0 / w
+                } else {
+                    continue;
+                }
+            } else {
+                1.0
+            };
+            let nd = d + len;
+            if nd < dist[v] {
+                dist[v] = nd;
+                heap.push(HeapEntry { dist: nd, node: v });
+            }
+        }
+    }
+    dist
+}
+
+/// Mean shortest-path length over all ordered pairs of distinct nodes that
+/// can reach each other. Returns 0 for graphs with fewer than two nodes or
+/// no reachable pairs.
+pub fn average_path_length(graph: &WeightedGraph, weighted: bool) -> f64 {
+    let n = graph.node_count();
+    if n < 2 {
+        return 0.0;
+    }
+    let mut total = 0.0;
+    let mut pairs = 0usize;
+    for s in 0..n {
+        for (t, d) in shortest_path_lengths(graph, s, weighted).into_iter().enumerate() {
+            if t != s && d.is_finite() {
+                total += d;
+                pairs += 1;
+            }
+        }
+    }
+    if pairs == 0 {
+        0.0
+    } else {
+        total / pairs as f64
+    }
+}
+
+/// The longest finite shortest-path length in the graph (0 for graphs with
+/// fewer than two nodes).
+pub fn diameter(graph: &WeightedGraph, weighted: bool) -> f64 {
+    let n = graph.node_count();
+    let mut max = 0.0f64;
+    for s in 0..n {
+        for (t, d) in shortest_path_lengths(graph, s, weighted).into_iter().enumerate() {
+            if t != s && d.is_finite() {
+                max = max.max(d);
+            }
+        }
+    }
+    max
+}
+
+/// Global efficiency: the mean of `1 / d(s, t)` over all ordered pairs of
+/// distinct nodes, with unreachable pairs contributing 0. Lies in `[0, 1]`
+/// for unweighted graphs (1 = complete graph).
+pub fn global_efficiency(graph: &WeightedGraph, weighted: bool) -> f64 {
+    let n = graph.node_count();
+    if n < 2 {
+        return 0.0;
+    }
+    let mut total = 0.0;
+    for s in 0..n {
+        for (t, d) in shortest_path_lengths(graph, s, weighted).into_iter().enumerate() {
+            if t != s && d.is_finite() && d > 0.0 {
+                total += 1.0 / d;
+            }
+        }
+    }
+    total / (n * (n - 1)) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path4() -> WeightedGraph {
+        let mut g = WeightedGraph::new_undirected();
+        for (a, b) in [(1, 2), (2, 3), (3, 4)] {
+            g.add_edge(a, b, 1.0);
+        }
+        g
+    }
+
+    fn triangle() -> WeightedGraph {
+        let mut g = WeightedGraph::new_undirected();
+        for (a, b) in [(1, 2), (2, 3), (1, 3)] {
+            g.add_edge(a, b, 1.0);
+        }
+        g
+    }
+
+    #[test]
+    fn distances_on_a_path() {
+        let g = path4();
+        let s = g.index_of(1).unwrap();
+        let d = shortest_path_lengths(&g, s, false);
+        let i4 = g.index_of(4).unwrap();
+        assert_eq!(d[s], 0.0);
+        assert_eq!(d[i4], 3.0);
+    }
+
+    #[test]
+    fn triangle_descriptors() {
+        let g = triangle();
+        assert!((average_path_length(&g, false) - 1.0).abs() < 1e-12);
+        assert_eq!(diameter(&g, false), 1.0);
+        assert!((global_efficiency(&g, false) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn path_descriptors() {
+        let g = path4();
+        // Ordered distinct pairs: distances 1,2,3,1,1,2,2,1,1,3,2,1 -> mean 5/3.
+        assert!((average_path_length(&g, false) - 5.0 / 3.0).abs() < 1e-12);
+        assert_eq!(diameter(&g, false), 3.0);
+        let eff = global_efficiency(&g, false);
+        assert!(eff > 0.5 && eff < 1.0);
+    }
+
+    #[test]
+    fn weighted_lengths_use_reciprocal_weights() {
+        let mut g = WeightedGraph::new_undirected();
+        g.add_edge(1, 2, 4.0); // length 0.25
+        g.add_edge(2, 3, 2.0); // length 0.5
+        let s = g.index_of(1).unwrap();
+        let d = shortest_path_lengths(&g, s, true);
+        assert!((d[g.index_of(3).unwrap()] - 0.75).abs() < 1e-12);
+        assert!((diameter(&g, true) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn disconnected_pairs_are_skipped() {
+        let mut g = path4();
+        g.add_node(99);
+        let s = g.index_of(1).unwrap();
+        let d = shortest_path_lengths(&g, s, false);
+        assert!(d[g.index_of(99).unwrap()].is_infinite());
+        // Average and diameter only consider reachable pairs.
+        assert!((average_path_length(&g, false) - 5.0 / 3.0).abs() < 1e-12);
+        assert_eq!(diameter(&g, false), 3.0);
+        // Efficiency penalises the disconnected node (denominator grows).
+        assert!(global_efficiency(&g, false) < global_efficiency(&path4(), false));
+    }
+
+    #[test]
+    fn degenerate_graphs() {
+        let empty = WeightedGraph::new_undirected();
+        assert_eq!(average_path_length(&empty, false), 0.0);
+        assert_eq!(diameter(&empty, false), 0.0);
+        assert_eq!(global_efficiency(&empty, false), 0.0);
+        let mut single = WeightedGraph::new_undirected();
+        single.add_node(1);
+        assert_eq!(average_path_length(&single, false), 0.0);
+        // Out-of-range source returns all-infinite distances.
+        let d = shortest_path_lengths(&single, 5, false);
+        assert!(d.iter().all(|x| x.is_infinite()));
+    }
+
+    #[test]
+    fn directed_graph_respects_direction() {
+        let mut g = WeightedGraph::new_directed();
+        g.add_edge(1, 2, 1.0);
+        g.add_edge(2, 3, 1.0);
+        let s1 = g.index_of(1).unwrap();
+        let s3 = g.index_of(3).unwrap();
+        let from1 = shortest_path_lengths(&g, s1, false);
+        let from3 = shortest_path_lengths(&g, s3, false);
+        assert_eq!(from1[s3], 2.0);
+        assert!(from3[s1].is_infinite());
+    }
+}

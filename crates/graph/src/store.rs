@@ -1,0 +1,275 @@
+//! A labelled property-graph store (the Neo4j-replacement substrate).
+//!
+//! The store keeps full fidelity: every trip is an individual relationship
+//! carrying its own properties (start time, day of week, hour), exactly as
+//! the paper's Neo4j database does. Analytical algorithms do not run on the
+//! store directly — they run on a [`crate::WeightedGraph`] projected out of
+//! it (see [`crate::aggregate`]), mirroring how the Neo4j GDS library
+//! projects an in-memory graph before running Louvain.
+
+use crate::{GraphError, NodeId, PropMap, PropValue, Result};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// A node (e.g. a station or a raw rental location) with a label and
+/// properties.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NodeRecord {
+    /// Stable external identifier.
+    pub id: NodeId,
+    /// Node label, e.g. `"Station"` or `"Location"`.
+    pub label: String,
+    /// Arbitrary typed properties.
+    pub props: PropMap,
+}
+
+/// A relationship (e.g. a single trip) between two nodes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EdgeRecord {
+    /// Source node id.
+    pub src: NodeId,
+    /// Destination node id.
+    pub dst: NodeId,
+    /// Relationship label, e.g. `"TRIP"`.
+    pub label: String,
+    /// Arbitrary typed properties (start time, weekday, hour, ...).
+    pub props: PropMap,
+}
+
+/// An in-memory labelled property graph.
+///
+/// Nodes are keyed by caller-supplied [`NodeId`]s; relationships are stored
+/// in insertion order and may freely form multi-edges and self-loops, as
+/// dockless trips do.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct GraphStore {
+    nodes: HashMap<NodeId, NodeRecord>,
+    edges: Vec<EdgeRecord>,
+}
+
+impl GraphStore {
+    /// Create an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of relationships (multi-edges counted individually).
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Whether the store holds no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Insert (or replace) a node.
+    ///
+    /// Returns the previous record when the id was already present, which
+    /// lets callers detect accidental id reuse.
+    pub fn upsert_node(&mut self, node: NodeRecord) -> Option<NodeRecord> {
+        self.nodes.insert(node.id, node)
+    }
+
+    /// Convenience constructor for a node with a label and properties.
+    pub fn add_node(&mut self, id: NodeId, label: &str, props: PropMap) -> Option<NodeRecord> {
+        self.upsert_node(NodeRecord {
+            id,
+            label: label.to_owned(),
+            props,
+        })
+    }
+
+    /// Look up a node by id.
+    pub fn node(&self, id: NodeId) -> Option<&NodeRecord> {
+        self.nodes.get(&id)
+    }
+
+    /// Mutable access to a node's record.
+    pub fn node_mut(&mut self, id: NodeId) -> Option<&mut NodeRecord> {
+        self.nodes.get_mut(&id)
+    }
+
+    /// Whether a node exists.
+    pub fn contains_node(&self, id: NodeId) -> bool {
+        self.nodes.contains_key(&id)
+    }
+
+    /// Iterate over all nodes in an unspecified order.
+    pub fn nodes(&self) -> impl Iterator<Item = &NodeRecord> {
+        self.nodes.values()
+    }
+
+    /// All node ids, sorted ascending (deterministic order for exports).
+    pub fn node_ids_sorted(&self) -> Vec<NodeId> {
+        let mut ids: Vec<NodeId> = self.nodes.keys().copied().collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    /// Add a relationship between two existing nodes.
+    ///
+    /// # Errors
+    ///
+    /// [`GraphError::DanglingEdge`] when either endpoint is missing.
+    pub fn add_edge(&mut self, src: NodeId, dst: NodeId, label: &str, props: PropMap) -> Result<()> {
+        if !self.nodes.contains_key(&src) || !self.nodes.contains_key(&dst) {
+            return Err(GraphError::DanglingEdge { src, dst });
+        }
+        self.edges.push(EdgeRecord {
+            src,
+            dst,
+            label: label.to_owned(),
+            props,
+        });
+        Ok(())
+    }
+
+    /// Iterate over all relationships in insertion order.
+    pub fn edges(&self) -> impl Iterator<Item = &EdgeRecord> {
+        self.edges.iter()
+    }
+
+    /// All relationships with the given label.
+    pub fn edges_with_label<'a>(&'a self, label: &'a str) -> impl Iterator<Item = &'a EdgeRecord> {
+        self.edges.iter().filter(move |e| e.label == label)
+    }
+
+    /// All nodes with the given label.
+    pub fn nodes_with_label<'a>(&'a self, label: &'a str) -> impl Iterator<Item = &'a NodeRecord> {
+        self.nodes.values().filter(move |n| n.label == label)
+    }
+
+    /// Out-degree of a node counting every individual relationship
+    /// (multi-edges each count).
+    pub fn out_degree(&self, id: NodeId) -> usize {
+        self.edges.iter().filter(|e| e.src == id).count()
+    }
+
+    /// In-degree of a node counting every individual relationship.
+    pub fn in_degree(&self, id: NodeId) -> usize {
+        self.edges.iter().filter(|e| e.dst == id).count()
+    }
+
+    /// Set a property on a node.
+    ///
+    /// # Errors
+    ///
+    /// [`GraphError::MissingNode`] when the node does not exist.
+    pub fn set_node_prop(&mut self, id: NodeId, key: &str, value: PropValue) -> Result<()> {
+        match self.nodes.get_mut(&id) {
+            Some(n) => {
+                n.props.insert(key.to_owned(), value);
+                Ok(())
+            }
+            None => Err(GraphError::MissingNode(id)),
+        }
+    }
+
+    /// Consistency check: every edge endpoint must exist. Returns the number
+    /// of edges checked.
+    ///
+    /// # Errors
+    ///
+    /// [`GraphError::DanglingEdge`] on the first violation (none can occur
+    /// through the public API; the check guards deserialized stores).
+    pub fn validate(&self) -> Result<usize> {
+        for e in &self.edges {
+            if !self.nodes.contains_key(&e.src) || !self.nodes.contains_key(&e.dst) {
+                return Err(GraphError::DanglingEdge {
+                    src: e.src,
+                    dst: e.dst,
+                });
+            }
+        }
+        Ok(self.edges.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::props;
+
+    fn sample_store() -> GraphStore {
+        let mut s = GraphStore::new();
+        s.add_node(1, "Station", props([("name", PropValue::from("A"))]));
+        s.add_node(2, "Station", props([("name", PropValue::from("B"))]));
+        s.add_node(3, "Location", PropMap::new());
+        s.add_edge(1, 2, "TRIP", props([("hour", PropValue::from(8i64))]))
+            .unwrap();
+        s.add_edge(1, 2, "TRIP", props([("hour", PropValue::from(9i64))]))
+            .unwrap();
+        s.add_edge(2, 1, "TRIP", PropMap::new()).unwrap();
+        s.add_edge(1, 1, "TRIP", PropMap::new()).unwrap(); // self-loop
+        s
+    }
+
+    #[test]
+    fn counts() {
+        let s = sample_store();
+        assert_eq!(s.node_count(), 3);
+        assert_eq!(s.edge_count(), 4);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn add_edge_requires_endpoints() {
+        let mut s = GraphStore::new();
+        s.add_node(1, "Station", PropMap::new());
+        let err = s.add_edge(1, 99, "TRIP", PropMap::new()).unwrap_err();
+        assert_eq!(err, GraphError::DanglingEdge { src: 1, dst: 99 });
+    }
+
+    #[test]
+    fn multi_edges_and_self_loops_allowed() {
+        let s = sample_store();
+        assert_eq!(s.out_degree(1), 3); // 2 to B + self-loop
+        assert_eq!(s.in_degree(1), 2); // from B + self-loop
+        assert_eq!(s.out_degree(2), 1);
+    }
+
+    #[test]
+    fn label_filters() {
+        let s = sample_store();
+        assert_eq!(s.nodes_with_label("Station").count(), 2);
+        assert_eq!(s.nodes_with_label("Location").count(), 1);
+        assert_eq!(s.edges_with_label("TRIP").count(), 4);
+        assert_eq!(s.edges_with_label("OTHER").count(), 0);
+    }
+
+    #[test]
+    fn upsert_replaces_and_reports() {
+        let mut s = sample_store();
+        let prev = s.add_node(1, "Station", props([("name", PropValue::from("A2"))]));
+        assert!(prev.is_some());
+        assert_eq!(s.node(1).unwrap().props["name"].as_text(), Some("A2"));
+    }
+
+    #[test]
+    fn set_node_prop() {
+        let mut s = sample_store();
+        s.set_node_prop(1, "community", PropValue::from(2i64)).unwrap();
+        assert_eq!(s.node(1).unwrap().props["community"].as_int(), Some(2));
+        assert!(matches!(
+            s.set_node_prop(99, "x", PropValue::from(1i64)),
+            Err(GraphError::MissingNode(99))
+        ));
+    }
+
+    #[test]
+    fn node_ids_sorted_is_deterministic() {
+        let s = sample_store();
+        assert_eq!(s.node_ids_sorted(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn validate_passes_for_consistent_store() {
+        assert_eq!(sample_store().validate().unwrap(), 4);
+    }
+}

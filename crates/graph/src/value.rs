@@ -1,0 +1,151 @@
+//! Typed property values for nodes and relationships.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A typed property value, the analogue of a Neo4j property.
+///
+/// Only the types the pipeline actually needs are supported: integers
+/// (counts, ids, weekday/hour keys), floats (coordinates, weights), text
+/// (names, colours) and booleans (flags such as `is_fixed`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum PropValue {
+    /// 64-bit signed integer.
+    Int(i64),
+    /// 64-bit float.
+    Float(f64),
+    /// UTF-8 text.
+    Text(String),
+    /// Boolean flag.
+    Bool(bool),
+}
+
+impl PropValue {
+    /// The value as an integer, if it is one.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            PropValue::Int(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The value as a float; integers are widened.
+    pub fn as_float(&self) -> Option<f64> {
+        match self {
+            PropValue::Float(v) => Some(*v),
+            PropValue::Int(v) => Some(*v as f64),
+            _ => None,
+        }
+    }
+
+    /// The value as text, if it is text.
+    pub fn as_text(&self) -> Option<&str> {
+        match self {
+            PropValue::Text(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The value as a boolean, if it is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            PropValue::Bool(v) => Some(*v),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for PropValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PropValue::Int(v) => write!(f, "{v}"),
+            PropValue::Float(v) => write!(f, "{v}"),
+            PropValue::Text(v) => write!(f, "{v}"),
+            PropValue::Bool(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+impl From<i64> for PropValue {
+    fn from(v: i64) -> Self {
+        PropValue::Int(v)
+    }
+}
+impl From<f64> for PropValue {
+    fn from(v: f64) -> Self {
+        PropValue::Float(v)
+    }
+}
+impl From<&str> for PropValue {
+    fn from(v: &str) -> Self {
+        PropValue::Text(v.to_owned())
+    }
+}
+impl From<String> for PropValue {
+    fn from(v: String) -> Self {
+        PropValue::Text(v)
+    }
+}
+impl From<bool> for PropValue {
+    fn from(v: bool) -> Self {
+        PropValue::Bool(v)
+    }
+}
+
+/// An ordered property map. `BTreeMap` keeps iteration deterministic, which
+/// keeps exports and test expectations stable.
+pub type PropMap = BTreeMap<String, PropValue>;
+
+/// Convenience constructor for a [`PropMap`] from `(key, value)` pairs.
+///
+/// ```
+/// use moby_graph::{props, PropValue};
+/// let m = props([("name", PropValue::from("Smithfield")), ("docks", PropValue::from(12i64))]);
+/// assert_eq!(m["docks"].as_int(), Some(12));
+/// ```
+pub fn props<I, K>(pairs: I) -> PropMap
+where
+    I: IntoIterator<Item = (K, PropValue)>,
+    K: Into<String>,
+{
+    pairs.into_iter().map(|(k, v)| (k.into(), v)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors_match_variants() {
+        assert_eq!(PropValue::Int(3).as_int(), Some(3));
+        assert_eq!(PropValue::Int(3).as_float(), Some(3.0));
+        assert_eq!(PropValue::Float(2.5).as_float(), Some(2.5));
+        assert_eq!(PropValue::Float(2.5).as_int(), None);
+        assert_eq!(PropValue::Text("x".into()).as_text(), Some("x"));
+        assert_eq!(PropValue::Bool(true).as_bool(), Some(true));
+        assert_eq!(PropValue::Bool(true).as_int(), None);
+    }
+
+    #[test]
+    fn from_impls() {
+        assert_eq!(PropValue::from(4i64), PropValue::Int(4));
+        assert_eq!(PropValue::from(1.5f64), PropValue::Float(1.5));
+        assert_eq!(PropValue::from("hi"), PropValue::Text("hi".into()));
+        assert_eq!(PropValue::from(false), PropValue::Bool(false));
+    }
+
+    #[test]
+    fn display_round_trip() {
+        assert_eq!(PropValue::Int(7).to_string(), "7");
+        assert_eq!(PropValue::Text("a b".into()).to_string(), "a b");
+        assert_eq!(PropValue::Bool(true).to_string(), "true");
+    }
+
+    #[test]
+    fn props_builder_is_deterministic() {
+        let m = props([("b", PropValue::from(1i64)), ("a", PropValue::from(2i64))]);
+        let keys: Vec<&str> = m.keys().map(|s| s.as_str()).collect();
+        assert_eq!(keys, vec!["a", "b"]);
+    }
+}

@@ -1,0 +1,47 @@
+//! Quickstart: run the full expansion pipeline on a synthetic dataset and
+//! print the headline numbers of every table the paper reports.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use moby_expansion::core::pipeline::{ExpansionPipeline, PipelineConfig};
+use moby_expansion::core::report;
+use moby_expansion::core::validate::validate_default;
+use moby_expansion::data::synth::{generate, SynthConfig};
+
+fn main() {
+    // A reduced-scale dataset keeps the example fast; swap in
+    // `SynthConfig::paper_scale()` to reproduce the full-size run.
+    let config = SynthConfig::small_test();
+    println!("generating synthetic Moby dataset (seed {}) ...", config.seed);
+    let raw = generate(&config);
+
+    let pipeline = ExpansionPipeline::new(PipelineConfig::default());
+    let outcome = pipeline.run(&raw).expect("pipeline should run");
+
+    println!("\n{}", report::render_table1(&outcome.overview));
+    println!("{}", report::render_table2(&outcome.candidate.summary));
+    println!("{}", report::render_table3(&outcome.selected.table));
+    println!(
+        "{}",
+        report::render_community_table("GBasic (Table IV)", &outcome.communities.basic.table)
+    );
+    println!(
+        "{}",
+        report::render_community_table("GDay (Table V)", &outcome.communities.day.table)
+    );
+    println!(
+        "{}",
+        report::render_community_table("GHour (Table VI)", &outcome.communities.hour.table)
+    );
+
+    let validation = validate_default(&outcome);
+    println!("validation: {validation:#?}");
+    println!(
+        "\nexpanded the network from {} to {} stations ({} new)",
+        outcome.dataset.stations.len(),
+        outcome.total_station_count(),
+        outcome.new_station_count()
+    );
+}

@@ -1,0 +1,58 @@
+//! # moby-expansion
+//!
+//! A Rust reproduction of *"Graph-Based Optimisation of Network Expansion in
+//! a Dockless Bike Sharing System"* (Roantree, Cuong, Murphy, Ngo —
+//! ICDE 2024, arXiv:2404.01320).
+//!
+//! This facade crate re-exports the workspace members under short module
+//! names so downstream users can depend on a single crate:
+//!
+//! * [`geo`] — Haversine distance, polygons, spatial indexes;
+//! * [`data`] — trip schema, cleaning pipeline, synthetic Dublin generator;
+//! * [`graph`] — property-graph store, weighted graphs, network metrics;
+//! * [`cluster`] — constrained hierarchical agglomerative clustering;
+//! * [`community`] — Louvain, label propagation, modularity, partition
+//!   comparison;
+//! * [`core`] — the paper's pipeline: candidate generation, station
+//!   selection (Algorithm 1), temporal graphs and community validation.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use moby_expansion::core::pipeline::{ExpansionPipeline, PipelineConfig};
+//! use moby_expansion::data::synth::{generate, SynthConfig};
+//!
+//! // Generate a small synthetic Moby-like dataset and expand the network.
+//! let raw = generate(&SynthConfig::small_test());
+//! let outcome = ExpansionPipeline::new(PipelineConfig::default())
+//!     .run(&raw)
+//!     .expect("pipeline runs on the synthetic dataset");
+//!
+//! println!(
+//!     "selected {} new stations on top of {} existing ones",
+//!     outcome.new_station_count(),
+//!     outcome.dataset.stations.len(),
+//! );
+//! assert!(outcome.communities.basic.modularity > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use moby_cluster as cluster;
+pub use moby_community as community;
+pub use moby_core as core;
+pub use moby_data as data;
+pub use moby_geo as geo;
+pub use moby_graph as graph;
+
+/// The crate version, taken from the workspace manifest.
+pub const VERSION: &str = env!("CARGO_PKG_VERSION");
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn version_is_populated() {
+        assert!(!super::VERSION.is_empty());
+    }
+}

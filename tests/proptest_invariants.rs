@@ -1,0 +1,152 @@
+//! Property-based tests of the pipeline's core invariants, driven by
+//! randomly generated miniature datasets rather than the calibrated
+//! synthetic generator.
+
+use moby_expansion::cluster::hac::{cluster_diameter, hac_clusters};
+use moby_expansion::cluster::linkage::Linkage;
+use moby_expansion::community::{louvain, modularity, LouvainConfig, Partition};
+use moby_expansion::core::candidate::build_candidate_network;
+use moby_expansion::core::selection::select_stations;
+use moby_expansion::core::ExpansionConfig;
+use moby_expansion::data::schema::{CleanDataset, Location, Rental, Station};
+use moby_expansion::data::timeparse::Timestamp;
+use moby_expansion::geo::{destination_point, haversine_m, GeoPoint};
+use moby_expansion::graph::WeightedGraph;
+use proptest::prelude::*;
+
+/// A point somewhere in central Dublin.
+fn dublin_point() -> impl Strategy<Value = GeoPoint> {
+    (53.30f64..53.40, -6.35f64..-6.15)
+        .prop_map(|(lat, lon)| GeoPoint::new(lat, lon).expect("in range"))
+}
+
+/// A miniature clean dataset: a handful of stations, locations scattered
+/// around them, and random trips between locations.
+fn mini_dataset() -> impl Strategy<Value = CleanDataset> {
+    (
+        prop::collection::vec(dublin_point(), 3..8),
+        prop::collection::vec((0.0f64..360.0, 30.0f64..1_500.0), 10..60),
+        prop::collection::vec((0usize..1000, 0usize..1000, 0u32..24, 0i64..600), 20..150),
+    )
+        .prop_map(|(station_points, location_offsets, trips)| {
+            let stations: Vec<Station> = station_points
+                .iter()
+                .enumerate()
+                .map(|(i, &p)| Station {
+                    id: i as u64 + 1,
+                    name: format!("S{i}"),
+                    position: p,
+                })
+                .collect();
+            // Station locations first (ids 1000+i), then dockless ones.
+            let mut locations: Vec<Location> = stations
+                .iter()
+                .map(|s| Location {
+                    id: 1000 + s.id,
+                    position: s.position,
+                    station_id: Some(s.id),
+                })
+                .collect();
+            for (i, &(bearing, dist)) in location_offsets.iter().enumerate() {
+                let anchor = station_points[i % station_points.len()];
+                locations.push(Location {
+                    id: 2000 + i as u64,
+                    position: destination_point(anchor, bearing, dist),
+                    station_id: None,
+                });
+            }
+            let base = Timestamp::from_ymd_hms(2021, 5, 3, 0, 0, 0).expect("valid");
+            let rentals: Vec<Rental> = trips
+                .iter()
+                .enumerate()
+                .map(|(i, &(a, b, hour, day_offset))| {
+                    let origin = locations[a % locations.len()].id;
+                    let dest = locations[b % locations.len()].id;
+                    let start = Timestamp(
+                        base.unix_seconds() + (day_offset % 120) * 86_400 + i64::from(hour) * 3600,
+                    );
+                    Rental {
+                        id: i as u64 + 1,
+                        bike_id: (i % 20) as u32 + 1,
+                        start_time: start,
+                        end_time: start.plus_seconds(1200),
+                        rental_location_id: origin,
+                        return_location_id: dest,
+                    }
+                })
+                .collect();
+            CleanDataset {
+                stations,
+                locations,
+                rentals,
+            }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn complete_linkage_clusters_never_exceed_the_boundary(
+        points in prop::collection::vec(dublin_point(), 2..80),
+        threshold in 40.0f64..400.0,
+    ) {
+        let clusters = hac_clusters(&points, Linkage::Complete, threshold);
+        // Partition property: every point in exactly one cluster.
+        let total: usize = clusters.iter().map(|c| c.len()).sum();
+        prop_assert_eq!(total, points.len());
+        // Rule 1 property: the diameter bound holds for every cluster.
+        for c in &clusters {
+            prop_assert!(cluster_diameter(&points, c) <= threshold + 1e-6);
+        }
+    }
+
+    #[test]
+    fn louvain_never_scores_below_the_trivial_partition(
+        edges in prop::collection::vec((0u64..25, 0u64..25, 1u32..20), 5..120),
+    ) {
+        let mut g = WeightedGraph::new_undirected();
+        for &(a, b, w) in &edges {
+            g.add_edge(a, b, f64::from(w));
+        }
+        let p = louvain(&g, &LouvainConfig::default());
+        // Every node assigned, labels canonical.
+        prop_assert_eq!(p.len(), g.node_count());
+        let q = modularity(&g, &p);
+        let q_trivial = modularity(&g, &g.node_ids().iter().map(|&n| (n, 0usize)).collect::<Partition>());
+        prop_assert!(q >= q_trivial - 1e-9, "louvain {q} < trivial {q_trivial}");
+        prop_assert!((-1.0..=1.0).contains(&q));
+    }
+
+    #[test]
+    fn candidate_network_and_selection_respect_invariants(dataset in mini_dataset()) {
+        let config = ExpansionConfig::default();
+        let network = build_candidate_network(&dataset, &config).expect("network builds");
+        // Every cleaned location is mapped.
+        for loc in &dataset.locations {
+            prop_assert!(network.location_to_node.contains_key(&loc.id));
+        }
+        // Trip conservation into the candidate graph.
+        prop_assert_eq!(network.summary.trips, dataset.rentals.len());
+
+        let selection = select_stations(&network, &config).expect("selection runs");
+        // Selected + rejected = all candidates.
+        prop_assert_eq!(
+            selection.selected.len() + selection.rejected.len(),
+            network.candidate_ids().len()
+        );
+        // Rule 4: every selected station is farther than 250 m from every
+        // fixed station; selected stations are mutually separated too.
+        for s in &selection.selected {
+            for station in &dataset.stations {
+                prop_assert!(haversine_m(s.position, station.position) > config.secondary_distance_m);
+            }
+            prop_assert!(s.degree >= selection.degree_threshold);
+        }
+        for (i, a) in selection.selected.iter().enumerate() {
+            for b in &selection.selected[i + 1..] {
+                prop_assert!(haversine_m(a.position, b.position) > config.secondary_distance_m);
+            }
+        }
+    }
+}

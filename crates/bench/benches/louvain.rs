@@ -69,5 +69,9 @@ fn bench_temporal_graphs(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_detectors_on_planted_graphs, bench_temporal_graphs);
+criterion_group!(
+    benches,
+    bench_detectors_on_planted_graphs,
+    bench_temporal_graphs
+);
 criterion_main!(benches);

@@ -18,7 +18,12 @@ fn bench_pipeline(c: &mut Criterion) {
             &scale,
             |bench, _| {
                 let pipeline = ExpansionPipeline::new(PipelineConfig::default());
-                bench.iter(|| pipeline.run(&raw).expect("pipeline runs").new_station_count())
+                bench.iter(|| {
+                    pipeline
+                        .run(&raw)
+                        .expect("pipeline runs")
+                        .new_station_count()
+                })
             },
         );
     }

@@ -59,14 +59,18 @@ fn bench_indexes(c: &mut Criterion) {
                 .map(|(i, p)| (p, i))
                 .collect::<Vec<_>>(),
         );
-        group.bench_with_input(BenchmarkId::new("kdtree_nearest_200q", n), &n, |bench, _| {
-            bench.iter(|| {
-                queries
-                    .iter()
-                    .map(|q| tree.nearest(*q).expect("non-empty").2)
-                    .sum::<f64>()
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("kdtree_nearest_200q", n),
+            &n,
+            |bench, _| {
+                bench.iter(|| {
+                    queries
+                        .iter()
+                        .map(|q| tree.nearest(*q).expect("non-empty").2)
+                        .sum::<f64>()
+                })
+            },
+        );
 
         let mut grid = GridIndex::new(200.0, 53.35).expect("valid cell");
         for (i, p) in pts.iter().enumerate() {

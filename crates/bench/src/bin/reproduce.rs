@@ -13,6 +13,8 @@
 //! are written to `reproduction/`.
 
 use moby_bench::{dataset, run_pipeline, Scale};
+use moby_cluster::linkage::Linkage;
+use moby_community::Partition;
 use moby_core::candidate::build_candidate_network;
 use moby_core::detect::{detect_communities, DetectConfig, Detector};
 use moby_core::pipeline::{ExpansionOutcome, ExpansionPipeline, PipelineConfig};
@@ -24,8 +26,6 @@ use moby_core::selection::select_stations;
 use moby_core::temporal::{build_temporal_graph, TemporalGranularity};
 use moby_core::validate::validate_default;
 use moby_core::ExpansionConfig;
-use moby_cluster::linkage::Linkage;
-use moby_community::Partition;
 use moby_data::clean::clean_dataset;
 use moby_data::timeparse::Weekday;
 use std::collections::HashMap;
@@ -331,7 +331,9 @@ fn ablate_secondary(scale: Scale) {
             },
             detect: DetectConfig::default(),
         };
-        let outcome = ExpansionPipeline::new(cfg).run(&raw).expect("pipeline runs");
+        let outcome = ExpansionPipeline::new(cfg)
+            .run(&raw)
+            .expect("pipeline runs");
         println!("{:<14} {:>12}", distance, outcome.new_station_count());
     }
     println!();
@@ -345,6 +347,8 @@ fn ablate_detector(outcome: &ExpansionOutcome) {
         "graph", "detector", "#communities", "modularity", "self-contained"
     );
     let old_ids = outcome.selected.fixed_ids();
+    // Freeze once; both detectors and all granularities share the frozen CSR.
+    let directed_trips = outcome.selected.directed.freeze();
     for granularity in TemporalGranularity::ALL {
         let temporal = build_temporal_graph(&outcome.selected.store, granularity);
         for (name, detector) in [
@@ -353,7 +357,7 @@ fn ablate_detector(outcome: &ExpansionOutcome) {
         ] {
             let detection = detect_communities(
                 &temporal,
-                &outcome.selected.directed,
+                &directed_trips,
                 &old_ids,
                 &DetectConfig {
                     detector,

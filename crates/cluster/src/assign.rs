@@ -149,7 +149,10 @@ mod tests {
         let s1 = p(53.34, -6.26);
         let s2 = p(53.36, -6.26);
         let assigner = StationAssigner::new(&[s1, s2]).unwrap();
-        let pts = vec![destination_point(s2, 0.0, 10.0), destination_point(s1, 0.0, 10.0)];
+        let pts = vec![
+            destination_point(s2, 0.0, 10.0),
+            destination_point(s1, 0.0, 10.0),
+        ];
         let res = assigner.assign_all(&pts);
         assert_eq!(res[0].station_index, 1);
         assert_eq!(res[1].station_index, 0);
@@ -163,10 +166,22 @@ mod tests {
     #[test]
     fn stats_values() {
         let assignments = vec![
-            Assignment { station_index: 0, distance_m: 100.0 },
-            Assignment { station_index: 0, distance_m: 200.0 },
-            Assignment { station_index: 1, distance_m: 300.0 },
-            Assignment { station_index: 1, distance_m: 400.0 },
+            Assignment {
+                station_index: 0,
+                distance_m: 100.0,
+            },
+            Assignment {
+                station_index: 0,
+                distance_m: 200.0,
+            },
+            Assignment {
+                station_index: 1,
+                distance_m: 300.0,
+            },
+            Assignment {
+                station_index: 1,
+                distance_m: 400.0,
+            },
         ];
         let s = AssignmentStats::of(&assignments).unwrap();
         assert_eq!(s.count, 4);

@@ -85,7 +85,10 @@ impl ConstrainedClustering {
 
     /// Number of locations placed in candidate clusters.
     pub fn clustered_locations(&self) -> usize {
-        self.candidate_clusters.iter().map(|c| c.members.len()).sum()
+        self.candidate_clusters
+            .iter()
+            .map(|c| c.members.len())
+            .sum()
     }
 }
 
@@ -207,8 +210,7 @@ mod tests {
         let far_a2 = destination_point(far_a1, 10.0, 30.0); // candidate cluster A
         let far_b = destination_point(st, 225.0, 900.0); // candidate cluster B
         let locations = vec![near1, near2, far_a1, far_a2, far_b];
-        let out =
-            constrained_clustering(&[st], &locations, &ConstrainedConfig::default()).unwrap();
+        let out = constrained_clustering(&[st], &locations, &ConstrainedConfig::default()).unwrap();
         assert_eq!(out.station_groups.len(), 1);
         assert_eq!(out.station_groups[0].members, vec![0, 1]);
         assert_eq!(out.candidate_clusters.len(), 2);
@@ -233,8 +235,7 @@ mod tests {
         let locations: Vec<GeoPoint> = (0..8)
             .map(|i| destination_point(start, 0.0, i as f64 * 70.0))
             .collect();
-        let out =
-            constrained_clustering(&[st], &locations, &ConstrainedConfig::default()).unwrap();
+        let out = constrained_clustering(&[st], &locations, &ConstrainedConfig::default()).unwrap();
         for c in &out.candidate_clusters {
             assert!(c.diameter_m <= 100.0 + 1e-6, "diameter {}", c.diameter_m);
         }
@@ -262,20 +263,14 @@ mod tests {
         let s2 = destination_point(s1, 90.0, 80.0);
         // 30 m from s1, 50 m from s2.
         let loc = destination_point(s1, 90.0, 30.0);
-        let out = constrained_clustering(
-            &[s1, s2],
-            &[loc],
-            &ConstrainedConfig::default(),
-        )
-        .unwrap();
+        let out = constrained_clustering(&[s1, s2], &[loc], &ConstrainedConfig::default()).unwrap();
         assert_eq!(out.station_groups[0].members, vec![0]);
         assert!(out.station_groups[1].members.is_empty());
     }
 
     #[test]
     fn empty_locations_give_empty_candidates() {
-        let out =
-            constrained_clustering(&[station()], &[], &ConstrainedConfig::default()).unwrap();
+        let out = constrained_clustering(&[station()], &[], &ConstrainedConfig::default()).unwrap();
         assert!(out.candidate_clusters.is_empty());
         assert_eq!(out.station_groups.len(), 1);
         assert_eq!(out.total_groups(), 1);
@@ -287,8 +282,7 @@ mod tests {
         let locations: Vec<GeoPoint> = (0..60)
             .map(|i| destination_point(st, (i * 37 % 360) as f64, 20.0 + (i as f64 * 13.0) % 700.0))
             .collect();
-        let out =
-            constrained_clustering(&[st], &locations, &ConstrainedConfig::default()).unwrap();
+        let out = constrained_clustering(&[st], &locations, &ConstrainedConfig::default()).unwrap();
         let mut seen = vec![0usize; locations.len()];
         for g in &out.station_groups {
             for &m in &g.members {

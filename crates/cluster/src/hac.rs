@@ -58,7 +58,7 @@ impl Dendrogram {
     /// sorted by their smallest member for determinism.
     pub fn cut(&self, threshold: f64) -> Vec<Vec<usize>> {
         let mut parent: Vec<usize> = (0..self.n + self.merges.len()).collect();
-        fn find(parent: &mut Vec<usize>, mut x: usize) -> usize {
+        fn find(parent: &mut [usize], mut x: usize) -> usize {
             while parent[x] != x {
                 parent[x] = parent[parent[x]];
                 x = parent[x];
@@ -229,9 +229,19 @@ fn bisect_component(points: &[GeoPoint], members: Vec<usize>, max_size: usize) -
         - lons.iter().cloned().fold(f64::MAX, f64::min);
     let mut sorted = members;
     if lat_span >= lon_span {
-        sorted.sort_by(|&a, &b| points[a].lat().partial_cmp(&points[b].lat()).expect("finite"));
+        sorted.sort_by(|&a, &b| {
+            points[a]
+                .lat()
+                .partial_cmp(&points[b].lat())
+                .expect("finite")
+        });
     } else {
-        sorted.sort_by(|&a, &b| points[a].lon().partial_cmp(&points[b].lon()).expect("finite"));
+        sorted.sort_by(|&a, &b| {
+            points[a]
+                .lon()
+                .partial_cmp(&points[b].lon())
+                .expect("finite")
+        });
     }
     let mid = sorted.len() / 2;
     let right = sorted.split_off(mid);

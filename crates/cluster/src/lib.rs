@@ -61,10 +61,16 @@ impl fmt::Display for ClusterError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ClusterError::InvalidThreshold(v) => {
-                write!(f, "invalid distance threshold {v}: must be finite and non-negative")
+                write!(
+                    f,
+                    "invalid distance threshold {v}: must be finite and non-negative"
+                )
             }
             ClusterError::NoFixedStations => {
-                write!(f, "constrained clustering requires at least one fixed station")
+                write!(
+                    f,
+                    "constrained clustering requires at least one fixed station"
+                )
             }
         }
     }
@@ -81,7 +87,9 @@ mod tests {
 
     #[test]
     fn error_display() {
-        assert!(ClusterError::InvalidThreshold(-3.0).to_string().contains("-3"));
+        assert!(ClusterError::InvalidThreshold(-3.0)
+            .to_string()
+            .contains("-3"));
         assert!(!ClusterError::NoFixedStations.to_string().is_empty());
     }
 }

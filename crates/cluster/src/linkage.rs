@@ -25,13 +25,7 @@ impl Linkage {
     /// `A ∪ B` to another cluster `C`, given `d(A, C)`, `d(B, C)` and the
     /// cluster sizes.
     #[inline]
-    pub fn merge_distance(
-        &self,
-        d_ac: f64,
-        d_bc: f64,
-        size_a: usize,
-        size_b: usize,
-    ) -> f64 {
+    pub fn merge_distance(&self, d_ac: f64, d_bc: f64, size_a: usize, size_b: usize) -> f64 {
         match self {
             Linkage::Complete => d_ac.max(d_bc),
             Linkage::Single => d_ac.min(d_bc),

@@ -12,11 +12,10 @@
 //! label changes or the iteration cap is hit.
 
 use crate::Partition;
-use moby_graph::WeightedGraph;
+use moby_graph::{CsrGraph, WeightedGraph};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
-use std::collections::HashMap;
 
 /// Configuration for [`label_propagation`].
 #[derive(Debug, Clone, PartialEq)]
@@ -39,8 +38,16 @@ impl Default for LabelPropagationConfig {
 
 /// Run (weighted, synchronous-free) label propagation on the undirected
 /// projection of `graph` and return the detected partition with canonical
-/// labels.
+/// labels. Freezes the builder once and runs [`label_propagation_csr`]
+/// (which projects directed graphs to undirected itself).
 pub fn label_propagation(graph: &WeightedGraph, config: &LabelPropagationConfig) -> Partition {
+    label_propagation_csr(&graph.freeze(), config)
+}
+
+/// Label propagation over a frozen [`CsrGraph`] (directed graphs are
+/// projected to undirected first). The per-node tally uses a dense
+/// index-addressed scratch buffer over CSR rows — no hashing in the sweep.
+pub fn label_propagation_csr(graph: &CsrGraph, config: &LabelPropagationConfig) -> Partition {
     let undirected;
     let g = if graph.is_directed() {
         undirected = graph.to_undirected();
@@ -55,29 +62,39 @@ pub fn label_propagation(graph: &WeightedGraph, config: &LabelPropagationConfig)
     let mut labels: Vec<usize> = (0..n).collect();
     let mut order: Vec<usize> = (0..n).collect();
     let mut rng = StdRng::seed_from_u64(config.seed);
+    // Dense scratch: weight_to[l] = incident weight carrying label l.
+    let mut weight_to = vec![0.0f64; n];
+    let mut touched: Vec<usize> = Vec::new();
 
     for _ in 0..config.max_iterations {
         order.shuffle(&mut rng);
         let mut changed = false;
         for &node in &order {
-            let mut weight_by_label: HashMap<usize, f64> = HashMap::new();
-            for (nbr, w) in g.neighbors(node) {
+            for &l in &touched {
+                weight_to[l] = 0.0;
+            }
+            touched.clear();
+            let (targets, weights) = g.row(node);
+            for (&nbr, &w) in targets.iter().zip(weights) {
+                let nbr = nbr as usize;
                 if nbr != node {
-                    *weight_by_label.entry(labels[nbr]).or_insert(0.0) += w;
+                    let l = labels[nbr];
+                    if weight_to[l] == 0.0 {
+                        touched.push(l);
+                    }
+                    weight_to[l] += w;
                 }
             }
-            if weight_by_label.is_empty() {
+            if touched.is_empty() {
                 continue; // isolated node keeps its own label
             }
             // Highest total weight, ties to the smallest label.
             let mut best_label = labels[node];
             let mut best_weight = f64::NEG_INFINITY;
-            let mut entries: Vec<(usize, f64)> =
-                weight_by_label.into_iter().collect();
-            entries.sort_by_key(|&(l, _)| l);
-            for (label, weight) in entries {
-                if weight > best_weight + 1e-12 {
-                    best_weight = weight;
+            touched.sort_unstable();
+            for &label in &touched {
+                if weight_to[label] > best_weight + 1e-12 {
+                    best_weight = weight_to[label];
                     best_label = label;
                 }
             }

@@ -13,6 +13,13 @@
 //!   with graph aggregation), deterministic for a fixed seed;
 //! * [`label_propagation`] — the Label Propagation algorithm the paper
 //!   names as future work, used here for the detector ablation;
+//!
+//! Every detector runs on the **frozen CSR representation**
+//! ([`moby_graph::CsrGraph`]): the `*_csr` entry points consume an
+//! already-frozen graph, the builder-graph entry points freeze once and
+//! delegate, and the `*_hashmap` functions retain the legacy hash-map
+//! walks as benchmark baselines and equivalence references;
+//!
 //! * [`stats`] — per-community trip accounting (within / out / in), the
 //!   layout of the paper's Tables IV–VI;
 //! * [`compare`] — partition similarity (NMI, ARI, purity) used to verify
@@ -45,7 +52,7 @@ mod modularity;
 mod partition;
 pub mod stats;
 
-pub use labelprop::{label_propagation, LabelPropagationConfig};
-pub use louvain::{louvain, LouvainConfig};
-pub use modularity::modularity;
+pub use labelprop::{label_propagation, label_propagation_csr, LabelPropagationConfig};
+pub use louvain::{louvain, louvain_csr, louvain_hashmap, LouvainConfig};
+pub use modularity::{modularity, modularity_csr, modularity_hashmap};
 pub use partition::Partition;

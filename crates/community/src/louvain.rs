@@ -13,12 +13,33 @@
 //!    then runs on the aggregated graph.
 //!
 //! The loop ends when an aggregation pass no longer improves modularity.
-//! Node visiting order is the graph's dense index order by default, or a
-//! seeded shuffle when [`LouvainConfig::seed`] is set — either way the
-//! result is deterministic for a given input and configuration.
+//! Node visiting order is dense index order by default, or a seeded shuffle
+//! when [`LouvainConfig::seed`] is set — either way the result is
+//! deterministic for a given input and configuration.
+//!
+//! Two implementations share that algorithm:
+//!
+//! * [`louvain_csr`] — the production path. It consumes a frozen
+//!   [`CsrGraph`], keeps every level in flat CSR arrays, replaces the
+//!   per-node hash scratch with dense index-addressed buffers, and
+//!   relabels memberships through the interned dense index in O(n).
+//! * [`louvain_hashmap`] — the legacy path over the mutable
+//!   [`WeightedGraph`], retained as the baseline the criterion benches
+//!   compare against (and the reference the equivalence tests check the
+//!   CSR path's output against). Both paths run identical local-moving
+//!   and aggregation arithmetic (neighbour scans, degree sums and merged
+//!   edge weights accumulate in the same sorted order), so move decisions
+//!   match exactly; only the per-pass modularity *gate* is computed by
+//!   different routines whose sums can differ in the last ULP, and every
+//!   gain comparison carries an epsilon guard, so the two paths produce
+//!   identical partitions in practice (asserted exactly by the
+//!   equivalence tests on random graphs and the synthetic dataset).
+//!
+//! [`louvain`] is the drop-in entry point: it freezes the builder graph
+//! once and runs the CSR path.
 
-use crate::{modularity, Partition};
-use moby_graph::{NodeId, WeightedGraph};
+use crate::{modularity_hashmap, Partition};
+use moby_graph::{CsrGraph, NodeId, WeightedGraph};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -47,6 +68,315 @@ impl Default for LouvainConfig {
     }
 }
 
+// ---------------------------------------------------------------------------
+// CSR path (production)
+// ---------------------------------------------------------------------------
+
+/// One level of the aggregation hierarchy in flat CSR form. Self-loops are
+/// held out of the adjacency rows (they never affect a move decision) but
+/// count twice in `degree`, matching the standard convention.
+struct CsrLevel {
+    offsets: Vec<u32>,
+    targets: Vec<u32>,
+    weights: Vec<f64>,
+    self_loops: Vec<f64>,
+    /// Weighted degree per node (self-loops twice).
+    degree: Vec<f64>,
+    /// Total edge weight m (undirected edges once, self-loops once).
+    m: f64,
+}
+
+impl CsrLevel {
+    fn from_frozen(graph: &CsrGraph) -> CsrLevel {
+        let n = graph.node_count();
+        let mut offsets = Vec::with_capacity(n + 1);
+        offsets.push(0u32);
+        let mut targets = Vec::new();
+        let mut weights = Vec::new();
+        let mut self_loops = vec![0.0f64; n];
+        let mut degree = vec![0.0f64; n];
+        for u in 0..n {
+            let (t, w) = graph.row(u);
+            for (&v, &w) in t.iter().zip(w) {
+                if v as usize == u {
+                    self_loops[u] = w;
+                } else {
+                    targets.push(v);
+                    weights.push(w);
+                }
+            }
+            offsets.push(targets.len() as u32);
+            degree[u] = graph.weighted_degree(u);
+        }
+        CsrLevel {
+            offsets,
+            targets,
+            weights,
+            self_loops,
+            degree,
+            m: graph.total_weight(),
+        }
+    }
+
+    fn node_count(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    #[inline]
+    fn row(&self, u: usize) -> (&[u32], &[f64]) {
+        let lo = self.offsets[u] as usize;
+        let hi = self.offsets[u + 1] as usize;
+        (&self.targets[lo..hi], &self.weights[lo..hi])
+    }
+}
+
+/// One local-moving phase over a CSR level. Returns the community
+/// assignment (labels are node indices, possibly with gaps) and whether any
+/// node moved. The per-node scratch is a dense index-addressed buffer plus
+/// a touched list — no hashing in the inner loop.
+fn local_moving_csr(graph: &CsrLevel, order: &[usize]) -> (Vec<usize>, bool) {
+    let n = graph.node_count();
+    let mut community: Vec<usize> = (0..n).collect();
+    let mut comm_degree: Vec<f64> = graph.degree.clone();
+    let two_m = 2.0 * graph.m;
+    if two_m <= 0.0 {
+        return (community, false);
+    }
+
+    let mut moved_any = false;
+    let mut improved = true;
+    // Dense scratch: links_to[c] = weight from the current node into
+    // community c; `touched` lists the communities with a non-zero entry.
+    let mut links_to = vec![0.0f64; n];
+    let mut touched: Vec<usize> = Vec::new();
+
+    while improved {
+        improved = false;
+        for &node in order {
+            let node_comm = community[node];
+            let k_i = graph.degree[node];
+
+            for &c in &touched {
+                links_to[c] = 0.0;
+            }
+            touched.clear();
+            let (targets, weights) = graph.row(node);
+            for (&nbr, &w) in targets.iter().zip(weights) {
+                let c = community[nbr as usize];
+                if links_to[c] == 0.0 {
+                    touched.push(c);
+                }
+                links_to[c] += w;
+            }
+
+            // Remove the node from its community.
+            comm_degree[node_comm] -= k_i;
+            let k_i_in_own = links_to[node_comm];
+
+            // Best target community: the gain of moving node i into community
+            // C (after removal) is  k_i_in_C / m  -  Σ_tot_C * k_i / (2 m²);
+            // comparing across C we can drop the constant factor 1/m and use
+            // k_i_in_C - Σ_tot_C * k_i / (2m).
+            let mut best_comm = node_comm;
+            let mut best_gain = k_i_in_own - comm_degree[node_comm] * k_i / two_m;
+            touched.sort_unstable(); // deterministic tie-breaks
+            for &c in &touched {
+                if c == node_comm {
+                    continue;
+                }
+                let gain = links_to[c] - comm_degree[c] * k_i / two_m;
+                if gain > best_gain + 1e-12 {
+                    best_gain = gain;
+                    best_comm = c;
+                }
+            }
+
+            comm_degree[best_comm] += k_i;
+            if best_comm != node_comm {
+                community[node] = best_comm;
+                improved = true;
+                moved_any = true;
+            }
+        }
+    }
+    (community, moved_any)
+}
+
+/// Compact arbitrary labels (< n) to `0..k` in first-appearance order —
+/// the O(n) replacement for the old per-level `HashMap<NodeId, usize>`
+/// rebuild: labels are already dense node indices, so a vector suffices.
+fn compact_labels(community: &[usize]) -> (Vec<usize>, usize) {
+    let mut relabel = vec![usize::MAX; community.len()];
+    let mut compact = vec![0usize; community.len()];
+    let mut next = 0usize;
+    for (i, &c) in community.iter().enumerate() {
+        if relabel[c] == usize::MAX {
+            relabel[c] = next;
+            next += 1;
+        }
+        compact[i] = relabel[c];
+    }
+    (compact, next)
+}
+
+/// Aggregate a level by compacted communities into the next CSR level.
+/// The scan order (node index ascending, self-loop before forward edges)
+/// matches the legacy builder-based aggregation exactly, so merged weights
+/// and the total are bit-identical across the two paths.
+fn aggregate_csr(graph: &CsrLevel, compact: &[usize], k: usize) -> CsrLevel {
+    let mut pair_weight: HashMap<(u32, u32), f64> = HashMap::new();
+    let mut m = 0.0f64;
+    for i in 0..graph.node_count() {
+        let ci = compact[i] as u32;
+        if graph.self_loops[i] > 0.0 {
+            *pair_weight.entry((ci, ci)).or_insert(0.0) += graph.self_loops[i];
+            m += graph.self_loops[i];
+        }
+        let (targets, weights) = graph.row(i);
+        for (&j, &w) in targets.iter().zip(weights) {
+            if (j as usize) > i {
+                let cj = compact[j as usize] as u32;
+                let key = if ci <= cj { (ci, cj) } else { (cj, ci) };
+                *pair_weight.entry(key).or_insert(0.0) += w;
+                m += w;
+            }
+        }
+    }
+
+    let mut rows: Vec<Vec<(u32, f64)>> = vec![Vec::new(); k];
+    for (&(a, b), &w) in &pair_weight {
+        if a == b {
+            rows[a as usize].push((a, w));
+        } else {
+            rows[a as usize].push((b, w));
+            rows[b as usize].push((a, w));
+        }
+    }
+
+    let mut offsets = Vec::with_capacity(k + 1);
+    offsets.push(0u32);
+    let mut targets = Vec::new();
+    let mut weights = Vec::new();
+    let mut self_loops = vec![0.0f64; k];
+    let mut degree = vec![0.0f64; k];
+    for (c, row) in rows.iter_mut().enumerate() {
+        row.sort_unstable_by_key(|&(v, _)| v);
+        for &(v, w) in row.iter() {
+            if v as usize == c {
+                self_loops[c] = w;
+                degree[c] += 2.0 * w;
+            } else {
+                targets.push(v);
+                weights.push(w);
+                degree[c] += w;
+            }
+        }
+        offsets.push(targets.len() as u32);
+    }
+    CsrLevel {
+        offsets,
+        targets,
+        weights,
+        self_loops,
+        degree,
+        m,
+    }
+}
+
+/// Modularity of the current membership against the *original* frozen
+/// graph, accumulated densely in index order.
+fn membership_modularity(graph: &CsrGraph, membership: &[usize], k: usize) -> f64 {
+    let m = graph.total_weight();
+    if m <= 0.0 {
+        return 0.0;
+    }
+    let mut internal = vec![0.0f64; k];
+    let mut degree = vec![0.0f64; k];
+    for u in 0..graph.node_count() {
+        let cu = membership[u];
+        let (targets, weights) = graph.row(u);
+        for (&v, &w) in targets.iter().zip(weights) {
+            let v = v as usize;
+            if v == u {
+                internal[cu] += w;
+                degree[cu] += 2.0 * w;
+            } else if v > u {
+                let cv = membership[v];
+                if cu == cv {
+                    internal[cu] += w;
+                }
+                degree[cu] += w;
+                degree[cv] += w;
+            }
+        }
+    }
+    let mut q = 0.0;
+    for c in 0..k {
+        q += internal[c] / m - (degree[c] / (2.0 * m)).powi(2);
+    }
+    q
+}
+
+/// Run the Louvain algorithm over a frozen undirected [`CsrGraph`]
+/// (directed graphs are projected to undirected first) and return the
+/// detected partition with canonical community labels `0..k`.
+pub fn louvain_csr(graph: &CsrGraph, config: &LouvainConfig) -> Partition {
+    let undirected;
+    let g = if graph.is_directed() {
+        undirected = graph.to_undirected();
+        &undirected
+    } else {
+        graph
+    };
+    let n = g.node_count();
+    if n == 0 {
+        return Partition::new();
+    }
+
+    let mut membership: Vec<usize> = (0..n).collect();
+    let mut level = CsrLevel::from_frozen(g);
+    let mut rng = config.seed.map(StdRng::seed_from_u64);
+    let mut last_q = membership_modularity(g, &membership, n);
+
+    for _pass in 0..config.max_passes {
+        let mut order: Vec<usize> = (0..level.node_count()).collect();
+        if let Some(rng) = rng.as_mut() {
+            order.shuffle(rng);
+        }
+        let (community, moved) = local_moving_csr(&level, &order);
+        if !moved {
+            break;
+        }
+        let (compact, k) = compact_labels(&community);
+        // Membership values are dense indices of the current level, so the
+        // per-level relabel is a direct vector lookup.
+        for m in membership.iter_mut() {
+            *m = compact[*m];
+        }
+
+        let aggregated = aggregate_csr(&level, &compact, k);
+        let q = membership_modularity(g, &membership, k);
+        if q - last_q < config.min_modularity_gain {
+            // Keep the (slightly) better assignment but stop iterating.
+            break;
+        }
+        last_q = q;
+        level = aggregated;
+    }
+
+    membership_to_partition(g.node_ids(), &membership).renumbered()
+}
+
+/// Run Louvain over a builder graph: freezes once, then runs the CSR path
+/// (which projects directed graphs to undirected itself).
+pub fn louvain(graph: &WeightedGraph, config: &LouvainConfig) -> Partition {
+    louvain_csr(&graph.freeze(), config)
+}
+
+// ---------------------------------------------------------------------------
+// Legacy HashMap path (benchmark baseline / equivalence reference)
+// ---------------------------------------------------------------------------
+
 /// Internal working representation of the (aggregated) graph for one pass.
 struct LocalGraph {
     /// Adjacency: for each node, (neighbour, weight), excluding self-loops.
@@ -60,13 +390,20 @@ struct LocalGraph {
 }
 
 impl LocalGraph {
-    fn from_weighted(graph: &WeightedGraph) -> (Self, Vec<NodeId>) {
+    fn from_weighted(graph: &WeightedGraph) -> Self {
         let n = graph.node_count();
         let mut adj = vec![Vec::new(); n];
         let mut self_loops = vec![0.0; n];
         let mut degree = vec![0.0; n];
+        let mut row: Vec<(usize, f64)> = Vec::new();
         for i in 0..n {
-            for (j, w) in graph.neighbors(i) {
+            row.clear();
+            row.extend(graph.neighbors(i));
+            // Deterministic neighbour order — also fixes the accumulation
+            // order of `degree`, keeping it bit-identical to the CSR path's
+            // cached weighted degrees.
+            row.sort_unstable_by_key(|a| a.0);
+            for &(j, w) in &row {
                 if i == j {
                     self_loops[i] = w;
                     degree[i] += 2.0 * w;
@@ -75,19 +412,14 @@ impl LocalGraph {
                     degree[i] += w;
                 }
             }
-            // Deterministic neighbour order.
-            adj[i].sort_by(|a, b| a.0.cmp(&b.0));
         }
         let m = graph.total_weight();
-        (
-            Self {
-                adj,
-                self_loops,
-                degree,
-                m,
-            },
-            graph.node_ids().to_vec(),
-        )
+        Self {
+            adj,
+            self_loops,
+            degree,
+            m,
+        }
     }
 
     fn node_count(&self) -> usize {
@@ -127,15 +459,11 @@ fn local_moving(graph: &LocalGraph, order: &[usize]) -> (Vec<usize>, bool) {
             comm_degree[node_comm] -= k_i;
             let k_i_in_own = links_to_comm.get(&node_comm).copied().unwrap_or(0.0);
 
-            // Best target community: the gain of moving node i into community
-            // C (after removal) is  k_i_in_C / m  -  Σ_tot_C * k_i / (2 m²);
-            // comparing across C we can drop the constant factor 1/m and use
-            // k_i_in_C - Σ_tot_C * k_i / (2m).
             let mut best_comm = node_comm;
             let mut best_gain = k_i_in_own - comm_degree[node_comm] * k_i / two_m;
             let mut candidates: Vec<(usize, f64)> =
                 links_to_comm.iter().map(|(&c, &w)| (c, w)).collect();
-            candidates.sort_by(|a, b| a.0.cmp(&b.0)); // deterministic tie-breaks
+            candidates.sort_by_key(|a| a.0); // deterministic tie-breaks
             for (c, k_i_in_c) in candidates {
                 if c == node_comm {
                     continue;
@@ -181,10 +509,12 @@ fn aggregate(graph: &LocalGraph, community: &[usize]) -> WeightedGraph {
     agg
 }
 
-/// Run the Louvain algorithm over an undirected weighted graph (directed
-/// graphs are projected to undirected first) and return the detected
-/// partition with canonical community labels `0..k`.
-pub fn louvain(graph: &WeightedGraph, config: &LouvainConfig) -> Partition {
+/// The legacy Louvain implementation walking `HashMap` adjacency at every
+/// level. Kept (not dead code) as the baseline the criterion benches
+/// compare [`louvain_csr`] against, and as the reference implementation the
+/// equivalence tests validate the CSR path's output against. Produces
+/// partitions matching [`louvain_csr`].
+pub fn louvain_hashmap(graph: &WeightedGraph, config: &LouvainConfig) -> Partition {
     let undirected;
     let g0 = if graph.is_directed() {
         undirected = graph.to_undirected();
@@ -212,13 +542,10 @@ pub fn louvain(graph: &WeightedGraph, config: &LouvainConfig) -> Partition {
     }
     let mut membership: Vec<usize> = (0..n).collect();
     let mut rng = config.seed.map(StdRng::seed_from_u64);
-    let mut last_q = modularity(
-        g0,
-        &membership_to_partition(&original_ids, &membership),
-    );
+    let mut last_q = modularity_hashmap(g0, &membership_to_partition(&original_ids, &membership));
 
     for _pass in 0..config.max_passes {
-        let (local, current_ids) = LocalGraph::from_weighted(&current);
+        let local = LocalGraph::from_weighted(&current);
         let mut order: Vec<usize> = (0..local.node_count()).collect();
         if let Some(rng) = rng.as_mut() {
             order.shuffle(rng);
@@ -227,32 +554,18 @@ pub fn louvain(graph: &WeightedGraph, config: &LouvainConfig) -> Partition {
         if !moved {
             break;
         }
-        // Compact community labels to 0..k for the aggregated graph.
-        let mut relabel: HashMap<usize, usize> = HashMap::new();
-        let mut compact = vec![0usize; community.len()];
-        for (i, &c) in community.iter().enumerate() {
-            let next = relabel.len();
-            let label = *relabel.entry(c).or_insert(next);
-            compact[i] = label;
-        }
-        // current_ids[i] was itself a community label of the previous level
-        // (or an original dense index on the first pass); map memberships
-        // through this pass's assignment.
-        let id_to_index: HashMap<NodeId, usize> = current_ids
-            .iter()
-            .enumerate()
-            .map(|(i, &id)| (id, i))
-            .collect();
+        // Compact community labels to 0..k for the aggregated graph. The
+        // current graph's node ids are its own dense indices (aggregation
+        // labels communities 0..k in first-appearance order), so membership
+        // values map through `compact` directly — no per-level
+        // `HashMap<NodeId, usize>` rebuild.
+        let (compact, _k) = compact_labels(&community);
         for m in membership.iter_mut() {
-            let idx = id_to_index[&(*m as NodeId)];
-            *m = compact[idx];
+            *m = compact[*m];
         }
 
         let aggregated = aggregate(&local, &compact);
-        let q = modularity(
-            g0,
-            &membership_to_partition(&original_ids, &membership),
-        );
+        let q = modularity_hashmap(g0, &membership_to_partition(&original_ids, &membership));
         if q - last_q < config.min_modularity_gain {
             // Keep the (slightly) better assignment but stop iterating.
             break;
@@ -274,6 +587,7 @@ fn membership_to_partition(ids: &[NodeId], membership: &[usize]) -> Partition {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::modularity;
     use rand::Rng;
 
     fn two_cliques(bridge_weight: f64) -> WeightedGraph {
@@ -289,6 +603,7 @@ mod tests {
     fn empty_graph_gives_empty_partition() {
         let g = WeightedGraph::new_undirected();
         assert!(louvain(&g, &LouvainConfig::default()).is_empty());
+        assert!(louvain_hashmap(&g, &LouvainConfig::default()).is_empty());
     }
 
     #[test]
@@ -340,7 +655,9 @@ mod tests {
         // Four 4-cliques connected in a ring by single edges: the canonical
         // Louvain test case; expected answer is 4 communities.
         let mut g = WeightedGraph::new_undirected();
-        let clique_nodes: Vec<Vec<u64>> = (0..4).map(|c| (0..4).map(|i| c * 4 + i + 1).collect()).collect();
+        let clique_nodes: Vec<Vec<u64>> = (0..4)
+            .map(|c| (0..4).map(|i| c * 4 + i + 1).collect())
+            .collect();
         for nodes in &clique_nodes {
             for i in 0..nodes.len() {
                 for j in (i + 1)..nodes.len() {
@@ -436,5 +753,52 @@ mod tests {
         assert_eq!(p.len(), 8);
         assert_ne!(p.community_of(100), p.community_of(101));
         assert_ne!(p.community_of(100), p.community_of(1));
+    }
+
+    /// Random graph shared by the equivalence tests below.
+    fn random_graph(seed: u64, directed: bool) -> WeightedGraph {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut g = if directed {
+            WeightedGraph::new_directed()
+        } else {
+            WeightedGraph::new_undirected()
+        };
+        for _ in 0..rng.gen_range(30..200) {
+            let a = rng.gen_range(0..40u64);
+            let b = rng.gen_range(0..40u64);
+            g.add_edge(a, b, rng.gen_range(1.0..6.0));
+        }
+        g
+    }
+
+    #[test]
+    fn csr_and_hashmap_paths_agree_exactly() {
+        for seed in 0..12u64 {
+            let g = random_graph(seed, seed % 3 == 0);
+            let cfg = LouvainConfig::default();
+            let p_csr = louvain(&g, &cfg);
+            let p_hash = louvain_hashmap(&g, &cfg);
+            assert_eq!(p_csr, p_hash, "partitions diverged for seed {seed}");
+        }
+    }
+
+    #[test]
+    fn csr_and_hashmap_paths_agree_with_seeded_shuffle() {
+        for seed in 0..6u64 {
+            let g = random_graph(100 + seed, false);
+            let cfg = LouvainConfig {
+                seed: Some(seed),
+                ..Default::default()
+            };
+            assert_eq!(louvain(&g, &cfg), louvain_hashmap(&g, &cfg));
+        }
+    }
+
+    #[test]
+    fn louvain_csr_runs_on_prefrozen_graph() {
+        let g = two_cliques(1.0);
+        let frozen = g.freeze();
+        let p = louvain_csr(&frozen, &LouvainConfig::default());
+        assert_eq!(p, louvain(&g, &LouvainConfig::default()));
     }
 }

@@ -1,7 +1,7 @@
 //! Weighted Newman modularity (paper eq. 2).
 
 use crate::Partition;
-use moby_graph::WeightedGraph;
+use moby_graph::{CsrGraph, WeightedGraph};
 use std::collections::HashMap;
 
 /// Weighted modularity of a partition over an undirected weighted graph.
@@ -22,7 +22,82 @@ use std::collections::HashMap;
 /// paper runs Louvain on "bidirectional" graphs). Nodes missing from the
 /// partition are treated as singleton communities. Returns 0 for graphs with
 /// no edge weight.
+///
+/// This entry point freezes the builder graph and scores it with
+/// [`modularity_csr`]; callers that already hold a frozen [`CsrGraph`]
+/// should call [`modularity_csr`] directly and skip the freeze.
 pub fn modularity(graph: &WeightedGraph, partition: &Partition) -> f64 {
+    modularity_csr(&graph.freeze(), partition)
+}
+
+/// Weighted Newman modularity over a frozen [`CsrGraph`] (see
+/// [`modularity`] for the formulation). The accumulation walks CSR rows in
+/// dense index order — a linear pass over contiguous arrays, with no edge
+/// materialisation or sort.
+pub fn modularity_csr(graph: &CsrGraph, partition: &Partition) -> f64 {
+    let undirected;
+    let g = if graph.is_directed() {
+        undirected = graph.to_undirected();
+        &undirected
+    } else {
+        graph
+    };
+    let m = g.total_weight();
+    if m <= 0.0 {
+        return 0.0;
+    }
+
+    // Effective community per dense node: the partition's label, or a
+    // unique synthetic label for unassigned nodes.
+    let mut next_free = usize::MAX;
+    let node_comm: Vec<usize> = g
+        .node_ids()
+        .iter()
+        .map(|&id| {
+            partition.community_of(id).unwrap_or_else(|| {
+                next_free -= 1;
+                next_free
+            })
+        })
+        .collect();
+
+    let mut internal: HashMap<usize, f64> = HashMap::new();
+    let mut degree: HashMap<usize, f64> = HashMap::new();
+    for u in 0..g.node_count() {
+        let cu = node_comm[u];
+        let (targets, weights) = g.row(u);
+        for (&v, &w) in targets.iter().zip(weights) {
+            let v = v as usize;
+            if v == u {
+                // Self-loop: counts once towards internal, twice to degree.
+                *internal.entry(cu).or_insert(0.0) += w;
+                *degree.entry(cu).or_insert(0.0) += 2.0 * w;
+            } else if v > u {
+                let cv = node_comm[v];
+                if cu == cv {
+                    *internal.entry(cu).or_insert(0.0) += w;
+                }
+                *degree.entry(cu).or_insert(0.0) += w;
+                *degree.entry(cv).or_insert(0.0) += w;
+            }
+        }
+    }
+
+    let mut q = 0.0;
+    let all_communities: std::collections::BTreeSet<usize> = node_comm.iter().copied().collect();
+    for c in all_communities {
+        let l_c = internal.get(&c).copied().unwrap_or(0.0);
+        let k_c = degree.get(&c).copied().unwrap_or(0.0);
+        q += l_c / m - (k_c / (2.0 * m)).powi(2);
+    }
+    q
+}
+
+/// The legacy modularity implementation over the builder graph's hash-map
+/// adjacency (materialise + sort all edges, then accumulate). Kept as the
+/// baseline the criterion benches compare [`modularity_csr`] against and
+/// as the reference for the CSR/builder agreement property tests.
+pub fn modularity_hashmap(graph: &WeightedGraph, partition: &Partition) -> f64 {
     let undirected;
     let g = if graph.is_directed() {
         undirected = graph.to_undirected();
@@ -59,7 +134,7 @@ pub fn modularity(graph: &WeightedGraph, partition: &Partition) -> f64 {
     // Sort edges so floating-point accumulation order (and therefore the
     // last-ULP value of Q) is identical across runs.
     let mut edges = g.edges();
-    edges.sort_by(|a, b| (a.0, a.1).cmp(&(b.0, b.1)));
+    edges.sort_by_key(|a| (a.0, a.1));
     for (src, dst, w) in edges {
         let cs = node_comm[&src];
         let cd = node_comm[&dst];
@@ -77,8 +152,7 @@ pub fn modularity(graph: &WeightedGraph, partition: &Partition) -> f64 {
     }
 
     let mut q = 0.0;
-    let all_communities: std::collections::BTreeSet<usize> =
-        node_comm.values().copied().collect();
+    let all_communities: std::collections::BTreeSet<usize> = node_comm.values().copied().collect();
     for c in all_communities {
         let l_c = internal.get(&c).copied().unwrap_or(0.0);
         let k_c = degree.get(&c).copied().unwrap_or(0.0);
@@ -163,16 +237,9 @@ mod tests {
         // Only assign the first clique; the second behaves as singletons.
         let p: Partition = [(1u64, 0usize), (2, 0), (3, 0)].into_iter().collect();
         let q_partial = modularity(&g, &p);
-        let q_explicit: Partition = [
-            (1u64, 0usize),
-            (2, 0),
-            (3, 0),
-            (4, 10),
-            (5, 11),
-            (6, 12),
-        ]
-        .into_iter()
-        .collect();
+        let q_explicit: Partition = [(1u64, 0usize), (2, 0), (3, 0), (4, 10), (5, 11), (6, 12)]
+            .into_iter()
+            .collect();
         assert!((q_partial - modularity(&g, &q_explicit)).abs() < 1e-12);
     }
 
@@ -199,5 +266,37 @@ mod tests {
         let q_dir = modularity(&d, &good_partition());
         let q_undir = modularity(&two_cliques(), &good_partition());
         assert!((q_dir - q_undir).abs() < 1e-12);
+    }
+
+    #[test]
+    fn csr_and_hashmap_agree_on_fixtures() {
+        let g = two_cliques();
+        let frozen = g.freeze();
+        for p in [
+            good_partition(),
+            Partition::singletons(g.node_ids()),
+            g.node_ids().iter().map(|&n| (n, 0usize)).collect(),
+            [(1u64, 0usize), (2, 0), (3, 0)].into_iter().collect(), // partial
+        ] {
+            let q_csr = modularity_csr(&frozen, &p);
+            let q_hash = modularity_hashmap(&g, &p);
+            assert!(
+                (q_csr - q_hash).abs() < 1e-12,
+                "csr {q_csr} vs hashmap {q_hash}"
+            );
+        }
+    }
+
+    #[test]
+    fn csr_handles_directed_input() {
+        let mut d = WeightedGraph::new_directed();
+        d.add_edge(1, 2, 3.0);
+        d.add_edge(2, 1, 2.0);
+        d.add_edge(2, 3, 1.0);
+        d.add_edge(3, 3, 4.0);
+        let p: Partition = [(1u64, 0usize), (2, 0), (3, 1)].into_iter().collect();
+        let q_csr = modularity_csr(&d.freeze(), &p);
+        let q_hash = modularity_hashmap(&d, &p);
+        assert!((q_csr - q_hash).abs() < 1e-12);
     }
 }

@@ -14,7 +14,7 @@
 //! within counted once — the paper's total equals within + out + in).
 
 use crate::Partition;
-use moby_graph::{NodeId, WeightedGraph};
+use moby_graph::{CsrGraph, NodeId};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, HashSet};
 
@@ -98,15 +98,17 @@ impl CommunityTable {
 
 /// Build the per-community trip table.
 ///
-/// * `trip_graph` — the **directed** weighted station graph (edge weight =
-///   number of trips from src to dst, self-loops allowed);
+/// * `trip_graph` — the **directed** weighted station graph, frozen to CSR
+///   (edge weight = number of trips from src to dst, self-loops allowed);
+///   freeze the directed trip graph once and share it across the three
+///   temporal granularities;
 /// * `partition` — the community assignment (typically from Louvain on the
 ///   undirected projection);
 /// * `old_stations` — the ids of pre-existing stations (everything else in
 ///   the graph is counted as a new station);
 /// * `modularity` — the modularity score to record alongside the table.
 pub fn community_table(
-    trip_graph: &WeightedGraph,
+    trip_graph: &CsrGraph,
     partition: &Partition,
     old_stations: &HashSet<NodeId>,
     modularity: f64,
@@ -166,10 +168,12 @@ pub fn community_table(
 mod tests {
     use super::*;
 
+    use moby_graph::WeightedGraph;
+
     /// Two communities {1,2} and {3,4}; directed trips:
     /// 1->2: 10, 2->1: 5 (within A), 3->4: 8 (within B),
     /// 1->3: 2 (A out / B in), 4->2: 3 (B out / A in), 1->1: 4 (self-loop).
-    fn setup() -> (WeightedGraph, Partition, HashSet<NodeId>) {
+    fn setup() -> (CsrGraph, Partition, HashSet<NodeId>) {
         let mut g = WeightedGraph::new_directed();
         g.add_edge(1, 2, 10.0);
         g.add_edge(2, 1, 5.0);
@@ -177,9 +181,11 @@ mod tests {
         g.add_edge(1, 3, 2.0);
         g.add_edge(4, 2, 3.0);
         g.add_edge(1, 1, 4.0);
-        let p: Partition = [(1u64, 0usize), (2, 0), (3, 1), (4, 1)].into_iter().collect();
+        let p: Partition = [(1u64, 0usize), (2, 0), (3, 1), (4, 1)]
+            .into_iter()
+            .collect();
         let old: HashSet<NodeId> = [1, 3].into_iter().collect();
-        (g, p, old)
+        (g.freeze(), p, old)
     }
 
     #[test]

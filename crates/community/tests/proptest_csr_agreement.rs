@@ -1,0 +1,67 @@
+//! Property tests: the CSR community-detection path must agree with the
+//! legacy hash-map path — modularity of an arbitrary partition to within
+//! float-accumulation tolerance, and Louvain partitions exactly — for
+//! random directed and undirected graphs including self-loops.
+
+use moby_community::{
+    louvain_csr, louvain_hashmap, modularity_csr, modularity_hashmap, LouvainConfig, Partition,
+};
+use moby_graph::WeightedGraph;
+use proptest::prelude::*;
+
+fn edge_list() -> impl Strategy<Value = Vec<(u64, u64, f64)>> {
+    prop::collection::vec((0u64..25, 0u64..25, 0.5f64..6.0), 1..180)
+}
+
+fn build(directed: bool, edges: &[(u64, u64, f64)]) -> WeightedGraph {
+    let mut g = if directed {
+        WeightedGraph::new_directed()
+    } else {
+        WeightedGraph::new_undirected()
+    };
+    for &(a, b, w) in edges {
+        g.add_edge(a, b, w);
+    }
+    g
+}
+
+/// An arbitrary (possibly partial) partition over the id space.
+fn arbitrary_partition() -> impl Strategy<Value = Partition> {
+    prop::collection::vec((0u64..25, 0usize..6), 0..25)
+        .prop_map(|pairs| pairs.into_iter().collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn modularity_agrees_on_undirected_graphs(
+        edges in edge_list(),
+        partition in arbitrary_partition(),
+    ) {
+        let g = build(false, &edges);
+        let q_csr = modularity_csr(&g.freeze(), &partition);
+        let q_hash = modularity_hashmap(&g, &partition);
+        prop_assert!((q_csr - q_hash).abs() < 1e-9, "csr {q_csr} vs hashmap {q_hash}");
+    }
+
+    #[test]
+    fn modularity_agrees_on_directed_graphs(
+        edges in edge_list(),
+        partition in arbitrary_partition(),
+    ) {
+        let g = build(true, &edges);
+        let q_csr = modularity_csr(&g.freeze(), &partition);
+        let q_hash = modularity_hashmap(&g, &partition);
+        prop_assert!((q_csr - q_hash).abs() < 1e-9, "csr {q_csr} vs hashmap {q_hash}");
+    }
+
+    #[test]
+    fn louvain_partitions_are_identical_across_paths(edges in edge_list()) {
+        let g = build(false, &edges);
+        let cfg = LouvainConfig::default();
+        let p_csr = louvain_csr(&g.freeze(), &cfg);
+        let p_hash = louvain_hashmap(&g, &cfg);
+        prop_assert_eq!(p_csr, p_hash);
+    }
+}

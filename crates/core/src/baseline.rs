@@ -15,8 +15,8 @@
 
 use crate::pipeline::ExpansionOutcome;
 use moby_cluster::assign::StationAssigner;
-use moby_graph::metrics::gini_coefficient;
 use moby_geo::GeoPoint;
+use moby_graph::metrics::gini_coefficient;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::fmt::Write as _;
@@ -80,19 +80,31 @@ impl NetworkComparison {
                 self.baseline.stations as f64,
                 self.expanded.stations as f64,
             ),
-            ("mean walk (m)", self.baseline.mean_walk_m, self.expanded.mean_walk_m),
+            (
+                "mean walk (m)",
+                self.baseline.mean_walk_m,
+                self.expanded.mean_walk_m,
+            ),
             (
                 "median walk (m)",
                 self.baseline.median_walk_m,
                 self.expanded.median_walk_m,
             ),
-            ("p90 walk (m)", self.baseline.p90_walk_m, self.expanded.p90_walk_m),
+            (
+                "p90 walk (m)",
+                self.baseline.p90_walk_m,
+                self.expanded.p90_walk_m,
+            ),
             (
                 "coverage <=250 m (%)",
                 self.baseline.within_250m * 100.0,
                 self.expanded.within_250m * 100.0,
             ),
-            ("load gini", self.baseline.load_gini, self.expanded.load_gini),
+            (
+                "load gini",
+                self.baseline.load_gini,
+                self.expanded.load_gini,
+            ),
         ];
         for (label, b, e) in rows {
             let _ = writeln!(out, "{label:<22} {b:>12.1} {e:>12.1}");
@@ -164,7 +176,12 @@ pub fn compare_with_baseline(outcome: &ExpansionOutcome) -> Option<NetworkCompar
         .filter(|s| s.is_fixed)
         .map(|s| s.position)
         .collect();
-    let all: Vec<GeoPoint> = outcome.selected.stations.iter().map(|s| s.position).collect();
+    let all: Vec<GeoPoint> = outcome
+        .selected
+        .stations
+        .iter()
+        .map(|s| s.position)
+        .collect();
     Some(NetworkComparison {
         baseline: access_stats(outcome, &fixed)?,
         expanded: access_stats(outcome, &all)?,

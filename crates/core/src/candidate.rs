@@ -222,7 +222,11 @@ pub fn build_trip_store(
     for n in nodes {
         store.add_node(
             n.id,
-            if n.kind.is_fixed() { "Station" } else { "Candidate" },
+            if n.kind.is_fixed() {
+                "Station"
+            } else {
+                "Candidate"
+            },
             props([
                 ("name", PropValue::from(n.name.as_str())),
                 ("lat", PropValue::from(n.position.lat())),
@@ -308,8 +312,14 @@ mod tests {
         for id in net.candidate_ids() {
             assert!(id >= CANDIDATE_ID_BASE);
         }
-        assert!(net.candidate_ids().len() > ds.stations.len() / 2, "expected a healthy candidate pool");
-        assert_eq!(net.nodes.len(), net.fixed_ids().len() + net.candidate_ids().len());
+        assert!(
+            net.candidate_ids().len() > ds.stations.len() / 2,
+            "expected a healthy candidate pool"
+        );
+        assert_eq!(
+            net.nodes.len(),
+            net.fixed_ids().len() + net.candidate_ids().len()
+        );
     }
 
     #[test]
@@ -339,11 +349,8 @@ mod tests {
         let ds = small_clean();
         let cfg = ExpansionConfig::default();
         let net = build_candidate_network(&ds, &cfg).unwrap();
-        let station_pos: HashMap<NodeId, GeoPoint> = ds
-            .stations
-            .iter()
-            .map(|s| (s.id, s.position))
-            .collect();
+        let station_pos: HashMap<NodeId, GeoPoint> =
+            ds.stations.iter().map(|s| (s.id, s.position)).collect();
         for loc in &ds.locations {
             let node = net.location_to_node[&loc.id];
             if let Some(sp) = station_pos.get(&node) {

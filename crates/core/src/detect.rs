@@ -8,9 +8,9 @@
 
 use crate::temporal::{TemporalGranularity, TemporalGraph};
 use moby_community::stats::{community_table, CommunityTable};
-use moby_community::{label_propagation, louvain, modularity};
+use moby_community::{label_propagation_csr, louvain_csr, modularity_csr};
 use moby_community::{LabelPropagationConfig, LouvainConfig, Partition};
-use moby_graph::{NodeId, WeightedGraph};
+use moby_graph::{CsrGraph, NodeId};
 use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, HashSet};
 
@@ -81,7 +81,7 @@ fn fold_to_stations(temporal: &TemporalGraph, raw: &Partition) -> Partition {
                     continue;
                 };
                 let strength = temporal
-                    .graph
+                    .csr
                     .strength_of(layered_node)
                     .unwrap_or(0.0)
                     // Every layer node should keep some influence even if it
@@ -113,33 +113,38 @@ fn fold_to_stations(temporal: &TemporalGraph, raw: &Partition) -> Partition {
 /// Run community detection on a temporal graph and produce the paper-style
 /// table against the directed trip graph.
 ///
+/// Everything here consumes frozen CSR graphs: the temporal graph was
+/// frozen once at build time, and `directed_trips` should be frozen once
+/// by the caller and shared across all three granularities.
+///
 /// * `temporal` — the graph built by [`crate::temporal::build_temporal_graph`];
-/// * `directed_trips` — the station-level directed weighted trip graph;
+/// * `directed_trips` — the station-level directed weighted trip graph,
+///   frozen to CSR;
 /// * `old_stations` — ids of pre-existing stations (for the old/new station
 ///   columns).
 pub fn detect_communities(
     temporal: &TemporalGraph,
-    directed_trips: &WeightedGraph,
+    directed_trips: &CsrGraph,
     old_stations: &HashSet<NodeId>,
     config: &DetectConfig,
 ) -> CommunityDetection {
     let raw_partition = match config.detector {
-        Detector::Louvain => louvain(
-            &temporal.graph,
+        Detector::Louvain => louvain_csr(
+            &temporal.csr,
             &LouvainConfig {
                 seed: config.seed,
                 ..Default::default()
             },
         ),
-        Detector::LabelPropagation => label_propagation(
-            &temporal.graph,
+        Detector::LabelPropagation => label_propagation_csr(
+            &temporal.csr,
             &LabelPropagationConfig {
                 seed: config.seed.unwrap_or(1),
                 ..Default::default()
             },
         ),
     };
-    let q = modularity(&temporal.graph, &raw_partition);
+    let q = modularity_csr(&temporal.csr, &raw_partition);
     let station_partition = fold_to_stations(temporal, &raw_partition);
     let table = community_table(directed_trips, &station_partition, old_stations, q);
     CommunityDetection {
@@ -173,7 +178,10 @@ mod tests {
                     src,
                     dst,
                     TRIP_LABEL,
-                    props([("day", PropValue::from(day)), ("hour", PropValue::from(hour))]),
+                    props([
+                        ("day", PropValue::from(day)),
+                        ("hour", PropValue::from(hour)),
+                    ]),
                 )
                 .unwrap();
             }
@@ -197,7 +205,7 @@ mod tests {
     fn basic_granularity_splits_station_groups() {
         let s = store();
         let temporal = build_temporal_graph(&s, TemporalGranularity::TNull);
-        let directed = aggregate::project_directed(&s, TRIP_LABEL);
+        let directed = aggregate::project_directed(&s, TRIP_LABEL).freeze();
         let det = detect_communities(&temporal, &directed, &old(), &DetectConfig::default());
         assert_eq!(det.granularity, TemporalGranularity::TNull);
         assert_eq!(det.community_count(), 2);
@@ -220,7 +228,7 @@ mod tests {
     #[test]
     fn layered_granularities_fold_back_to_all_stations() {
         let s = store();
-        let directed = aggregate::project_directed(&s, TRIP_LABEL);
+        let directed = aggregate::project_directed(&s, TRIP_LABEL).freeze();
         for g in [TemporalGranularity::TDay, TemporalGranularity::THour] {
             let temporal = build_temporal_graph(&s, g);
             let det = detect_communities(&temporal, &directed, &old(), &DetectConfig::default());
@@ -237,7 +245,7 @@ mod tests {
         // With temporally disjoint groups, layering increases (or maintains)
         // modularity — the trend the paper reports (0.25 -> 0.32 -> 0.54).
         let s = store();
-        let directed = aggregate::project_directed(&s, TRIP_LABEL);
+        let directed = aggregate::project_directed(&s, TRIP_LABEL).freeze();
         let q: Vec<f64> = TemporalGranularity::ALL
             .iter()
             .map(|&g| {
@@ -253,7 +261,7 @@ mod tests {
     fn label_propagation_detector_runs() {
         let s = store();
         let temporal = build_temporal_graph(&s, TemporalGranularity::TNull);
-        let directed = aggregate::project_directed(&s, TRIP_LABEL);
+        let directed = aggregate::project_directed(&s, TRIP_LABEL).freeze();
         let det = detect_communities(
             &temporal,
             &directed,
@@ -271,7 +279,7 @@ mod tests {
     fn detection_is_deterministic() {
         let s = store();
         let temporal = build_temporal_graph(&s, TemporalGranularity::THour);
-        let directed = aggregate::project_directed(&s, TRIP_LABEL);
+        let directed = aggregate::project_directed(&s, TRIP_LABEL).freeze();
         let a = detect_communities(&temporal, &directed, &old(), &DetectConfig::default());
         let b = detect_communities(&temporal, &directed, &old(), &DetectConfig::default());
         assert_eq!(a.station_partition, b.station_partition);
@@ -282,7 +290,7 @@ mod tests {
     fn self_containment_is_high_for_separated_groups() {
         let s = store();
         let temporal = build_temporal_graph(&s, TemporalGranularity::TNull);
-        let directed = aggregate::project_directed(&s, TRIP_LABEL);
+        let directed = aggregate::project_directed(&s, TRIP_LABEL).freeze();
         let det = detect_communities(&temporal, &directed, &old(), &DetectConfig::default());
         // 86 of 90 trips stay within their group.
         assert!(det.table.self_contained_share() > 0.9);

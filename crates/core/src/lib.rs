@@ -90,7 +90,9 @@ mod tests {
     #[test]
     fn error_display() {
         assert!(!CoreError::NoStations.to_string().is_empty());
-        assert!(CoreError::InvalidConfig("x".into()).to_string().contains('x'));
+        assert!(CoreError::InvalidConfig("x".into())
+            .to_string()
+            .contains('x'));
         assert!(CoreError::Internal("y".into()).to_string().contains('y'));
         assert!(!CoreError::NoRentals.to_string().is_empty());
     }

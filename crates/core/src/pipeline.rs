@@ -108,12 +108,15 @@ impl ExpansionPipeline {
         let selected = build_selected_network(&dataset, &candidate, &selection)?;
 
         let old_ids = selected.fixed_ids();
+        // Freeze the directed trip graph once; all three granularities share
+        // the frozen CSR instead of re-deriving adjacency per detection.
+        let directed_trips = selected.directed.freeze();
         let mut detections = Vec::with_capacity(3);
         for granularity in TemporalGranularity::ALL {
             let temporal = build_temporal_graph(&selected.store, granularity);
             detections.push(detect_communities(
                 &temporal,
-                &selected.directed,
+                &directed_trips,
                 &old_ids,
                 &self.config.detect,
             ));

@@ -145,10 +145,8 @@ pub fn build_selected_network(
     }
 
     let final_ids: HashSet<NodeId> = stations.iter().map(|s| s.id).collect();
-    let assigner = StationAssigner::new(
-        &stations.iter().map(|s| s.position).collect::<Vec<_>>(),
-    )
-    .ok_or(CoreError::NoStations)?;
+    let assigner = StationAssigner::new(&stations.iter().map(|s| s.position).collect::<Vec<_>>())
+        .ok_or(CoreError::NoStations)?;
     let station_id_by_index: Vec<NodeId> = stations.iter().map(|s| s.id).collect();
 
     // --- Location reassignment. ---
@@ -301,10 +299,7 @@ mod tests {
     fn station_counts_add_up() {
         let (ds, net, sel) = setup();
         let out = build_selected_network(&ds, &net, &sel).unwrap();
-        assert_eq!(
-            out.stations.len(),
-            ds.stations.len() + sel.selected.len()
-        );
+        assert_eq!(out.stations.len(), ds.stations.len() + sel.selected.len());
         assert_eq!(out.fixed_ids().len(), ds.stations.len());
         assert_eq!(out.new_ids().len(), sel.selected.len());
         assert_eq!(out.table.total_stations, out.stations.len());

@@ -127,12 +127,7 @@ pub fn select_stations(
     let fixed_tree = KdTree::build(
         fixed_ids
             .iter()
-            .map(|&id| {
-                (
-                    network.node(id).expect("fixed node exists").position,
-                    id,
-                )
-            })
+            .map(|&id| (network.node(id).expect("fixed node exists").position, id))
             .collect::<Vec<_>>(),
     );
 

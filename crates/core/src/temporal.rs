@@ -22,7 +22,7 @@
 
 use crate::candidate::TRIP_LABEL;
 use moby_graph::aggregate;
-use moby_graph::{GraphStore, NodeId, WeightedGraph};
+use moby_graph::{CsrGraph, GraphStore, NodeId, WeightedGraph};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
@@ -79,16 +79,37 @@ impl TemporalGranularity {
 pub struct TemporalGraph {
     /// The granularity this graph was built for.
     pub granularity: TemporalGranularity,
-    /// The undirected weighted graph Louvain runs on. For `TNull` the nodes
+    /// The undirected weighted **builder** graph. For `TNull` the nodes
     /// are station ids; for `TDay`/`THour` they are layered
     /// `(station, key)` ids.
     pub graph: WeightedGraph,
+    /// The frozen CSR projection of [`TemporalGraph::graph`], produced
+    /// once at build time. Louvain, modularity and the station folding all
+    /// consume this — the temporal layer owns freezing, so detection never
+    /// re-derives adjacency.
+    pub csr: CsrGraph,
     /// For layered graphs: layered node id → `(station id, temporal key)`.
     /// `None` for `TNull`.
     pub layer_map: Option<HashMap<NodeId, (NodeId, u32)>>,
 }
 
 impl TemporalGraph {
+    /// Wrap a built (possibly layered) station graph, freezing its CSR
+    /// projection once.
+    pub fn new(
+        granularity: TemporalGranularity,
+        graph: WeightedGraph,
+        layer_map: Option<HashMap<NodeId, (NodeId, u32)>>,
+    ) -> TemporalGraph {
+        let csr = graph.freeze();
+        TemporalGraph {
+            granularity,
+            graph,
+            csr,
+            layer_map,
+        }
+    }
+
     /// The station id behind a (possibly layered) node id.
     pub fn station_of(&self, node: NodeId) -> NodeId {
         match &self.layer_map {
@@ -115,11 +136,11 @@ impl TemporalGraph {
 /// trip store.
 pub fn build_temporal_graph(store: &GraphStore, granularity: TemporalGranularity) -> TemporalGraph {
     match granularity {
-        TemporalGranularity::TNull => TemporalGraph {
+        TemporalGranularity::TNull => TemporalGraph::new(
             granularity,
-            graph: aggregate::project_undirected(store, TRIP_LABEL),
-            layer_map: None,
-        },
+            aggregate::project_undirected(store, TRIP_LABEL),
+            None,
+        ),
         TemporalGranularity::TDay | TemporalGranularity::THour => {
             let property = granularity.property().expect("layered granularity");
             let stride = granularity.stride();
@@ -129,11 +150,7 @@ pub fn build_temporal_graph(store: &GraphStore, granularity: TemporalGranularity
                     .and_then(|v| v.as_int())
                     .map(|v| v as u32)
             });
-            TemporalGraph {
-                granularity,
-                graph,
-                layer_map: Some(layer_map),
-            }
+            TemporalGraph::new(granularity, graph, Some(layer_map))
         }
     }
 }
@@ -169,7 +186,10 @@ mod tests {
                 src,
                 dst,
                 TRIP_LABEL,
-                props([("day", PropValue::from(day)), ("hour", PropValue::from(hour))]),
+                props([
+                    ("day", PropValue::from(day)),
+                    ("hour", PropValue::from(hour)),
+                ]),
             )
             .unwrap();
         }
@@ -231,6 +251,20 @@ mod tests {
         // Finer granularity never has fewer nodes.
         assert!(all[1].graph.node_count() >= all[0].graph.node_count());
         assert!(all[2].graph.node_count() >= all[1].graph.node_count());
+    }
+
+    #[test]
+    fn frozen_csr_matches_builder_at_every_granularity() {
+        let s = store();
+        for granularity in TemporalGranularity::ALL {
+            let t = build_temporal_graph(&s, granularity);
+            assert_eq!(t.csr.node_count(), t.graph.node_count(), "{granularity:?}");
+            assert_eq!(t.csr.edge_count(), t.graph.edge_count(), "{granularity:?}");
+            assert_eq!(t.csr.total_weight(), t.graph.total_weight());
+            for &id in t.graph.node_ids() {
+                assert_eq!(t.csr.strength_of(id), t.graph.strength_of(id));
+            }
+        }
     }
 
     #[test]

@@ -93,23 +93,20 @@ pub fn validate_expansion(outcome: &ExpansionOutcome, detect: &DetectConfig) -> 
     // fixed-station-only subgraph and compare with the expanded partition
     // restricted to old stations.
     let fixed_only = selected.undirected.subgraph(|id| old_ids.contains(&id));
-    let fixed_store_graph = crate::temporal::TemporalGraph {
-        granularity: TemporalGranularity::TNull,
-        graph: fixed_only,
-        layer_map: None,
-    };
-    let fixed_directed = selected.directed.subgraph(|id| old_ids.contains(&id));
-    let fixed_detection =
-        detect_communities(&fixed_store_graph, &fixed_directed, &old_ids, detect);
+    let fixed_store_graph =
+        crate::temporal::TemporalGraph::new(TemporalGranularity::TNull, fixed_only, None);
+    let fixed_directed = selected
+        .directed
+        .subgraph(|id| old_ids.contains(&id))
+        .freeze();
+    let fixed_detection = detect_communities(&fixed_store_graph, &fixed_directed, &old_ids, detect);
     let expanded_restricted: Partition = basic
         .station_partition
         .iter()
         .filter(|(id, _)| old_ids.contains(id))
         .collect();
-    let stability = normalized_mutual_information(
-        &fixed_detection.station_partition,
-        &expanded_restricted,
-    );
+    let stability =
+        normalized_mutual_information(&fixed_detection.station_partition, &expanded_restricted);
 
     ValidationReport {
         new_stations: new_ids.len(),

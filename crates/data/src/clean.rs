@@ -269,21 +269,26 @@ mod tests {
                 station(3, 53.335, -6.13),    // Dublin Bay: not on land
             ],
             locations: vec![
-                loc(10, 53.3498, -6.2603),                     // fine
-                loc(11, 53.3400, -6.2500),                     // fine
-                loc(12, 51.8985, -8.4756),                     // outside Dublin
-                loc(13, 53.335, -6.13),                        // in the bay
-                RawLocation { id: 14, lat: None, lon: Some(-6.2), station_id: None }, // missing lat
-                loc(15, 53.3450, -6.2700),                     // will be unreferenced
+                loc(10, 53.3498, -6.2603), // fine
+                loc(11, 53.3400, -6.2500), // fine
+                loc(12, 51.8985, -8.4756), // outside Dublin
+                loc(13, 53.335, -6.13),    // in the bay
+                RawLocation {
+                    id: 14,
+                    lat: None,
+                    lon: Some(-6.2),
+                    station_id: None,
+                }, // missing lat
+                loc(15, 53.3450, -6.2700), // will be unreferenced
             ],
             rentals: vec![
-                rental(100, Some(10), Some(11)), // fine
-                rental(101, Some(10), Some(12)), // touches out-of-Dublin location
-                rental(102, Some(13), Some(11)), // touches bay location
-                rental(103, Some(14), Some(11)), // touches missing-coords location
-                rental(104, None, Some(11)),     // missing origin ref
-                rental(105, Some(10), Some(999)),// dangling ref
-                rental(106, Some(11), Some(10)), // fine
+                rental(100, Some(10), Some(11)),  // fine
+                rental(101, Some(10), Some(12)),  // touches out-of-Dublin location
+                rental(102, Some(13), Some(11)),  // touches bay location
+                rental(103, Some(14), Some(11)),  // touches missing-coords location
+                rental(104, None, Some(11)),      // missing origin ref
+                rental(105, Some(10), Some(999)), // dangling ref
+                rental(106, Some(11), Some(10)),  // fine
             ],
         }
     }
@@ -383,7 +388,10 @@ mod tests {
             rentals: vec![rental(1, Some(10), Some(10))],
         };
         let out = clean_dataset(&raw);
-        assert_eq!(out.report.location_defects.get("InvalidCoordinates"), Some(&1));
+        assert_eq!(
+            out.report.location_defects.get("InvalidCoordinates"),
+            Some(&1)
+        );
         assert_eq!(out.dataset.locations.len(), 1);
     }
 

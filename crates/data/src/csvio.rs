@@ -177,16 +177,18 @@ pub fn read_stations(text: &str) -> Result<Vec<Station>> {
     let c_lon = column_index(&header, "lon")?;
     rows.into_iter()
         .map(|(line, f)| {
-            let lat = parse_opt_f64(line, "lat", &f[c_lat])?.ok_or_else(|| DataError::FieldParse {
-                line,
-                column: "lat".into(),
-                value: f[c_lat].clone(),
-            })?;
-            let lon = parse_opt_f64(line, "lon", &f[c_lon])?.ok_or_else(|| DataError::FieldParse {
-                line,
-                column: "lon".into(),
-                value: f[c_lon].clone(),
-            })?;
+            let lat =
+                parse_opt_f64(line, "lat", &f[c_lat])?.ok_or_else(|| DataError::FieldParse {
+                    line,
+                    column: "lat".into(),
+                    value: f[c_lat].clone(),
+                })?;
+            let lon =
+                parse_opt_f64(line, "lon", &f[c_lon])?.ok_or_else(|| DataError::FieldParse {
+                    line,
+                    column: "lon".into(),
+                    value: f[c_lon].clone(),
+                })?;
             let position = GeoPoint::new(lat, lon).map_err(|_| DataError::FieldParse {
                 line,
                 column: "lat/lon".into(),
@@ -237,8 +239,12 @@ pub fn write_rentals(rentals: &[RawRental]) -> String {
             r.bike_id,
             r.start_time.to_iso(),
             r.end_time.to_iso(),
-            r.rental_location_id.map(|v| v.to_string()).unwrap_or_default(),
-            r.return_location_id.map(|v| v.to_string()).unwrap_or_default(),
+            r.rental_location_id
+                .map(|v| v.to_string())
+                .unwrap_or_default(),
+            r.return_location_id
+                .map(|v| v.to_string())
+                .unwrap_or_default(),
         );
     }
     out
@@ -268,11 +274,10 @@ mod tests {
     fn split_handles_quotes_and_escapes() {
         assert_eq!(split_csv_line("a,b,c"), vec!["a", "b", "c"]);
         assert_eq!(split_csv_line("a,\"b,c\",d"), vec!["a", "b,c", "d"]);
-        assert_eq!(split_csv_line("a,\"he said \"\"hi\"\"\",c"), vec![
-            "a",
-            "he said \"hi\"",
-            "c"
-        ]);
+        assert_eq!(
+            split_csv_line("a,\"he said \"\"hi\"\"\",c"),
+            vec!["a", "he said \"hi\"", "c"]
+        );
         assert_eq!(split_csv_line("a,,c"), vec!["a", "", "c"]);
     }
 
@@ -373,7 +378,10 @@ mod tests {
     fn rentals_reject_bad_timestamp() {
         let csv = "id,bike_id,start_time,end_time,rental_location_id,return_location_id\n\
                    1,2,not-a-time,2020-05-01T08:45:00,1,2\n";
-        assert!(matches!(read_rentals(csv), Err(DataError::FieldParse { .. })));
+        assert!(matches!(
+            read_rentals(csv),
+            Err(DataError::FieldParse { .. })
+        ));
     }
 
     #[test]

@@ -99,12 +99,16 @@ impl fmt::Display for DataError {
                 line,
                 expected,
                 found,
-            } => write!(
-                f,
-                "line {line}: expected {expected} fields, found {found}"
-            ),
-            DataError::FieldParse { line, column, value } => {
-                write!(f, "line {line}: cannot parse column '{column}' from '{value}'")
+            } => write!(f, "line {line}: expected {expected} fields, found {found}"),
+            DataError::FieldParse {
+                line,
+                column,
+                value,
+            } => {
+                write!(
+                    f,
+                    "line {line}: cannot parse column '{column}' from '{value}'"
+                )
             }
             DataError::MissingColumn(c) => write!(f, "missing required column '{c}'"),
             DataError::EmptyInput => write!(f, "input has no header row"),

@@ -65,8 +65,16 @@ pub fn save_raw_dataset(dir: &Path, dataset: &RawDataset) -> Result<()> {
         path: dir.display().to_string(),
         message: e.to_string(),
     })?;
-    write_file(dir, STATIONS_FILE, &csvio::write_stations(&dataset.stations))?;
-    write_file(dir, LOCATIONS_FILE, &csvio::write_locations(&dataset.locations))?;
+    write_file(
+        dir,
+        STATIONS_FILE,
+        &csvio::write_stations(&dataset.stations),
+    )?;
+    write_file(
+        dir,
+        LOCATIONS_FILE,
+        &csvio::write_locations(&dataset.locations),
+    )?;
     write_file(dir, RENTALS_FILE, &csvio::write_rentals(&dataset.rentals))?;
     Ok(())
 }
@@ -78,10 +86,8 @@ mod tests {
     use std::path::PathBuf;
 
     fn scratch_dir(tag: &str) -> PathBuf {
-        let dir = std::env::temp_dir().join(format!(
-            "moby-loader-test-{}-{tag}",
-            std::process::id()
-        ));
+        let dir =
+            std::env::temp_dir().join(format!("moby-loader-test-{}-{tag}", std::process::id()));
         let _ = fs::remove_dir_all(&dir);
         dir
     }

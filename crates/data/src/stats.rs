@@ -31,7 +31,10 @@ impl DatasetOverview {
         Self {
             start,
             end,
-            stations: (outcome.report.stations_before, outcome.report.stations_after),
+            stations: (
+                outcome.report.stations_before,
+                outcome.report.stations_after,
+            ),
             rentals: (outcome.report.rentals_before, outcome.report.rentals_after),
             locations: (
                 outcome.report.locations_before,
@@ -50,7 +53,11 @@ impl DatasetOverview {
     /// Table I.
     pub fn render_table(&self) -> String {
         let mut out = String::new();
-        let _ = writeln!(out, "{:<22} {:>16} {:>16}", "Measures", "Original", "Cleaned");
+        let _ = writeln!(
+            out,
+            "{:<22} {:>16} {:>16}",
+            "Measures", "Original", "Cleaned"
+        );
         let duration = match (self.start, self.end) {
             (Some(s), Some(e)) => {
                 let (sy, sm, _) = s.ymd();

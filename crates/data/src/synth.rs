@@ -97,17 +97,98 @@ fn zone(
 pub fn dublin_zones() -> Vec<Zone> {
     vec![
         // Region 0 — city centre and northside (the paper's "green").
-        zone("City Centre North", 53.3525, -6.2608, 900.0, ZoneProfile::Mixed, 0.19, 16, 0),
-        zone("City Centre South", 53.3405, -6.2599, 900.0, ZoneProfile::Mixed, 0.18, 15, 0),
-        zone("Docklands", 53.3440, -6.2370, 800.0, ZoneProfile::Commuter, 0.13, 11, 0),
-        zone("North Suburbs", 53.3720, -6.2530, 1_300.0, ZoneProfile::Commuter, 0.08, 9, 0),
+        zone(
+            "City Centre North",
+            53.3525,
+            -6.2608,
+            900.0,
+            ZoneProfile::Mixed,
+            0.19,
+            16,
+            0,
+        ),
+        zone(
+            "City Centre South",
+            53.3405,
+            -6.2599,
+            900.0,
+            ZoneProfile::Mixed,
+            0.18,
+            15,
+            0,
+        ),
+        zone(
+            "Docklands",
+            53.3440,
+            -6.2370,
+            800.0,
+            ZoneProfile::Commuter,
+            0.13,
+            11,
+            0,
+        ),
+        zone(
+            "North Suburbs",
+            53.3720,
+            -6.2530,
+            1_300.0,
+            ZoneProfile::Commuter,
+            0.08,
+            9,
+            0,
+        ),
         // Region 1 — southside (the paper's "blue").
-        zone("Ringsend", 53.3330, -6.2220, 900.0, ZoneProfile::Leisure, 0.06, 8, 1),
-        zone("South Suburbs", 53.3260, -6.2650, 1_200.0, ZoneProfile::Commuter, 0.10, 9, 1),
-        zone("Dun Laoghaire", 53.2945, -6.1336, 1_500.0, ZoneProfile::Leisure, 0.09, 9, 1),
+        zone(
+            "Ringsend",
+            53.3330,
+            -6.2220,
+            900.0,
+            ZoneProfile::Leisure,
+            0.06,
+            8,
+            1,
+        ),
+        zone(
+            "South Suburbs",
+            53.3260,
+            -6.2650,
+            1_200.0,
+            ZoneProfile::Commuter,
+            0.10,
+            9,
+            1,
+        ),
+        zone(
+            "Dun Laoghaire",
+            53.2945,
+            -6.1336,
+            1_500.0,
+            ZoneProfile::Leisure,
+            0.09,
+            9,
+            1,
+        ),
         // Region 2 — western suburbs and the Phoenix Park (the "orange").
-        zone("Phoenix Park", 53.3561, -6.3298, 1_200.0, ZoneProfile::Leisure, 0.09, 7, 2),
-        zone("West Suburbs", 53.3420, -6.3080, 1_200.0, ZoneProfile::Commuter, 0.08, 8, 2),
+        zone(
+            "Phoenix Park",
+            53.3561,
+            -6.3298,
+            1_200.0,
+            ZoneProfile::Leisure,
+            0.09,
+            7,
+            2,
+        ),
+        zone(
+            "West Suburbs",
+            53.3420,
+            -6.3080,
+            1_200.0,
+            ZoneProfile::Commuter,
+            0.08,
+            8,
+            2,
+        ),
     ]
 }
 
@@ -337,9 +418,9 @@ pub fn generate(config: &SynthConfig) -> RawDataset {
     }
     // Defective stations: positions that fail the cleaning rules.
     let bad_station_positions = [
-        GeoPoint::new(51.8985, -8.4756).expect("Cork"),      // outside Dublin
-        GeoPoint::new(53.3350, -6.1300).expect("bay"),        // Dublin Bay
-        GeoPoint::new(53.6000, -6.2000).expect("far north"),  // outside service area
+        GeoPoint::new(51.8985, -8.4756).expect("Cork"), // outside Dublin
+        GeoPoint::new(53.3350, -6.1300).expect("bay"),  // Dublin Bay
+        GeoPoint::new(53.6000, -6.2000).expect("far north"), // outside service area
         GeoPoint::new(52.2593, -7.1101).expect("Waterford"),
     ];
     for i in 0..config.dirty_stations {
@@ -476,11 +557,7 @@ pub fn generate(config: &SynthConfig) -> RawDataset {
     // Zones by region, for within-region destination choice.
     let n_regions = zones.iter().map(|z| z.region).max().unwrap_or(0) + 1;
     let zones_by_region: Vec<Vec<usize>> = (0..n_regions)
-        .map(|r| {
-            (0..n_zones)
-                .filter(|&zi| zones[zi].region == r)
-                .collect()
-        })
+        .map(|r| (0..n_zones).filter(|&zi| zones[zi].region == r).collect())
         .collect();
 
     // --- Rentals. ---
@@ -588,7 +665,7 @@ pub fn generate(config: &SynthConfig) -> RawDataset {
     for i in 0..config.dirty_rentals {
         let day_offset = rng.gen_range(0..day_count);
         let start_time = Timestamp(config.start.unix_seconds() + day_offset * 86_400)
-            .plus_seconds(rng.gen_range(6..22) * 3600);
+            .plus_seconds(rng.gen_range(6i64..22) * 3600);
         let good_endpoint = {
             let zi = sample_weighted(&mut rng, &zone_weights);
             pick_endpoint(&mut rng, zi)
@@ -695,7 +772,12 @@ mod tests {
         let cfg = SynthConfig::small_test();
         let ds = generate(&cfg);
         for r in &ds.rentals {
-            assert!(r.start_time >= cfg.start, "{} < {}", r.start_time, cfg.start);
+            assert!(
+                r.start_time >= cfg.start,
+                "{} < {}",
+                r.start_time,
+                cfg.start
+            );
             assert!(r.start_time.unix_seconds() <= cfg.end.unix_seconds() + 86_400);
             assert!(r.end_time > r.start_time);
         }
@@ -740,8 +822,14 @@ mod tests {
         }
         let commuter_rate = (commuter[0] as f64 / 5.0) / (commuter[1] as f64 / 2.0).max(1e-9);
         let leisure_rate = (leisure[0] as f64 / 5.0) / (leisure[1] as f64 / 2.0).max(1e-9);
-        assert!(commuter_rate > 1.2, "commuter weekday/weekend ratio {commuter_rate}");
-        assert!(leisure_rate < 1.1, "leisure weekday/weekend ratio {leisure_rate}");
+        assert!(
+            commuter_rate > 1.2,
+            "commuter weekday/weekend ratio {commuter_rate}"
+        );
+        assert!(
+            leisure_rate < 1.1,
+            "leisure weekday/weekend ratio {leisure_rate}"
+        );
     }
 
     #[test]
@@ -790,7 +878,10 @@ mod tests {
             .filter(|r| station_locs.contains(&r.rental_location_id))
             .count();
         let frac = at_station as f64 / out.dataset.rentals.len() as f64;
-        assert!(frac > 0.35 && frac < 0.75, "station endpoint fraction {frac}");
+        assert!(
+            frac > 0.35 && frac < 0.75,
+            "station endpoint fraction {frac}"
+        );
     }
 
     #[test]

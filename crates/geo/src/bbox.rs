@@ -194,7 +194,9 @@ mod tests {
 
     #[test]
     fn expanded_grows_and_clamps() {
-        let bb = BoundingBox::new(89.5, 179.5, 90.0, 180.0).unwrap().expanded(1.0);
+        let bb = BoundingBox::new(89.5, 179.5, 90.0, 180.0)
+            .unwrap()
+            .expanded(1.0);
         assert_eq!(bb.max_lat(), 90.0);
         assert_eq!(bb.max_lon(), 180.0);
         assert!((bb.min_lat() - 88.5).abs() < 1e-12);

@@ -76,8 +76,8 @@ pub fn destination_point(start: GeoPoint, bearing_deg: f64, distance_m: f64) -> 
     let lon1 = start.lon_rad();
 
     let lat2 = (lat1.sin() * ang.cos() + lat1.cos() * ang.sin() * brg.cos()).asin();
-    let lon2 = lon1
-        + (brg.sin() * ang.sin() * lat1.cos()).atan2(ang.cos() - lat1.sin() * lat2.sin());
+    let lon2 =
+        lon1 + (brg.sin() * ang.sin() * lat1.cos()).atan2(ang.cos() - lat1.sin() * lat2.sin());
 
     // Normalise longitude to [-180, 180] and clamp latitude defensively.
     let mut lon_deg = lon2.to_degrees();
@@ -168,7 +168,10 @@ mod tests {
         for (brg, dist) in [(0.0, 100.0), (90.0, 250.0), (215.0, 1234.5), (359.0, 40.0)] {
             let dest = destination_point(start, brg, dist);
             let d = haversine_m(start, dest);
-            assert!((d - dist).abs() < 0.01, "bearing {brg}, want {dist}, got {d}");
+            assert!(
+                (d - dist).abs() < 0.01,
+                "bearing {brg}, want {dist}, got {d}"
+            );
         }
     }
 

@@ -24,10 +24,16 @@ impl fmt::Display for GeoError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             GeoError::InvalidLatitude(v) => {
-                write!(f, "invalid latitude {v}: must be finite and within [-90, 90]")
+                write!(
+                    f,
+                    "invalid latitude {v}: must be finite and within [-90, 90]"
+                )
             }
             GeoError::InvalidLongitude(v) => {
-                write!(f, "invalid longitude {v}: must be finite and within [-180, 180]")
+                write!(
+                    f,
+                    "invalid longitude {v}: must be finite and within [-180, 180]"
+                )
             }
             GeoError::DegeneratePolygon { vertices } => {
                 write!(f, "polygon needs at least 3 vertices, got {vertices}")

@@ -79,7 +79,11 @@ impl<T> GridIndex<T> {
     ///
     /// Returns [`GeoError::InvalidDistance`] for a negative or non-finite
     /// radius.
-    pub fn within_radius(&self, query: GeoPoint, radius_m: f64) -> Result<Vec<(&GeoPoint, &T, f64)>> {
+    pub fn within_radius(
+        &self,
+        query: GeoPoint,
+        radius_m: f64,
+    ) -> Result<Vec<(&GeoPoint, &T, f64)>> {
         if !radius_m.is_finite() || radius_m < 0.0 {
             return Err(GeoError::InvalidDistance(radius_m));
         }
@@ -199,7 +203,10 @@ mod tests {
     #[test]
     fn empty_index_nearest_errors() {
         let g = GridIndex::<u32>::new(100.0, 53.35).unwrap();
-        assert!(matches!(g.nearest(p(53.3, -6.2)), Err(GeoError::EmptyIndex)));
+        assert!(matches!(
+            g.nearest(p(53.3, -6.2)),
+            Err(GeoError::EmptyIndex)
+        ));
     }
 
     #[test]

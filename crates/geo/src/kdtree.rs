@@ -212,7 +212,11 @@ impl<T> KdTree<T> {
     /// # Errors
     ///
     /// [`GeoError::InvalidDistance`] for a negative or non-finite radius.
-    pub fn within_radius(&self, query: GeoPoint, radius_m: f64) -> Result<Vec<(&GeoPoint, &T, f64)>> {
+    pub fn within_radius(
+        &self,
+        query: GeoPoint,
+        radius_m: f64,
+    ) -> Result<Vec<(&GeoPoint, &T, f64)>> {
         if !radius_m.is_finite() || radius_m < 0.0 {
             return Err(GeoError::InvalidDistance(radius_m));
         }
@@ -283,7 +287,10 @@ mod tests {
     fn empty_tree_errors() {
         let t: KdTree<usize> = KdTree::build(Vec::new());
         assert!(t.is_empty());
-        assert!(matches!(t.nearest(p(53.3, -6.2)), Err(GeoError::EmptyIndex)));
+        assert!(matches!(
+            t.nearest(p(53.3, -6.2)),
+            Err(GeoError::EmptyIndex)
+        ));
         assert!(matches!(
             t.k_nearest(p(53.3, -6.2), 3),
             Err(GeoError::EmptyIndex)

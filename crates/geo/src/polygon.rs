@@ -239,7 +239,7 @@ mod tests {
         let mask = dublin_land_mask();
         assert!(mask.on_land(p(53.3498, -6.2603))); // city centre
         assert!(mask.on_land(p(53.3561, -6.3298))); // Phoenix Park
-        // Middle of Dublin Bay.
+                                                    // Middle of Dublin Bay.
         let bay_point = p(53.335, -6.13);
         assert!(mask.in_service_area(bay_point));
         assert!(!mask.on_land(bay_point), "bay should not be land");
@@ -262,6 +262,9 @@ mod tests {
         let sq = Polygon::new(vec![p(0.0, 0.0), p(0.0, 1.0), p(1.0, 1.0), p(1.0, 0.0)]).unwrap();
         let a = sq.area_km2();
         let expected = 111.195 * 111.195 * (0.5_f64.to_radians().cos());
-        assert!((a - expected).abs() / expected < 0.01, "area {a} vs {expected}");
+        assert!(
+            (a - expected).abs() / expected < 0.01,
+            "area {a} vs {expected}"
+        );
     }
 }

@@ -226,7 +226,10 @@ mod tests {
     fn project_by_key_splits_trips() {
         let s = store_with_trips();
         let by_day = project_by_key(&s, "TRIP", |e| {
-            e.props.get("day").and_then(|v| v.as_int()).map(|d| d as u32)
+            e.props
+                .get("day")
+                .and_then(|v| v.as_int())
+                .map(|d| d as u32)
         });
         // Days used: 0, 1, 5, 2, 6, 3 -> 6 distinct keys.
         assert_eq!(by_day.len(), 6);
@@ -259,7 +262,10 @@ mod tests {
     fn layered_projection_encodes_station_and_key() {
         let s = store_with_trips();
         let (g, reverse) = project_layered(&s, "TRIP", 32, |e| {
-            e.props.get("hour").and_then(|v| v.as_int()).map(|h| h as u32)
+            e.props
+                .get("hour")
+                .and_then(|v| v.as_int())
+                .map(|h| h as u32)
         });
         // Trip 1->2 at hour 8 becomes edge (1*32+8, 2*32+8).
         assert_eq!(g.edge_weight(1 * 32 + 8, 2 * 32 + 8), Some(1.0));

@@ -1,0 +1,497 @@
+//! The frozen compressed-sparse-row analytical graph.
+//!
+//! [`WeightedGraph`](crate::WeightedGraph) is the *builder*: cheap merged
+//! inserts backed by per-node hash maps. Every analytical algorithm pays
+//! hash-probe and cache-miss costs when it walks that representation, so
+//! the hot layers (Louvain, modularity, PageRank, centrality, clustering,
+//! components) instead consume a [`CsrGraph`] produced once by
+//! [`WeightedGraph::freeze`](crate::WeightedGraph::freeze):
+//!
+//! * `offsets` / `targets` / `weights` — the classic CSR triplet; node
+//!   `u`'s neighbours are the contiguous slice
+//!   `targets[offsets[u]..offsets[u+1]]` (sorted by target index) with
+//!   parallel edge weights, so an edge scan is a linear walk over dense
+//!   arrays;
+//! * an interned dense table mapping external [`NodeId`]s to `u32` indices
+//!   (and back via `node_ids`);
+//! * cached per-node weighted degrees: `strength` (incident weight, loops
+//!   once) and `weighted_degree` (the Louvain convention, loops twice),
+//!   plus the self-loop weight, so the community layer never recomputes
+//!   them per sweep.
+//!
+//! Directed graphs additionally carry an in-adjacency CSR (`in_offsets` /
+//! `in_targets` / `in_weights`). The freeze step sorts each row, so all
+//! iteration — and therefore every floating-point accumulation order
+//! downstream — is deterministic regardless of hash-map iteration order in
+//! the builder.
+
+use crate::{NodeId, WeightedGraph};
+use std::collections::HashMap;
+
+/// A frozen, immutable weighted graph in compressed sparse row form.
+///
+/// Produced by [`WeightedGraph::freeze`](crate::WeightedGraph::freeze);
+/// see the [module docs](self) for the representation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsrGraph {
+    directed: bool,
+    node_ids: Vec<NodeId>,
+    index: HashMap<NodeId, u32>,
+    offsets: Vec<u32>,
+    targets: Vec<u32>,
+    weights: Vec<f64>,
+    in_offsets: Vec<u32>,
+    in_targets: Vec<u32>,
+    in_weights: Vec<f64>,
+    strength: Vec<f64>,
+    weighted_degree: Vec<f64>,
+    self_loops: Vec<f64>,
+    edge_count: usize,
+    total_weight: f64,
+}
+
+impl CsrGraph {
+    /// Freeze a builder graph. Rows are sorted by target index; per-node
+    /// weighted degrees are cached.
+    pub fn from_weighted(graph: &WeightedGraph) -> CsrGraph {
+        let n = graph.node_count();
+        assert!(n <= u32::MAX as usize, "CSR index space is u32");
+        let node_ids = graph.node_ids().to_vec();
+        let index: HashMap<NodeId, u32> = node_ids
+            .iter()
+            .enumerate()
+            .map(|(i, &id)| (id, i as u32))
+            .collect();
+
+        let (offsets, targets, weights) = pack_rows(n, |i| graph.neighbors(i));
+        let (in_offsets, in_targets, in_weights) = if graph.is_directed() {
+            pack_rows(n, |i| graph.in_neighbors(i))
+        } else {
+            (Vec::new(), Vec::new(), Vec::new())
+        };
+
+        let mut strength = vec![0.0f64; n];
+        let mut weighted_degree = vec![0.0f64; n];
+        let mut self_loops = vec![0.0f64; n];
+        for u in 0..n {
+            let (row_t, row_w) = row(&offsets, &targets, &weights, u);
+            for (&t, &w) in row_t.iter().zip(row_w) {
+                strength[u] += w;
+                if t as usize == u {
+                    self_loops[u] = w;
+                    weighted_degree[u] += 2.0 * w;
+                } else {
+                    weighted_degree[u] += w;
+                }
+            }
+        }
+
+        CsrGraph {
+            directed: graph.is_directed(),
+            node_ids,
+            index,
+            offsets,
+            targets,
+            weights,
+            in_offsets,
+            in_targets,
+            in_weights,
+            strength,
+            weighted_degree,
+            self_loops,
+            edge_count: graph.edge_count(),
+            total_weight: graph.total_weight(),
+        }
+    }
+
+    /// Whether the graph is directed.
+    pub fn is_directed(&self) -> bool {
+        self.directed
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.node_ids.len()
+    }
+
+    /// Number of distinct merged edges (same convention as the builder:
+    /// undirected edges and self-loops count once).
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    /// Sum of all merged edge weights (each edge counted once).
+    pub fn total_weight(&self) -> f64 {
+        self.total_weight
+    }
+
+    /// Whether the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.node_ids.is_empty()
+    }
+
+    /// The dense index of an external node id.
+    pub fn index_of(&self, id: NodeId) -> Option<u32> {
+        self.index.get(&id).copied()
+    }
+
+    /// The external node id at a dense index.
+    pub fn id_of(&self, index: usize) -> Option<NodeId> {
+        self.node_ids.get(index).copied()
+    }
+
+    /// All node ids in dense-index order.
+    pub fn node_ids(&self) -> &[NodeId] {
+        &self.node_ids
+    }
+
+    /// Whether the node id is present.
+    pub fn contains(&self, id: NodeId) -> bool {
+        self.index.contains_key(&id)
+    }
+
+    /// The (out-)neighbour row of a node: parallel target and weight
+    /// slices, sorted by target index. This is the zero-cost access path
+    /// for hot loops.
+    #[inline]
+    pub fn row(&self, u: usize) -> (&[u32], &[f64]) {
+        row(&self.offsets, &self.targets, &self.weights, u)
+    }
+
+    /// The in-neighbour row of a node (equals [`CsrGraph::row`] for
+    /// undirected graphs).
+    #[inline]
+    pub fn in_row(&self, u: usize) -> (&[u32], &[f64]) {
+        if self.directed {
+            row(&self.in_offsets, &self.in_targets, &self.in_weights, u)
+        } else {
+            self.row(u)
+        }
+    }
+
+    /// Neighbours (by dense index) with merged weights, sorted by index.
+    /// For a directed graph these are out-neighbours.
+    pub fn neighbors(&self, u: usize) -> impl Iterator<Item = (usize, f64)> + '_ {
+        let (t, w) = self.row(u);
+        t.iter().zip(w).map(|(&t, &w)| (t as usize, w))
+    }
+
+    /// In-neighbours (by dense index) with merged weights.
+    pub fn in_neighbors(&self, u: usize) -> impl Iterator<Item = (usize, f64)> + '_ {
+        let (t, w) = self.in_row(u);
+        t.iter().zip(w).map(|(&t, &w)| (t as usize, w))
+    }
+
+    /// Number of distinct (out-)neighbours; self-loops count once.
+    #[inline]
+    pub fn degree(&self, u: usize) -> usize {
+        (self.offsets[u + 1] - self.offsets[u]) as usize
+    }
+
+    /// Cached incident weight (out-edges in a directed graph); self-loops
+    /// count once.
+    #[inline]
+    pub fn strength(&self, u: usize) -> f64 {
+        self.strength[u]
+    }
+
+    /// Cached weighted degree in the Louvain convention: self-loops count
+    /// twice.
+    #[inline]
+    pub fn weighted_degree(&self, u: usize) -> f64 {
+        self.weighted_degree[u]
+    }
+
+    /// Cached self-loop weight (0.0 when absent).
+    #[inline]
+    pub fn self_loop(&self, u: usize) -> f64 {
+        self.self_loops[u]
+    }
+
+    /// Degree of an external node id.
+    pub fn degree_of(&self, id: NodeId) -> Option<usize> {
+        Some(self.degree(self.index_of(id)? as usize))
+    }
+
+    /// Strength of an external node id.
+    pub fn strength_of(&self, id: NodeId) -> Option<f64> {
+        Some(self.strength[self.index_of(id)? as usize])
+    }
+
+    /// The merged weight of the edge from `src` to `dst`, if present
+    /// (binary search over the sorted row).
+    pub fn edge_weight(&self, src: NodeId, dst: NodeId) -> Option<f64> {
+        let s = self.index_of(src)? as usize;
+        let d = self.index_of(dst)?;
+        let (t, w) = self.row(s);
+        t.binary_search(&d).ok().map(|pos| w[pos])
+    }
+
+    /// Iterate over all merged edges as `(src_id, dst_id, weight)` in
+    /// deterministic dense order. Undirected edges are yielded once with
+    /// `src_index <= dst_index`.
+    pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId, f64)> + '_ {
+        (0..self.node_count()).flat_map(move |u| {
+            let (t, w) = self.row(u);
+            t.iter().zip(w).filter_map(move |(&v, &w)| {
+                if self.directed || u as u32 <= v {
+                    Some((self.node_ids[u], self.node_ids[v as usize], w))
+                } else {
+                    None
+                }
+            })
+        })
+    }
+
+    /// The undirected projection: reciprocal directed edges are merged by
+    /// summing weights, self-loops carry over. For an undirected graph
+    /// this is a clone. Matches
+    /// [`WeightedGraph::to_undirected`](crate::WeightedGraph::to_undirected).
+    pub fn to_undirected(&self) -> CsrGraph {
+        if !self.directed {
+            return self.clone();
+        }
+        let n = self.node_count();
+        // Merge out- and in-rows per node: both are sorted, so a two-pointer
+        // union yields each undirected neighbour once with the summed weight.
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut targets = Vec::new();
+        let mut weights = Vec::new();
+        offsets.push(0u32);
+        let mut strength = vec![0.0f64; n];
+        let mut weighted_degree = vec![0.0f64; n];
+        let mut self_loops = vec![0.0f64; n];
+        let mut edge_count = 0usize;
+        let mut total_weight = 0.0f64;
+        for u in 0..n {
+            let (ot, ow) = self.row(u);
+            let (it, iw) = self.in_row(u);
+            let (mut a, mut b) = (0usize, 0usize);
+            while a < ot.len() || b < it.len() {
+                let (v, w) = if b >= it.len() || (a < ot.len() && ot[a] < it[b]) {
+                    let r = (ot[a], ow[a]);
+                    a += 1;
+                    r
+                } else if a >= ot.len() || it[b] < ot[a] {
+                    let r = (it[b], iw[b]);
+                    b += 1;
+                    r
+                } else {
+                    // Same neighbour in both directions. A self-loop stores
+                    // the identical record in out- and in-rows: count once.
+                    let r = if ot[a] as usize == u {
+                        (ot[a], ow[a])
+                    } else {
+                        (ot[a], ow[a] + iw[b])
+                    };
+                    a += 1;
+                    b += 1;
+                    r
+                };
+                targets.push(v);
+                weights.push(w);
+                strength[u] += w;
+                if v as usize == u {
+                    self_loops[u] = w;
+                    weighted_degree[u] += 2.0 * w;
+                    edge_count += 1;
+                    total_weight += w;
+                } else {
+                    weighted_degree[u] += w;
+                    if (v as usize) > u {
+                        edge_count += 1;
+                        total_weight += w;
+                    }
+                }
+            }
+            offsets.push(targets.len() as u32);
+        }
+        CsrGraph {
+            directed: false,
+            node_ids: self.node_ids.clone(),
+            index: self.index.clone(),
+            offsets,
+            targets,
+            weights,
+            in_offsets: Vec::new(),
+            in_targets: Vec::new(),
+            in_weights: Vec::new(),
+            strength,
+            weighted_degree,
+            self_loops,
+            edge_count,
+            total_weight,
+        }
+    }
+}
+
+/// Collect per-node `(neighbour, weight)` pairs into sorted CSR arrays.
+fn pack_rows<I, F>(n: usize, mut neighbors: F) -> (Vec<u32>, Vec<u32>, Vec<f64>)
+where
+    I: Iterator<Item = (usize, f64)>,
+    F: FnMut(usize) -> I,
+{
+    let mut offsets = Vec::with_capacity(n + 1);
+    offsets.push(0u32);
+    let mut targets = Vec::new();
+    let mut weights = Vec::new();
+    let mut scratch: Vec<(u32, f64)> = Vec::new();
+    for u in 0..n {
+        scratch.clear();
+        scratch.extend(neighbors(u).map(|(v, w)| (v as u32, w)));
+        scratch.sort_unstable_by_key(|&(v, _)| v);
+        for &(v, w) in &scratch {
+            targets.push(v);
+            weights.push(w);
+        }
+        offsets.push(targets.len() as u32);
+    }
+    (offsets, targets, weights)
+}
+
+#[inline]
+fn row<'a>(
+    offsets: &[u32],
+    targets: &'a [u32],
+    weights: &'a [f64],
+    u: usize,
+) -> (&'a [u32], &'a [f64]) {
+    let lo = offsets[u] as usize;
+    let hi = offsets[u + 1] as usize;
+    (&targets[lo..hi], &weights[lo..hi])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_undirected() -> WeightedGraph {
+        let mut g = WeightedGraph::new_undirected();
+        g.add_edge(10, 20, 3.0);
+        g.add_edge(20, 30, 1.0);
+        g.add_edge(10, 20, 2.0); // merges
+        g.add_edge(40, 40, 5.0); // self-loop
+        g.add_node(99); // isolated
+        g
+    }
+
+    #[test]
+    fn freeze_preserves_counts_and_weights() {
+        let g = sample_undirected();
+        let c = g.freeze();
+        assert!(!c.is_directed());
+        assert_eq!(c.node_count(), g.node_count());
+        assert_eq!(c.edge_count(), g.edge_count());
+        assert_eq!(c.total_weight(), g.total_weight());
+        assert_eq!(c.edge_weight(10, 20), Some(5.0));
+        assert_eq!(c.edge_weight(20, 10), Some(5.0));
+        assert_eq!(c.edge_weight(10, 30), None);
+        assert_eq!(c.self_loop(c.index_of(40).unwrap() as usize), 5.0);
+    }
+
+    #[test]
+    fn rows_are_sorted_and_complete() {
+        let g = sample_undirected();
+        let c = g.freeze();
+        for u in 0..c.node_count() {
+            let (t, w) = c.row(u);
+            assert_eq!(t.len(), w.len());
+            assert!(t.windows(2).all(|p| p[0] < p[1]), "row {u} sorted, unique");
+            assert_eq!(c.degree(u), g.degree(u));
+        }
+    }
+
+    #[test]
+    fn cached_degrees_match_builder() {
+        let g = sample_undirected();
+        let c = g.freeze();
+        for (u, &id) in c.node_ids().iter().enumerate() {
+            assert_eq!(c.strength(u), g.strength(u), "strength of {id}");
+            let expected_wd = g.strength(u) + g.self_loop_weight(id);
+            assert!((c.weighted_degree(u) - expected_wd).abs() < 1e-12);
+        }
+        assert_eq!(c.strength_of(99), Some(0.0));
+        assert_eq!(c.degree_of(99), Some(0));
+        assert_eq!(c.strength_of(12345), None);
+    }
+
+    #[test]
+    fn id_interning_round_trips() {
+        let g = sample_undirected();
+        let c = g.freeze();
+        for &id in g.node_ids() {
+            let u = c.index_of(id).unwrap() as usize;
+            assert_eq!(c.id_of(u), Some(id));
+            assert_eq!(u, g.index_of(id).unwrap());
+        }
+        assert!(c.contains(99));
+        assert!(!c.contains(1));
+        assert_eq!(c.index_of(1), None);
+        assert_eq!(c.id_of(1000), None);
+    }
+
+    #[test]
+    fn directed_freeze_has_in_rows() {
+        let mut g = WeightedGraph::new_directed();
+        g.add_edge(1, 2, 3.0);
+        g.add_edge(3, 2, 2.0);
+        g.add_edge(2, 1, 1.0);
+        let c = g.freeze();
+        assert!(c.is_directed());
+        let i2 = c.index_of(2).unwrap() as usize;
+        assert_eq!(c.degree(i2), 1);
+        assert_eq!(c.strength(i2), 1.0);
+        let in_sum: f64 = c.in_neighbors(i2).map(|(_, w)| w).sum();
+        assert_eq!(in_sum, 5.0);
+        assert_eq!(c.in_row(i2).0.len(), 2);
+    }
+
+    #[test]
+    fn edges_iterator_matches_builder() {
+        let g = sample_undirected();
+        let c = g.freeze();
+        let mut got: Vec<_> = c.edges().collect();
+        let mut want = g.edges();
+        got.sort_by(|a, b| (a.0, a.1).partial_cmp(&(b.0, b.1)).unwrap());
+        want.sort_by(|a, b| (a.0, a.1).partial_cmp(&(b.0, b.1)).unwrap());
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn directed_edges_iterator_yields_all() {
+        let mut g = WeightedGraph::new_directed();
+        g.add_edge(1, 2, 3.0);
+        g.add_edge(2, 1, 1.0);
+        g.add_edge(3, 3, 2.0);
+        let c = g.freeze();
+        assert_eq!(c.edges().count(), 3);
+    }
+
+    #[test]
+    fn to_undirected_matches_builder_projection() {
+        let mut g = WeightedGraph::new_directed();
+        g.add_edge(1, 2, 3.0);
+        g.add_edge(2, 1, 2.0);
+        g.add_edge(3, 3, 5.0);
+        g.add_edge(1, 3, 1.0);
+        let via_builder = g.to_undirected().freeze();
+        let via_csr = g.freeze().to_undirected();
+        assert_eq!(via_csr.node_count(), via_builder.node_count());
+        assert_eq!(via_csr.edge_count(), via_builder.edge_count());
+        assert!((via_csr.total_weight() - via_builder.total_weight()).abs() < 1e-12);
+        for (&id, u) in via_builder.node_ids().iter().zip(0..) {
+            assert_eq!(via_csr.id_of(u), Some(id));
+            assert!((via_csr.strength(u) - via_builder.strength(u)).abs() < 1e-12);
+        }
+        assert_eq!(via_csr.edge_weight(1, 2), Some(5.0));
+        assert_eq!(via_csr.edge_weight(3, 3), Some(5.0));
+    }
+
+    #[test]
+    fn empty_graph_freezes() {
+        let c = WeightedGraph::new_undirected().freeze();
+        assert!(c.is_empty());
+        assert_eq!(c.node_count(), 0);
+        assert_eq!(c.edges().count(), 0);
+    }
+}

@@ -38,7 +38,11 @@ where
     F: Fn(NodeId) -> Option<String>,
 {
     let mut out = String::new();
-    let kind = if graph.is_directed() { "digraph" } else { "graph" };
+    let kind = if graph.is_directed() {
+        "digraph"
+    } else {
+        "graph"
+    };
     let arrow = if graph.is_directed() { "->" } else { "--" };
     let _ = writeln!(out, "{kind} \"{}\" {{", json_escape(name));
     let mut ids: Vec<NodeId> = graph.node_ids().to_vec();
@@ -48,7 +52,7 @@ where
         let _ = writeln!(out, "  n{id} [label=\"{}\"];", json_escape(&label));
     }
     let mut edges = graph.edges();
-    edges.sort_by(|a, b| (a.0, a.1).cmp(&(b.0, b.1)));
+    edges.sort_by_key(|a| (a.0, a.1));
     for (src, dst, w) in edges {
         let _ = writeln!(out, "  n{src} {arrow} n{dst} [weight={w}];");
     }
@@ -60,7 +64,7 @@ where
 pub fn to_edge_csv(graph: &WeightedGraph) -> String {
     let mut out = String::from("src,dst,weight\n");
     let mut edges = graph.edges();
-    edges.sort_by(|a, b| (a.0, a.1).cmp(&(b.0, b.1)));
+    edges.sort_by_key(|a| (a.0, a.1));
     for (src, dst, w) in edges {
         let _ = writeln!(out, "{src},{dst},{w}");
     }
@@ -130,7 +134,7 @@ pub fn to_geojson(
     }
 
     let mut edges = graph.edges();
-    edges.sort_by(|a, b| (a.0, a.1).cmp(&(b.0, b.1)));
+    edges.sort_by_key(|a| (a.0, a.1));
     for (src, dst, w) in edges {
         if w < min_edge_weight || src == dst {
             continue;

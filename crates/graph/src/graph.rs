@@ -109,7 +109,10 @@ impl WeightedGraph {
     /// callers validate weights at the boundary (see
     /// [`WeightedGraph::try_add_edge`] for the checked variant).
     pub fn add_edge(&mut self, src: NodeId, dst: NodeId, weight: f64) {
-        debug_assert!(weight.is_finite() && weight >= 0.0, "invalid weight {weight}");
+        debug_assert!(
+            weight.is_finite() && weight >= 0.0,
+            "invalid weight {weight}"
+        );
         if !weight.is_finite() || weight < 0.0 {
             return;
         }
@@ -277,6 +280,14 @@ impl WeightedGraph {
             }
         }
         g
+    }
+
+    /// Freeze this builder into an immutable [`crate::CsrGraph`] — the
+    /// compressed-sparse-row representation every hot algorithm consumes.
+    /// Freeze once, then share the frozen graph across algorithms; see the
+    /// [`crate::csr`] module docs for the builder/frozen lifecycle.
+    pub fn freeze(&self) -> crate::CsrGraph {
+        crate::CsrGraph::from_weighted(self)
     }
 
     /// Build a new graph containing only the nodes for which `keep` returns

@@ -9,8 +9,11 @@
 //! * [`GraphStore`] — a labelled property graph (nodes and relationships
 //!   carrying typed key/value properties), the analogue of the Neo4j store
 //!   that holds `Station` nodes and `TRIP` relationships;
-//! * [`WeightedGraph`] — a compact weighted (di)graph used by every
-//!   analytical algorithm (degree/strength, Louvain, centrality);
+//! * [`WeightedGraph`] — the mutable *builder* graph: merged weighted-edge
+//!   inserts over per-node hash maps;
+//! * [`CsrGraph`] — the frozen compressed-sparse-row projection produced by
+//!   [`WeightedGraph::freeze`]; every analytical algorithm (degree/strength,
+//!   Louvain, centrality) runs on this cache-friendly representation;
 //! * [`aggregate`] — the multi-edge → weighted-edge aggregation used to
 //!   build `GBasic`, `GDay` and `GHour` from raw trip relationships;
 //! * [`metrics`] — degree, strength, local clustering coefficient,
@@ -36,12 +39,14 @@
 #![warn(missing_docs)]
 
 pub mod aggregate;
+pub mod csr;
 pub mod export;
 mod graph;
 pub mod metrics;
 mod store;
 mod value;
 
+pub use csr::CsrGraph;
 pub use graph::{NodeId, WeightedGraph};
 pub use store::{EdgeRecord, GraphStore, NodeRecord};
 pub use value::{props, PropMap, PropValue};
@@ -79,7 +84,10 @@ impl fmt::Display for GraphError {
                 write!(f, "edge {src} -> {dst} references a missing node")
             }
             GraphError::InvalidWeight(w) => {
-                write!(f, "invalid edge weight {w}: must be finite and non-negative")
+                write!(
+                    f,
+                    "invalid edge weight {w}: must be finite and non-negative"
+                )
             }
             GraphError::EmptyGraph => write!(f, "operation requires a non-empty graph"),
             GraphError::WrongDirectedness { directed } => write!(
@@ -105,7 +113,9 @@ mod tests {
         assert!(GraphError::MissingNode(4).to_string().contains('4'));
         assert!(GraphError::EmptyGraph.to_string().contains("non-empty"));
         assert!(GraphError::InvalidWeight(-1.0).to_string().contains("-1"));
-        assert!(GraphError::DanglingEdge { src: 1, dst: 2 }.to_string().contains("->"));
+        assert!(GraphError::DanglingEdge { src: 1, dst: 2 }
+            .to_string()
+            .contains("->"));
         assert!(GraphError::WrongDirectedness { directed: true }
             .to_string()
             .contains("directed"));

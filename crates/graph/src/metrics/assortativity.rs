@@ -1,6 +1,6 @@
 //! Degree assortativity.
 
-use crate::WeightedGraph;
+use crate::{CsrGraph, WeightedGraph};
 
 /// Degree assortativity coefficient (Newman): the Pearson correlation of the
 /// degrees at either end of an edge, computed over the undirected projection
@@ -11,6 +11,11 @@ use crate::WeightedGraph;
 /// networks). Returns 0 for degenerate graphs (fewer than two edges, or all
 /// endpoint degrees equal).
 pub fn degree_assortativity(graph: &WeightedGraph) -> f64 {
+    degree_assortativity_csr(&graph.freeze())
+}
+
+/// [`degree_assortativity`] over an already-frozen [`CsrGraph`].
+pub fn degree_assortativity_csr(graph: &CsrGraph) -> f64 {
     let undirected;
     let g = if graph.is_directed() {
         undirected = graph.to_undirected();
@@ -19,19 +24,24 @@ pub fn degree_assortativity(graph: &WeightedGraph) -> f64 {
         graph
     };
     // Collect (deg(u), deg(v)) for each edge in both orientations, which is
-    // the standard symmetric treatment for undirected graphs.
+    // the standard symmetric treatment for undirected graphs. Degrees come
+    // straight off the CSR offsets.
     let mut xs: Vec<f64> = Vec::new();
     let mut ys: Vec<f64> = Vec::new();
-    for (u, v, _) in g.edges() {
-        if u == v {
-            continue;
+    for u in 0..g.node_count() {
+        let (targets, _) = g.row(u);
+        for &v in targets {
+            let v = v as usize;
+            if v <= u {
+                continue; // each undirected edge once; self-loops skipped
+            }
+            let du = g.degree(u) as f64;
+            let dv = g.degree(v) as f64;
+            xs.push(du);
+            ys.push(dv);
+            xs.push(dv);
+            ys.push(du);
         }
-        let du = g.degree_of(u).unwrap_or(0) as f64;
-        let dv = g.degree_of(v).unwrap_or(0) as f64;
-        xs.push(du);
-        ys.push(dv);
-        xs.push(dv);
-        ys.push(du);
     }
     if xs.len() < 2 {
         return 0.0;

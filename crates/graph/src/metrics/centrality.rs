@@ -7,13 +7,13 @@
 //! networks. Passing `weighted = false` uses hop counts instead.
 //!
 //! Betweenness uses Brandes' algorithm; the per-source accumulation is
-//! parallelised across threads with `crossbeam::scope` because the
-//! O(V·E log V) cost is the most expensive metric in the suite.
+//! parallelised across scoped std threads because the O(V·E log V) cost is
+//! the most expensive metric in the suite.
 
-use crate::{NodeId, WeightedGraph};
-use parking_lot::Mutex;
+use crate::{CsrGraph, NodeId, WeightedGraph};
 use std::cmp::Ordering;
 use std::collections::{BinaryHeap, HashMap};
+use std::sync::Mutex;
 
 /// A min-heap entry for Dijkstra.
 #[derive(Debug, PartialEq)]
@@ -55,10 +55,11 @@ fn edge_length(weight: f64, weighted: bool) -> f64 {
     }
 }
 
-/// Single-source shortest paths (Dijkstra) returning, for each node:
-/// distance, number of shortest paths (sigma) and predecessor lists.
+/// Single-source shortest paths (Dijkstra) over CSR rows returning, for
+/// each node: distance, number of shortest paths (sigma) and predecessor
+/// lists.
 fn brandes_sssp(
-    graph: &WeightedGraph,
+    graph: &CsrGraph,
     source: usize,
     weighted: bool,
 ) -> (Vec<f64>, Vec<f64>, Vec<Vec<usize>>, Vec<usize>) {
@@ -83,7 +84,9 @@ fn brandes_sssp(
         }
         settled[u] = true;
         order.push(u);
-        for (v, w) in graph.neighbors(u) {
+        let (targets, weights) = graph.row(u);
+        for (&v, &w) in targets.iter().zip(weights) {
+            let v = v as usize;
             if v == u {
                 continue; // self-loops never lie on shortest paths
             }
@@ -118,6 +121,16 @@ pub fn betweenness_centrality(
     weighted: bool,
     normalized: bool,
 ) -> HashMap<NodeId, f64> {
+    betweenness_centrality_csr(&graph.freeze(), weighted, normalized)
+}
+
+/// [`betweenness_centrality`] over an already-frozen [`CsrGraph`] — the
+/// per-source Dijkstra sweeps walk contiguous CSR rows.
+pub fn betweenness_centrality_csr(
+    graph: &CsrGraph,
+    weighted: bool,
+    normalized: bool,
+) -> HashMap<NodeId, f64> {
     let n = graph.node_count();
     if n == 0 {
         return HashMap::new();
@@ -126,16 +139,15 @@ pub fn betweenness_centrality(
     let n_threads = std::thread::available_parallelism()
         .map(|p| p.get())
         .unwrap_or(1)
-        .min(8)
-        .max(1);
+        .clamp(1, 8);
 
     let chunk = n.div_ceil(n_threads);
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         for t in 0..n_threads {
             let centrality = &centrality;
             let lo = t * chunk;
             let hi = ((t + 1) * chunk).min(n);
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 let mut local = vec![0.0f64; n];
                 for s in lo..hi {
                     let (_, sigma, preds, order) = brandes_sssp(graph, s, weighted);
@@ -151,16 +163,15 @@ pub fn betweenness_centrality(
                         }
                     }
                 }
-                let mut global = centrality.lock();
+                let mut global = centrality.lock().expect("no worker panicked");
                 for i in 0..n {
                     global[i] += local[i];
                 }
             });
         }
-    })
-    .expect("betweenness worker panicked");
+    });
 
-    let mut scores = centrality.into_inner();
+    let mut scores = centrality.into_inner().expect("no worker panicked");
     if !graph.is_directed() {
         // Each unordered pair was counted from both endpoints.
         for s in scores.iter_mut() {
@@ -187,6 +198,11 @@ pub fn betweenness_centrality(
 /// correction), so nodes in small components do not get inflated scores.
 /// Unreachable or isolated nodes score 0.
 pub fn closeness_centrality(graph: &WeightedGraph, weighted: bool) -> HashMap<NodeId, f64> {
+    closeness_centrality_csr(&graph.freeze(), weighted)
+}
+
+/// [`closeness_centrality`] over an already-frozen [`CsrGraph`].
+pub fn closeness_centrality_csr(graph: &CsrGraph, weighted: bool) -> HashMap<NodeId, f64> {
     let n = graph.node_count();
     let mut out = HashMap::with_capacity(n);
     for s in 0..n {

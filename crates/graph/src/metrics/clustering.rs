@@ -1,7 +1,7 @@
 //! Local clustering coefficient.
 
-use crate::{NodeId, WeightedGraph};
-use std::collections::{HashMap, HashSet};
+use crate::{CsrGraph, NodeId, WeightedGraph};
+use std::collections::HashMap;
 
 /// The (unweighted) local clustering coefficient of every node: the
 /// fraction of pairs of a node's neighbours that are themselves connected.
@@ -11,32 +11,28 @@ use std::collections::{HashMap, HashSet};
 /// related-work metrics in the paper), not traffic volume. Nodes with fewer
 /// than two neighbours have a coefficient of 0.
 pub fn local_clustering_coefficient(graph: &WeightedGraph) -> HashMap<NodeId, f64> {
-    let n = graph.node_count();
-    // Neighbour sets without self-loops, on dense indices.
-    let neighbour_sets: Vec<HashSet<usize>> = (0..n)
-        .map(|i| {
-            graph
-                .neighbors(i)
-                .map(|(j, _)| j)
-                .filter(|&j| j != i)
-                .collect()
-        })
-        .collect();
+    local_clustering_coefficient_csr(&graph.freeze())
+}
 
+/// [`local_clustering_coefficient`] over an already-frozen [`CsrGraph`].
+///
+/// CSR rows are sorted, so counting links among a node's neighbourhood is
+/// a merge-style intersection of sorted slices — no hash sets.
+pub fn local_clustering_coefficient_csr(graph: &CsrGraph) -> HashMap<NodeId, f64> {
+    let n = graph.node_count();
     let mut out = HashMap::with_capacity(n);
+    let mut neigh: Vec<u32> = Vec::new();
     for i in 0..n {
-        let neigh: Vec<usize> = neighbour_sets[i].iter().copied().collect();
+        neigh.clear();
+        neigh.extend(graph.row(i).0.iter().copied().filter(|&j| j as usize != i));
         let k = neigh.len();
         let coefficient = if k < 2 {
             0.0
         } else {
             let mut links = 0usize;
-            for a in 0..k {
-                for b in (a + 1)..k {
-                    if neighbour_sets[neigh[a]].contains(&neigh[b]) {
-                        links += 1;
-                    }
-                }
+            for (a, &u) in neigh.iter().enumerate() {
+                // Count sorted-intersection of u's row with neigh[a+1..].
+                links += sorted_intersection_count(graph.row(u as usize).0, &neigh[a + 1..]);
             }
             2.0 * links as f64 / (k * (k - 1)) as f64
         };
@@ -45,13 +41,35 @@ pub fn local_clustering_coefficient(graph: &WeightedGraph) -> HashMap<NodeId, f6
     out
 }
 
+/// Number of values present in both sorted, duplicate-free slices.
+fn sorted_intersection_count(a: &[u32], b: &[u32]) -> usize {
+    let (mut i, mut j, mut count) = (0usize, 0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                count += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    count
+}
+
 /// The mean local clustering coefficient over all nodes (0 for an empty
 /// graph).
 pub fn average_clustering_coefficient(graph: &WeightedGraph) -> f64 {
+    average_clustering_coefficient_csr(&graph.freeze())
+}
+
+/// [`average_clustering_coefficient`] over an already-frozen [`CsrGraph`].
+pub fn average_clustering_coefficient_csr(graph: &CsrGraph) -> f64 {
     if graph.node_count() == 0 {
         return 0.0;
     }
-    let per_node = local_clustering_coefficient(graph);
+    let per_node = local_clustering_coefficient_csr(graph);
     per_node.values().sum::<f64>() / per_node.len() as f64
 }
 

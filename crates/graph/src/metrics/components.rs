@@ -1,12 +1,18 @@
 //! Connected components.
 
-use crate::{NodeId, WeightedGraph};
+use crate::{CsrGraph, NodeId, WeightedGraph};
 use std::collections::HashMap;
 
 /// Assign every node to a connected component (ignoring edge direction) and
 /// return the mapping from node id to component label (0-based, labelled in
 /// discovery order).
 pub fn connected_components(graph: &WeightedGraph) -> HashMap<NodeId, usize> {
+    connected_components_csr(&graph.freeze())
+}
+
+/// [`connected_components`] over an already-frozen [`CsrGraph`] — the DFS
+/// walks contiguous out- (and, for directed graphs, in-) rows.
+pub fn connected_components_csr(graph: &CsrGraph) -> HashMap<NodeId, usize> {
     let n = graph.node_count();
     let mut label = vec![usize::MAX; n];
     let mut next = 0usize;
@@ -18,8 +24,16 @@ pub fn connected_components(graph: &WeightedGraph) -> HashMap<NodeId, usize> {
         label[start] = next;
         stack.push(start);
         while let Some(u) = stack.pop() {
-            // For directed graphs treat edges as undirected for reachability.
-            for (v, _) in graph.neighbors(u).chain(graph.in_neighbors(u)) {
+            // For directed graphs treat edges as undirected for reachability
+            // (for undirected graphs in_row aliases row — scan it once).
+            let (out_t, _) = graph.row(u);
+            let in_t = if graph.is_directed() {
+                graph.in_row(u).0
+            } else {
+                &[]
+            };
+            for &v in out_t.iter().chain(in_t) {
+                let v = v as usize;
                 if label[v] == usize::MAX {
                     label[v] = next;
                     stack.push(v);
@@ -36,7 +50,12 @@ pub fn connected_components(graph: &WeightedGraph) -> HashMap<NodeId, usize> {
 /// The number of nodes in the largest connected component (0 for an empty
 /// graph).
 pub fn largest_component_size(graph: &WeightedGraph) -> usize {
-    let comps = connected_components(graph);
+    largest_component_size_csr(&graph.freeze())
+}
+
+/// [`largest_component_size`] over an already-frozen [`CsrGraph`].
+pub fn largest_component_size_csr(graph: &CsrGraph) -> usize {
+    let comps = connected_components_csr(graph);
     let mut sizes: HashMap<usize, usize> = HashMap::new();
     for c in comps.values() {
         *sizes.entry(*c).or_insert(0) += 1;

@@ -1,6 +1,6 @@
 //! Degree and strength statistics.
 
-use crate::{NodeId, WeightedGraph};
+use crate::{CsrGraph, NodeId, WeightedGraph};
 use std::collections::HashMap;
 
 /// Per-graph degree summary statistics.
@@ -54,12 +54,33 @@ pub fn degree_map(graph: &WeightedGraph) -> HashMap<NodeId, usize> {
         .collect()
 }
 
+/// [`degree_map`] over an already-frozen [`CsrGraph`]: degrees are row
+/// lengths read straight off the offsets array.
+pub fn degree_map_csr(graph: &CsrGraph) -> HashMap<NodeId, usize> {
+    (0..graph.node_count())
+        .map(|u| (graph.id_of(u).expect("dense index valid"), graph.degree(u)))
+        .collect()
+}
+
 /// Strength (sum of incident edge weights) for every node id.
 pub fn strength_map(graph: &WeightedGraph) -> HashMap<NodeId, f64> {
     graph
         .node_ids()
         .iter()
         .map(|&id| (id, graph.strength_of(id).expect("listed id exists")))
+        .collect()
+}
+
+/// [`strength_map`] over an already-frozen [`CsrGraph`]: strengths come
+/// from the cached per-node weighted degrees, no edge walk at all.
+pub fn strength_map_csr(graph: &CsrGraph) -> HashMap<NodeId, f64> {
+    (0..graph.node_count())
+        .map(|u| {
+            (
+                graph.id_of(u).expect("dense index valid"),
+                graph.strength(u),
+            )
+        })
         .collect()
 }
 

@@ -1,6 +1,6 @@
 //! Weighted PageRank.
 
-use crate::{NodeId, WeightedGraph};
+use crate::{CsrGraph, NodeId, WeightedGraph};
 use std::collections::HashMap;
 
 /// Configuration for [`pagerank`].
@@ -30,7 +30,58 @@ impl Default for PageRankConfig {
 /// the `u -> v` edge. Dangling nodes (no out-edges) redistribute their mass
 /// uniformly. Scores sum to 1 over all nodes. Returns an empty map for an
 /// empty graph.
+///
+/// Freezes the builder once and runs [`pagerank_csr`]; callers that
+/// already hold a frozen [`CsrGraph`] should call that directly.
 pub fn pagerank(graph: &WeightedGraph, config: &PageRankConfig) -> HashMap<NodeId, f64> {
+    pagerank_csr(&graph.freeze(), config)
+}
+
+/// Weighted PageRank over a frozen [`CsrGraph`]: each power iteration is a
+/// linear sweep over the CSR rows using the cached out-strengths.
+pub fn pagerank_csr(graph: &CsrGraph, config: &PageRankConfig) -> HashMap<NodeId, f64> {
+    let n = graph.node_count();
+    if n == 0 {
+        return HashMap::new();
+    }
+    let uniform = 1.0 / n as f64;
+    let mut rank = vec![uniform; n];
+    let mut next = vec![0.0f64; n];
+
+    for _ in 0..config.max_iterations {
+        next.fill((1.0 - config.damping) * uniform);
+        let mut dangling_mass = 0.0;
+        for u in 0..n {
+            let out_strength = graph.strength(u);
+            if out_strength <= 0.0 {
+                dangling_mass += rank[u];
+                continue;
+            }
+            let scale = config.damping * rank[u] / out_strength;
+            let (targets, weights) = graph.row(u);
+            for (&v, &w) in targets.iter().zip(weights) {
+                next[v as usize] += scale * w;
+            }
+        }
+        let dangling_share = config.damping * dangling_mass * uniform;
+        for r in next.iter_mut() {
+            *r += dangling_share;
+        }
+        let diff: f64 = next.iter().zip(&rank).map(|(a, b)| (a - b).abs()).sum();
+        std::mem::swap(&mut rank, &mut next);
+        if diff < config.tolerance {
+            break;
+        }
+    }
+    (0..n)
+        .map(|i| (graph.id_of(i).expect("dense index valid"), rank[i]))
+        .collect()
+}
+
+/// The legacy hash-map-walk PageRank, kept private as the reference for
+/// the CSR/builder agreement tests below.
+#[cfg(test)]
+fn pagerank_hashmap(graph: &WeightedGraph, config: &PageRankConfig) -> HashMap<NodeId, f64> {
     let n = graph.node_count();
     if n == 0 {
         return HashMap::new();
@@ -134,6 +185,33 @@ mod tests {
         g.add_edge(3, 1, 1.0);
         let pr = pagerank(&g, &PageRankConfig::default());
         assert!(pr[&2] > pr[&3]);
+    }
+
+    #[test]
+    fn csr_and_hashmap_agree_within_tolerance() {
+        let mut g = WeightedGraph::new_directed();
+        for (a, b, w) in [
+            (1u64, 2u64, 3.0),
+            (2, 3, 1.0),
+            (3, 1, 2.0),
+            (1, 3, 1.0),
+            (4, 1, 5.0),
+            (5, 5, 2.0), // self-loop
+        ] {
+            g.add_edge(a, b, w);
+        }
+        g.add_node(6); // dangling isolate
+        let cfg = PageRankConfig::default();
+        let csr = pagerank_csr(&g.freeze(), &cfg);
+        let reference = pagerank_hashmap(&g, &cfg);
+        assert_eq!(csr.len(), reference.len());
+        for (id, r) in &reference {
+            assert!(
+                (csr[id] - r).abs() < 1e-9,
+                "node {id}: csr {} vs reference {r}",
+                csr[id]
+            );
+        }
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //! `weighted` is true (heavily used pairs are "close"), or one hop
 //! otherwise.
 
-use crate::WeightedGraph;
+use crate::{CsrGraph, WeightedGraph};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
@@ -38,7 +38,15 @@ impl PartialOrd for HeapEntry {
 
 /// Dijkstra distances from the node at dense index `source` to every node
 /// (`f64::INFINITY` for unreachable nodes). Self-loops are ignored.
+///
+/// Freezes the builder graph per call; loops over many sources should
+/// freeze once and call [`shortest_path_lengths_csr`].
 pub fn shortest_path_lengths(graph: &WeightedGraph, source: usize, weighted: bool) -> Vec<f64> {
+    shortest_path_lengths_csr(&graph.freeze(), source, weighted)
+}
+
+/// [`shortest_path_lengths`] over an already-frozen [`CsrGraph`].
+pub fn shortest_path_lengths_csr(graph: &CsrGraph, source: usize, weighted: bool) -> Vec<f64> {
     let n = graph.node_count();
     let mut dist = vec![f64::INFINITY; n];
     if source >= n {
@@ -56,7 +64,9 @@ pub fn shortest_path_lengths(graph: &WeightedGraph, source: usize, weighted: boo
             continue;
         }
         settled[u] = true;
-        for (v, w) in graph.neighbors(u) {
+        let (targets, weights) = graph.row(u);
+        for (&v, &w) in targets.iter().zip(weights) {
+            let v = v as usize;
             if v == u {
                 continue;
             }
@@ -81,16 +91,21 @@ pub fn shortest_path_lengths(graph: &WeightedGraph, source: usize, weighted: boo
 
 /// Mean shortest-path length over all ordered pairs of distinct nodes that
 /// can reach each other. Returns 0 for graphs with fewer than two nodes or
-/// no reachable pairs.
+/// no reachable pairs. Freezes once, then runs one Dijkstra per source
+/// over the CSR rows.
 pub fn average_path_length(graph: &WeightedGraph, weighted: bool) -> f64 {
-    let n = graph.node_count();
+    let frozen = graph.freeze();
+    let n = frozen.node_count();
     if n < 2 {
         return 0.0;
     }
     let mut total = 0.0;
     let mut pairs = 0usize;
     for s in 0..n {
-        for (t, d) in shortest_path_lengths(graph, s, weighted).into_iter().enumerate() {
+        for (t, d) in shortest_path_lengths_csr(&frozen, s, weighted)
+            .into_iter()
+            .enumerate()
+        {
             if t != s && d.is_finite() {
                 total += d;
                 pairs += 1;
@@ -105,12 +120,16 @@ pub fn average_path_length(graph: &WeightedGraph, weighted: bool) -> f64 {
 }
 
 /// The longest finite shortest-path length in the graph (0 for graphs with
-/// fewer than two nodes).
+/// fewer than two nodes). Freezes once.
 pub fn diameter(graph: &WeightedGraph, weighted: bool) -> f64 {
-    let n = graph.node_count();
+    let frozen = graph.freeze();
+    let n = frozen.node_count();
     let mut max = 0.0f64;
     for s in 0..n {
-        for (t, d) in shortest_path_lengths(graph, s, weighted).into_iter().enumerate() {
+        for (t, d) in shortest_path_lengths_csr(&frozen, s, weighted)
+            .into_iter()
+            .enumerate()
+        {
             if t != s && d.is_finite() {
                 max = max.max(d);
             }
@@ -121,15 +140,19 @@ pub fn diameter(graph: &WeightedGraph, weighted: bool) -> f64 {
 
 /// Global efficiency: the mean of `1 / d(s, t)` over all ordered pairs of
 /// distinct nodes, with unreachable pairs contributing 0. Lies in `[0, 1]`
-/// for unweighted graphs (1 = complete graph).
+/// for unweighted graphs (1 = complete graph). Freezes once.
 pub fn global_efficiency(graph: &WeightedGraph, weighted: bool) -> f64 {
-    let n = graph.node_count();
+    let frozen = graph.freeze();
+    let n = frozen.node_count();
     if n < 2 {
         return 0.0;
     }
     let mut total = 0.0;
     for s in 0..n {
-        for (t, d) in shortest_path_lengths(graph, s, weighted).into_iter().enumerate() {
+        for (t, d) in shortest_path_lengths_csr(&frozen, s, weighted)
+            .into_iter()
+            .enumerate()
+        {
             if t != s && d.is_finite() && d > 0.0 {
                 total += 1.0 / d;
             }

@@ -117,7 +117,13 @@ impl GraphStore {
     /// # Errors
     ///
     /// [`GraphError::DanglingEdge`] when either endpoint is missing.
-    pub fn add_edge(&mut self, src: NodeId, dst: NodeId, label: &str, props: PropMap) -> Result<()> {
+    pub fn add_edge(
+        &mut self,
+        src: NodeId,
+        dst: NodeId,
+        label: &str,
+        props: PropMap,
+    ) -> Result<()> {
         if !self.nodes.contains_key(&src) || !self.nodes.contains_key(&dst) {
             return Err(GraphError::DanglingEdge { src, dst });
         }
@@ -254,7 +260,8 @@ mod tests {
     #[test]
     fn set_node_prop() {
         let mut s = sample_store();
-        s.set_node_prop(1, "community", PropValue::from(2i64)).unwrap();
+        s.set_node_prop(1, "community", PropValue::from(2i64))
+            .unwrap();
         assert_eq!(s.node(1).unwrap().props["community"].as_int(), Some(2));
         assert!(matches!(
             s.set_node_prop(99, "x", PropValue::from(1i64)),

@@ -1,0 +1,109 @@
+//! Property tests: the frozen [`CsrGraph`] must agree with the builder
+//! [`WeightedGraph`] it was frozen from on every structural invariant, for
+//! arbitrary directed and undirected graphs including self-loops.
+
+use moby_graph::{CsrGraph, WeightedGraph};
+use proptest::prelude::*;
+
+/// Strategy producing a random edge list over a small id space; node ids
+/// are sparse (multiplied out) to exercise the interning table, and
+/// `a == b` self-loops occur naturally.
+fn edge_list() -> impl Strategy<Value = Vec<(u64, u64, f64)>> {
+    prop::collection::vec((0u64..30, 0u64..30, 0.25f64..8.0), 1..220).prop_map(|edges| {
+        edges
+            .into_iter()
+            .map(|(a, b, w)| (a * 1_000 + 7, b * 1_000 + 7, w))
+            .collect()
+    })
+}
+
+fn build(directed: bool, edges: &[(u64, u64, f64)]) -> WeightedGraph {
+    let mut g = if directed {
+        WeightedGraph::new_directed()
+    } else {
+        WeightedGraph::new_undirected()
+    };
+    for &(a, b, w) in edges {
+        g.add_edge(a, b, w);
+    }
+    g.add_node(999_999_999); // one isolated node to keep degree-0 covered
+    g
+}
+
+/// The shared battery of agreement assertions.
+fn assert_agreement(g: &WeightedGraph, c: &CsrGraph) {
+    // Counts.
+    assert_eq!(c.node_count(), g.node_count());
+    assert_eq!(c.edge_count(), g.edge_count());
+    assert!((c.total_weight() - g.total_weight()).abs() <= 1e-9 * g.total_weight().max(1.0));
+    assert_eq!(c.is_directed(), g.is_directed());
+
+    // Interning round-trips and per-node weighted degrees.
+    for (u, &id) in g.node_ids().iter().enumerate() {
+        assert_eq!(c.index_of(id), Some(u as u32));
+        assert_eq!(c.id_of(u), Some(id));
+        assert_eq!(c.degree(u), g.degree(u), "degree of {id}");
+        let gs = g.strength(u);
+        assert!(
+            (c.strength(u) - gs).abs() <= 1e-9 * gs.abs().max(1.0),
+            "strength of {id}: csr {} vs builder {gs}",
+            c.strength(u)
+        );
+        let wd = gs + g.self_loop_weight(id);
+        assert!(
+            (c.weighted_degree(u) - wd).abs() <= 1e-9 * wd.abs().max(1.0),
+            "weighted degree of {id}"
+        );
+        assert!((c.self_loop(u) - g.self_loop_weight(id)).abs() <= 1e-12);
+    }
+
+    // Edge multiset agreement (merged weights).
+    let mut csr_edges: Vec<_> = c.edges().collect();
+    let mut builder_edges = g.edges();
+    let key = |e: &(u64, u64, f64)| (e.0, e.1);
+    csr_edges.sort_by_key(key);
+    builder_edges.sort_by_key(key);
+    assert_eq!(csr_edges.len(), builder_edges.len());
+    for (ce, be) in csr_edges.iter().zip(&builder_edges) {
+        assert_eq!((ce.0, ce.1), (be.0, be.1));
+        assert!((ce.2 - be.2).abs() <= 1e-9 * be.2.abs().max(1.0));
+    }
+
+    // Per-edge lookup agreement.
+    for &(src, dst, _) in &builder_edges {
+        let bw = g.edge_weight(src, dst).expect("edge listed");
+        let cw = c.edge_weight(src, dst).expect("edge frozen");
+        assert!((cw - bw).abs() <= 1e-9 * bw.abs().max(1.0));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn undirected_freeze_agrees_with_builder(edges in edge_list()) {
+        let g = build(false, &edges);
+        assert_agreement(&g, &g.freeze());
+    }
+
+    #[test]
+    fn directed_freeze_agrees_with_builder(edges in edge_list()) {
+        let g = build(true, &edges);
+        let c = g.freeze();
+        assert_agreement(&g, &c);
+        // Directed extras: in-strength per node.
+        for (u, _) in g.node_ids().iter().enumerate() {
+            let gin = g.in_strength(u);
+            let cin: f64 = c.in_neighbors(u).map(|(_, w)| w).sum();
+            assert!((cin - gin).abs() <= 1e-9 * gin.abs().max(1.0));
+        }
+    }
+
+    #[test]
+    fn csr_undirected_projection_agrees_with_builder_projection(edges in edge_list()) {
+        let g = build(true, &edges);
+        let via_builder = g.to_undirected();
+        let via_csr = g.freeze().to_undirected();
+        assert_agreement(&via_builder, &via_csr);
+    }
+}

@@ -1,0 +1,18 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment has no access to crates.io. The workspace only
+//! uses serde as derive markers on plain data types (no `serde_json`, no
+//! `#[serde(...)]` attributes, no trait bounds), so this crate provides
+//! empty marker traits plus no-op derive macros with the same names. If a
+//! future PR needs real (de)serialization, replace this vendored crate with
+//! the upstream dependency and everything keeps compiling.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait matching the name of `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait matching the name of `serde::Deserialize`.
+pub trait Deserialize {}

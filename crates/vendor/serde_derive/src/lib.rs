@@ -1,0 +1,96 @@
+//! No-op `Serialize` / `Deserialize` derives for the vendored serde
+//! stand-in. Each derive emits an empty marker-trait impl for the deriving
+//! type. Written against `proc_macro` directly (no syn/quote — the build
+//! environment is offline), so only the type name and generic parameter
+//! *identifiers* are parsed; that covers every derived type in this
+//! workspace.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Extract `(name, generic_idents)` from a struct/enum definition.
+fn type_header(input: TokenStream) -> (String, Vec<String>) {
+    let mut tokens = input.into_iter().peekable();
+    // Skip attributes (`#[...]`) and visibility/qualifiers until the
+    // `struct` / `enum` keyword.
+    for tt in tokens.by_ref() {
+        match &tt {
+            TokenTree::Ident(id) => {
+                let s = id.to_string();
+                if s == "struct" || s == "enum" || s == "union" {
+                    break;
+                }
+            }
+            _ => continue,
+        }
+    }
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("derive: expected type name, found {other:?}"),
+    };
+    // Collect generic parameter identifiers from `<...>` if present, e.g.
+    // `<T, U: Bound, 'a>` -> ["T", "U", "'a"]. Only top-level params are
+    // taken (depth 1), skipping bounds after `:` and defaults after `=`.
+    let mut generics: Vec<String> = Vec::new();
+    if let Some(TokenTree::Punct(p)) = tokens.peek() {
+        if p.as_char() == '<' {
+            tokens.next();
+            let mut depth = 1usize;
+            let mut take_next = true;
+            let mut lifetime = false;
+            for tt in tokens {
+                match &tt {
+                    TokenTree::Punct(p) => match p.as_char() {
+                        '<' => depth += 1,
+                        '>' => {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        ',' if depth == 1 => take_next = true,
+                        '\'' if depth == 1 && take_next => lifetime = true,
+                        ':' | '=' if depth == 1 => take_next = false,
+                        _ => {}
+                    },
+                    TokenTree::Ident(id) if depth == 1 && take_next => {
+                        if lifetime {
+                            generics.push(format!("'{id}"));
+                            lifetime = false;
+                        } else if id.to_string() == "const" {
+                            continue; // const generics: take the next ident
+                        } else {
+                            generics.push(id.to_string());
+                        }
+                        take_next = false;
+                    }
+                    TokenTree::Group(g) if g.delimiter() == Delimiter::None => {}
+                    _ => {}
+                }
+            }
+        }
+    }
+    (name, generics)
+}
+
+fn marker_impl(input: TokenStream, trait_name: &str) -> TokenStream {
+    let (name, generics) = type_header(input);
+    let code = if generics.is_empty() {
+        format!("impl ::serde::{trait_name} for {name} {{}}")
+    } else {
+        let params = generics.join(", ");
+        format!("impl<{params}> ::serde::{trait_name} for {name}<{params}> {{}}")
+    };
+    code.parse().expect("generated impl parses")
+}
+
+/// No-op `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    marker_impl(input, "Serialize")
+}
+
+/// No-op `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    marker_impl(input, "Deserialize")
+}

@@ -14,7 +14,10 @@ fn main() {
     // A reduced-scale dataset keeps the example fast; swap in
     // `SynthConfig::paper_scale()` to reproduce the full-size run.
     let config = SynthConfig::small_test();
-    println!("generating synthetic Moby dataset (seed {}) ...", config.seed);
+    println!(
+        "generating synthetic Moby dataset (seed {}) ...",
+        config.seed
+    );
     let raw = generate(&config);
 
     let pipeline = ExpansionPipeline::new(PipelineConfig::default());

@@ -73,8 +73,16 @@ fn main() {
         .iter()
         .filter(|d| d.weekend_share > uniform_weekend * 1.1)
         .collect();
-    donors.sort_by(|a, b| a.weekend_share.partial_cmp(&b.weekend_share).expect("finite"));
-    receivers.sort_by(|a, b| b.weekend_share.partial_cmp(&a.weekend_share).expect("finite"));
+    donors.sort_by(|a, b| {
+        a.weekend_share
+            .partial_cmp(&b.weekend_share)
+            .expect("finite")
+    });
+    receivers.sort_by(|a, b| {
+        b.weekend_share
+            .partial_cmp(&a.weekend_share)
+            .expect("finite")
+    });
 
     println!("\nFriday-night rebalancing plan (move bikes before the weekend):");
     if donors.is_empty() || receivers.is_empty() {

@@ -8,7 +8,9 @@
 //! ```
 
 use moby_expansion::core::pipeline::{ExpansionPipeline, PipelineConfig};
-use moby_expansion::core::report::{daily_profile, hourly_profile, profile_csv, render_community_table};
+use moby_expansion::core::report::{
+    daily_profile, hourly_profile, profile_csv, render_community_table,
+};
 use moby_expansion::data::synth::{generate, SynthConfig};
 use moby_expansion::data::timeparse::Weekday;
 

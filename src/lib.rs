@@ -16,6 +16,36 @@
 //! * [`core`] — the paper's pipeline: candidate generation, station
 //!   selection (Algorithm 1), temporal graphs and community validation.
 //!
+//! ## Architecture: the builder / frozen graph lifecycle
+//!
+//! The analytical core follows a **two-phase graph lifecycle**:
+//!
+//! 1. **Build.** [`graph::WeightedGraph`] is the mutable *builder*: node
+//!    interning and merged weighted-edge inserts backed by per-node hash
+//!    maps. Projections from the property store
+//!    ([`graph::GraphStore`] via [`graph::aggregate`]) produce builders.
+//! 2. **Freeze.** `WeightedGraph::freeze()` produces an immutable
+//!    [`graph::CsrGraph`]: compressed sparse row adjacency
+//!    (`offsets`/`targets`/`weights`, rows sorted by target), an interned
+//!    dense `NodeId → u32` table, and cached per-node weighted degrees.
+//!    Every hot algorithm — Louvain, label propagation, modularity,
+//!    PageRank, centrality, clustering, components, path metrics — walks
+//!    the frozen CSR rows; the `*_csr` entry points consume an
+//!    already-frozen graph and the builder-graph entry points freeze once
+//!    and delegate.
+//!
+//! **Which layer owns freezing:** the temporal layer. Each
+//! [`core::temporal::TemporalGraph`] freezes its (possibly layered)
+//! station graph once at construction, and the pipeline freezes the
+//! directed trip graph once and shares it across the three granularities
+//! (`GBasic`, `GDay`, `GHour`) — detection, modularity scoring, station
+//! folding and the per-community trip tables all read the same frozen
+//! graphs; adjacency is never re-derived downstream. The legacy hash-map
+//! walks survive as `*_hashmap` baselines so the criterion benches
+//! (`crates/bench/benches/csr.rs`) can keep demonstrating the frozen
+//! path's advantage, and the property tests can keep proving the two
+//! representations agree.
+//!
 //! ## Quick start
 //!
 //! ```

@@ -1,0 +1,61 @@
+//! Acceptance check for the freeze-to-CSR refactor: on the synthetic
+//! Dublin dataset, the frozen-CSR community path must reproduce the legacy
+//! `WeightedGraph` (hash-map) path — Louvain partitions exactly,
+//! modularity within float-accumulation tolerance — at every temporal
+//! granularity.
+
+use moby_expansion::community::{
+    louvain_csr, louvain_hashmap, modularity_csr, modularity_hashmap, LouvainConfig,
+};
+use moby_expansion::core::pipeline::{ExpansionPipeline, PipelineConfig};
+use moby_expansion::core::temporal::{build_temporal_graph, TemporalGranularity};
+use moby_expansion::data::synth::{generate, SynthConfig};
+
+#[test]
+fn csr_louvain_matches_hashmap_louvain_on_synthetic_dataset() {
+    let raw = generate(&SynthConfig::small_test());
+    let outcome = ExpansionPipeline::new(PipelineConfig::default())
+        .run(&raw)
+        .expect("pipeline runs");
+
+    let cfg = LouvainConfig::default();
+    for granularity in TemporalGranularity::ALL {
+        let temporal = build_temporal_graph(&outcome.selected.store, granularity);
+
+        let p_csr = louvain_csr(&temporal.csr, &cfg);
+        let p_hash = louvain_hashmap(&temporal.graph, &cfg);
+        assert_eq!(
+            p_csr,
+            p_hash,
+            "Louvain partitions diverged on {}",
+            granularity.graph_name()
+        );
+
+        let q_csr = modularity_csr(&temporal.csr, &p_csr);
+        let q_hash = modularity_hashmap(&temporal.graph, &p_hash);
+        assert!(
+            (q_csr - q_hash).abs() < 1e-9,
+            "{}: csr Q {q_csr} vs hashmap Q {q_hash}",
+            granularity.graph_name()
+        );
+    }
+}
+
+#[test]
+fn frozen_graph_agrees_with_builder_on_the_selected_network() {
+    let raw = generate(&SynthConfig::small_test());
+    let outcome = ExpansionPipeline::new(PipelineConfig::default())
+        .run(&raw)
+        .expect("pipeline runs");
+
+    for g in [&outcome.selected.undirected, &outcome.selected.directed] {
+        let c = g.freeze();
+        assert_eq!(c.node_count(), g.node_count());
+        assert_eq!(c.edge_count(), g.edge_count());
+        assert!((c.total_weight() - g.total_weight()).abs() < 1e-9);
+        for (u, &id) in g.node_ids().iter().enumerate() {
+            assert_eq!(c.degree(u), g.degree(u), "degree of station {id}");
+            assert!((c.strength(u) - g.strength(u)).abs() < 1e-9);
+        }
+    }
+}

@@ -84,7 +84,9 @@ fn full_pipeline_reproduces_paper_shape_on_small_data() {
 fn selected_stations_respect_spatial_rules_end_to_end() {
     let raw = small_raw();
     let cfg = PipelineConfig::default();
-    let outcome = ExpansionPipeline::new(cfg.clone()).run(&raw).expect("pipeline runs");
+    let outcome = ExpansionPipeline::new(cfg.clone())
+        .run(&raw)
+        .expect("pipeline runs");
     let fixed_positions: Vec<_> = outcome
         .selected
         .stations
@@ -176,7 +178,9 @@ fn stricter_thresholds_select_fewer_stations() {
     let default_outcome = ExpansionPipeline::new(PipelineConfig::default())
         .run(&raw)
         .expect("default run");
-    let strict_outcome = ExpansionPipeline::new(strict_cfg).run(&raw).expect("strict run");
+    let strict_outcome = ExpansionPipeline::new(strict_cfg)
+        .run(&raw)
+        .expect("strict run");
     assert!(strict_outcome.new_station_count() <= default_outcome.new_station_count());
 }
 

@@ -1,0 +1,257 @@
+//! CI benchmark smoke run: serial-vs-parallel timings with a JSON artifact.
+//!
+//! Runs the expansion pipeline on the synthetic Dublin dataset, times the
+//! hot CSR sweeps (Louvain and PageRank) at 1 worker thread and at the
+//! parallel thread count, *verifies the results are bit-identical* (the
+//! scheduler's determinism contract — any divergence panics, failing CI),
+//! and writes the timings to a `BENCH_*.json` file that the `bench-smoke`
+//! CI job uploads as a workflow artifact. This is where the repo's perf
+//! trajectory accumulates from PR 2 onward.
+//!
+//! ```text
+//! cargo run --release -p moby-bench --bin bench_smoke -- \
+//!     [--scale small|medium|paper] [--threads N] [--out BENCH_pr2.json]
+//! ```
+
+use moby_bench::{run_pipeline, Scale};
+use moby_community::{louvain_csr, modularity_csr_threads, LouvainConfig};
+use moby_core::temporal::{build_temporal_graph, TemporalGranularity};
+use moby_graph::metrics::{pagerank_csr, PageRankConfig};
+use moby_graph::{par, CsrGraph};
+use std::time::Instant;
+
+/// Timing repetitions per measurement; the minimum is reported.
+const REPS: usize = 3;
+
+struct SmokeResult {
+    name: String,
+    nodes: usize,
+    edges: usize,
+    serial_ms: f64,
+    parallel_ms: f64,
+}
+
+impl SmokeResult {
+    fn speedup(&self) -> f64 {
+        if self.parallel_ms > 0.0 {
+            self.serial_ms / self.parallel_ms
+        } else {
+            0.0
+        }
+    }
+}
+
+fn time_min<F: FnMut()>(mut f: F) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..REPS {
+        let start = Instant::now();
+        f();
+        best = best.min(start.elapsed().as_secs_f64() * 1e3);
+    }
+    best
+}
+
+/// Time Louvain serially and in parallel on one frozen graph, panicking if
+/// the partitions or modularity scores are not identical.
+fn smoke_louvain(name: &str, graph: &CsrGraph, threads: usize) -> SmokeResult {
+    let serial_cfg = LouvainConfig {
+        threads: Some(1),
+        ..Default::default()
+    };
+    let parallel_cfg = LouvainConfig {
+        threads: Some(threads),
+        ..Default::default()
+    };
+    let serial = louvain_csr(graph, &serial_cfg);
+    let parallel = louvain_csr(graph, &parallel_cfg);
+    assert_eq!(
+        serial, parallel,
+        "{name}: parallel Louvain diverged from serial — determinism contract broken"
+    );
+    let q_serial = modularity_csr_threads(graph, &serial, Some(1));
+    let q_parallel = modularity_csr_threads(graph, &parallel, Some(threads));
+    assert_eq!(
+        q_serial.to_bits(),
+        q_parallel.to_bits(),
+        "{name}: parallel modularity diverged from serial ({q_serial} vs {q_parallel})"
+    );
+    let serial_ms = time_min(|| {
+        louvain_csr(graph, &serial_cfg);
+    });
+    let parallel_ms = time_min(|| {
+        louvain_csr(graph, &parallel_cfg);
+    });
+    SmokeResult {
+        name: format!("louvain/{name}"),
+        nodes: graph.node_count(),
+        edges: graph.edge_count(),
+        serial_ms,
+        parallel_ms,
+    }
+}
+
+/// Time PageRank serially and in parallel on one frozen graph, panicking if
+/// the scores are not bit-identical.
+fn smoke_pagerank(name: &str, graph: &CsrGraph, threads: usize) -> SmokeResult {
+    let serial_cfg = PageRankConfig {
+        threads: Some(1),
+        ..Default::default()
+    };
+    let parallel_cfg = PageRankConfig {
+        threads: Some(threads),
+        ..Default::default()
+    };
+    let serial = pagerank_csr(graph, &serial_cfg);
+    let parallel = pagerank_csr(graph, &parallel_cfg);
+    assert_eq!(serial.len(), parallel.len());
+    for (id, r) in &serial {
+        assert_eq!(
+            parallel[id].to_bits(),
+            r.to_bits(),
+            "{name}: parallel PageRank diverged from serial at node {id}"
+        );
+    }
+    let serial_ms = time_min(|| {
+        pagerank_csr(graph, &serial_cfg);
+    });
+    let parallel_ms = time_min(|| {
+        pagerank_csr(graph, &parallel_cfg);
+    });
+    SmokeResult {
+        name: format!("pagerank/{name}"),
+        nodes: graph.node_count(),
+        edges: graph.edge_count(),
+        serial_ms,
+        parallel_ms,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = Scale::Medium;
+    let mut out = String::from("BENCH_pr2.json");
+    let mut threads = par::thread_count(None).max(2);
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                match args.get(i + 1).and_then(|s| Scale::parse(s)) {
+                    Some(s) => scale = s,
+                    None => {
+                        eprintln!("unknown scale; expected small|medium|paper");
+                        std::process::exit(2);
+                    }
+                }
+                i += 2;
+            }
+            "--out" => {
+                match args.get(i + 1) {
+                    Some(path) => out = path.clone(),
+                    None => {
+                        eprintln!("--out requires a path");
+                        std::process::exit(2);
+                    }
+                }
+                i += 2;
+            }
+            "--threads" => {
+                match args.get(i + 1).and_then(|s| s.parse::<usize>().ok()) {
+                    Some(t) if t > 0 => threads = t,
+                    _ => {
+                        eprintln!("--threads requires a positive integer");
+                        std::process::exit(2);
+                    }
+                }
+                i += 2;
+            }
+            other => {
+                eprintln!("unknown argument '{other}'");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    println!("== moby-expansion bench smoke ==");
+    println!(
+        "scale: {}, parallel threads: {threads} (host parallelism: {})",
+        scale.name(),
+        std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
+    );
+
+    let started = Instant::now();
+    println!("running expansion pipeline ...");
+    let outcome = run_pipeline(scale);
+    println!("pipeline finished in {:.1?}", started.elapsed());
+
+    let mut results: Vec<SmokeResult> = Vec::new();
+    let directed_trips = outcome.selected.directed.freeze();
+    results.push(smoke_pagerank("trip_graph", &directed_trips, threads));
+    for granularity in [TemporalGranularity::TNull, TemporalGranularity::THour] {
+        let temporal = build_temporal_graph(&outcome.selected.store, granularity);
+        let name = granularity.graph_name().to_lowercase();
+        results.push(smoke_pagerank(&name, &temporal.csr, threads));
+        results.push(smoke_louvain(&name, &temporal.csr, threads));
+    }
+
+    println!(
+        "\n{:<22} {:>8} {:>9} {:>12} {:>12} {:>9}",
+        "bench", "nodes", "edges", "serial(ms)", "parallel(ms)", "speedup"
+    );
+    for r in &results {
+        println!(
+            "{:<22} {:>8} {:>9} {:>12.2} {:>12.2} {:>8.2}x",
+            r.name,
+            r.nodes,
+            r.edges,
+            r.serial_ms,
+            r.parallel_ms,
+            r.speedup()
+        );
+    }
+
+    let json = render_json(scale, threads, &results);
+    match std::fs::write(&out, &json) {
+        Ok(()) => println!("\nwrote {out} ({} bytes)", json.len()),
+        Err(e) => {
+            eprintln!("failed to write {out}: {e}");
+            std::process::exit(1);
+        }
+    }
+    println!(
+        "determinism checks passed; done in {:.1?}",
+        started.elapsed()
+    );
+}
+
+/// Hand-rolled JSON (the workspace has no serde_json; every value below is
+/// a number or a plain ASCII identifier, so no string escaping is needed).
+fn render_json(scale: Scale, threads: usize, results: &[SmokeResult]) -> String {
+    let host = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"schema\": \"moby-bench-smoke/v1\",\n");
+    s.push_str(&format!("  \"scale\": \"{}\",\n", scale.name()));
+    s.push_str(&format!("  \"parallel_threads\": {threads},\n"));
+    s.push_str(&format!("  \"host_parallelism\": {host},\n"));
+    s.push_str("  \"determinism\": \"bit-identical serial vs parallel (verified)\",\n");
+    s.push_str("  \"benches\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"name\": \"{}\", \"nodes\": {}, \"edges\": {}, \
+             \"serial_ms\": {:.3}, \"parallel_ms\": {:.3}, \"speedup\": {:.3}}}{}\n",
+            r.name,
+            r.nodes,
+            r.edges,
+            r.serial_ms,
+            r.parallel_ms,
+            r.speedup(),
+            if i + 1 < results.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    s
+}

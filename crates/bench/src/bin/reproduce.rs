@@ -362,6 +362,7 @@ fn ablate_detector(outcome: &ExpansionOutcome) {
                 &DetectConfig {
                     detector,
                     seed: Some(1),
+                    threads: None,
                 },
             );
             println!(

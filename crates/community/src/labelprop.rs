@@ -12,7 +12,7 @@
 //! label changes or the iteration cap is hit.
 
 use crate::Partition;
-use moby_graph::{CsrGraph, WeightedGraph};
+use moby_graph::{par, CsrGraph, WeightedGraph};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -25,6 +25,11 @@ pub struct LabelPropagationConfig {
     pub seed: u64,
     /// Maximum number of full sweeps.
     pub max_iterations: usize,
+    /// Worker-thread override for the parallel label scans. `None`
+    /// resolves `MOBY_THREADS`, then
+    /// [`std::thread::available_parallelism`] (see [`par::thread_count`]).
+    /// The detected partition is bit-identical at any thread count.
+    pub threads: Option<usize>,
 }
 
 impl Default for LabelPropagationConfig {
@@ -32,6 +37,7 @@ impl Default for LabelPropagationConfig {
         Self {
             seed: 1,
             max_iterations: 100,
+            threads: None,
         }
     }
 }
@@ -44,9 +50,75 @@ pub fn label_propagation(graph: &WeightedGraph, config: &LabelPropagationConfig)
     label_propagation_csr(&graph.freeze(), config)
 }
 
+/// Per-worker scratch for a label tally: `weight_to[l]` = incident weight
+/// carrying label `l`; `touched` lists the labels with a non-zero entry.
+struct TallyScratch {
+    weight_to: Vec<f64>,
+    touched: Vec<usize>,
+}
+
+impl TallyScratch {
+    fn new(n: usize) -> TallyScratch {
+        TallyScratch {
+            weight_to: vec![0.0f64; n],
+            touched: Vec::new(),
+        }
+    }
+}
+
+/// The label decision for one node against the current `labels`: the
+/// neighbour label carrying the highest total weight, ties to the smallest
+/// label; the node's own label when it has no neighbours. Shared by the
+/// serial sweep, the parallel speculative scan and the commit-time
+/// recomputation, so a decision is the same bits wherever it is evaluated.
+fn tally_label(
+    graph: &CsrGraph,
+    labels: &[usize],
+    scratch: &mut TallyScratch,
+    node: usize,
+) -> usize {
+    for &l in &scratch.touched {
+        scratch.weight_to[l] = 0.0;
+    }
+    scratch.touched.clear();
+    let (targets, weights) = graph.row(node);
+    for (&nbr, &w) in targets.iter().zip(weights) {
+        let nbr = nbr as usize;
+        if nbr != node {
+            let l = labels[nbr];
+            if scratch.weight_to[l] == 0.0 {
+                scratch.touched.push(l);
+            }
+            scratch.weight_to[l] += w;
+        }
+    }
+    if scratch.touched.is_empty() {
+        return labels[node]; // isolated node keeps its own label
+    }
+    // Highest total weight, ties to the smallest label.
+    let mut best_label = labels[node];
+    let mut best_weight = f64::NEG_INFINITY;
+    scratch.touched.sort_unstable();
+    for &label in &scratch.touched {
+        if scratch.weight_to[label] > best_weight + 1e-12 {
+            best_weight = scratch.weight_to[label];
+            best_label = label;
+        }
+    }
+    best_label
+}
+
 /// Label propagation over a frozen [`CsrGraph`] (directed graphs are
 /// projected to undirected first). The per-node tally uses a dense
 /// index-addressed scratch buffer over CSR rows — no hashing in the sweep.
+///
+/// Parallelism follows the same scan/commit scheme as the Louvain
+/// local-moving phase: every node's label decision is precomputed in
+/// parallel against the sweep-start labels, then nodes are visited serially
+/// in the shuffled order; the precomputed decision is used only when no
+/// neighbour's label changed since the scan, and recomputed otherwise. The
+/// partition is therefore bit-identical to the serial sweep at any thread
+/// count.
 pub fn label_propagation_csr(graph: &CsrGraph, config: &LabelPropagationConfig) -> Partition {
     let undirected;
     let g = if graph.is_directed() {
@@ -59,47 +131,55 @@ pub fn label_propagation_csr(graph: &CsrGraph, config: &LabelPropagationConfig) 
     if n == 0 {
         return Partition::new();
     }
+    let threads = par::thread_count(config.threads);
+    let chunks = par::RowChunks::from_offsets(g.offsets());
+    let speculate = threads > 1 && chunks.len() > 1;
+
     let mut labels: Vec<usize> = (0..n).collect();
     let mut order: Vec<usize> = (0..n).collect();
     let mut rng = StdRng::seed_from_u64(config.seed);
-    // Dense scratch: weight_to[l] = incident weight carrying label l.
-    let mut weight_to = vec![0.0f64; n];
-    let mut touched: Vec<usize> = Vec::new();
+    let mut scratch = TallyScratch::new(n);
+    // Label-change stamps, used only when speculating (see the Louvain
+    // local-moving phase for the scheme).
+    let mut tick: u64 = 0;
+    let mut node_stamp = vec![0u64; if speculate { n } else { 0 }];
+    let mut best = vec![0u32; if speculate { n } else { 0 }];
 
     for _ in 0..config.max_iterations {
         order.shuffle(&mut rng);
+        if speculate {
+            let labels = &labels;
+            par::par_fill_with(
+                &chunks,
+                threads,
+                &mut best,
+                || TallyScratch::new(n),
+                |scratch, _, range, out| {
+                    for (j, node) in range.clone().enumerate() {
+                        out[j] = tally_label(g, labels, scratch, node) as u32;
+                    }
+                },
+            );
+        }
+        let scan_tick = tick;
         let mut changed = false;
         for &node in &order {
-            for &l in &touched {
-                weight_to[l] = 0.0;
-            }
-            touched.clear();
-            let (targets, weights) = g.row(node);
-            for (&nbr, &w) in targets.iter().zip(weights) {
-                let nbr = nbr as usize;
-                if nbr != node {
-                    let l = labels[nbr];
-                    if weight_to[l] == 0.0 {
-                        touched.push(l);
-                    }
-                    weight_to[l] += w;
-                }
-            }
-            if touched.is_empty() {
-                continue; // isolated node keeps its own label
-            }
-            // Highest total weight, ties to the smallest label.
-            let mut best_label = labels[node];
-            let mut best_weight = f64::NEG_INFINITY;
-            touched.sort_unstable();
-            for &label in &touched {
-                if weight_to[label] > best_weight + 1e-12 {
-                    best_weight = weight_to[label];
-                    best_label = label;
-                }
-            }
+            let fresh = speculate
+                && g.row(node)
+                    .0
+                    .iter()
+                    .all(|&nbr| node_stamp[nbr as usize] <= scan_tick);
+            let best_label = if fresh {
+                best[node] as usize
+            } else {
+                tally_label(g, &labels, &mut scratch, node)
+            };
             if best_label != labels[node] {
                 labels[node] = best_label;
+                if speculate {
+                    tick += 1;
+                    node_stamp[node] = tick;
+                }
                 changed = true;
             }
         }
@@ -180,6 +260,42 @@ mod tests {
         // One sweep still produces a full assignment.
         let p = label_propagation(&g, &cfg);
         assert_eq!(p.len(), 6);
+    }
+
+    #[test]
+    fn parallel_thread_counts_produce_identical_partitions() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        // Big enough that the row space splits into several chunks and the
+        // speculative scan path actually runs.
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut g = WeightedGraph::new_undirected();
+        for c in 0..5u64 {
+            for _ in 0..200 {
+                let a = c * 1_000 + rng.gen_range(0..25u64);
+                let b = c * 1_000 + rng.gen_range(0..25u64);
+                g.add_edge(a, b, rng.gen_range(1.0..4.0));
+            }
+        }
+        g.add_node(999_999);
+        let frozen = g.freeze();
+        let serial = label_propagation_csr(
+            &frozen,
+            &LabelPropagationConfig {
+                threads: Some(1),
+                ..Default::default()
+            },
+        );
+        for t in [2usize, 4, 8] {
+            let parallel = label_propagation_csr(
+                &frozen,
+                &LabelPropagationConfig {
+                    threads: Some(t),
+                    ..Default::default()
+                },
+            );
+            assert_eq!(serial, parallel, "{t} threads diverged");
+        }
     }
 
     #[test]

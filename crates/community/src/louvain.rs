@@ -37,9 +37,21 @@
 //!
 //! [`louvain`] is the drop-in entry point: it freezes the builder graph
 //! once and runs the CSR path.
+//!
+//! ## Parallelism
+//!
+//! The CSR path runs its move scans and modularity accumulations on the
+//! deterministic row-chunk scheduler ([`moby_graph::par`]). Each sweep
+//! precomputes every node's best move in parallel against the sweep-start
+//! state, then commits moves serially in visiting order, falling back to an
+//! on-the-spot recomputation whenever a precomputed decision's inputs
+//! changed — so the committed move sequence is exactly the serial one, and
+//! the detected partition is **bit-identical at any thread count**
+//! ([`LouvainConfig::threads`] / `MOBY_THREADS`). The serial sweep is
+//! simply the 1-thread specialisation.
 
 use crate::{modularity_hashmap, Partition};
-use moby_graph::{CsrGraph, NodeId, WeightedGraph};
+use moby_graph::{par, CsrGraph, NodeId, WeightedGraph};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -56,6 +68,11 @@ pub struct LouvainConfig {
     pub max_passes: usize,
     /// Minimum modularity improvement for a pass to be considered progress.
     pub min_modularity_gain: f64,
+    /// Worker-thread override for the CSR path's parallel move scans and
+    /// modularity accumulations. `None` resolves `MOBY_THREADS`, then
+    /// [`std::thread::available_parallelism`] (see [`par::thread_count`]).
+    /// The detected partition is bit-identical at any thread count.
+    pub threads: Option<usize>,
 }
 
 impl Default for LouvainConfig {
@@ -64,6 +81,7 @@ impl Default for LouvainConfig {
             seed: None,
             max_passes: 20,
             min_modularity_gain: 1e-7,
+            threads: None,
         }
     }
 }
@@ -130,11 +148,93 @@ impl CsrLevel {
     }
 }
 
+/// Per-worker scratch for a move scan: `links_to[c]` = weight from the
+/// current node into community `c`; `touched` lists the communities with a
+/// non-zero entry.
+struct ScanScratch {
+    links_to: Vec<f64>,
+    touched: Vec<usize>,
+}
+
+impl ScanScratch {
+    fn new(n: usize) -> ScanScratch {
+        ScanScratch {
+            links_to: vec![0.0f64; n],
+            touched: Vec::new(),
+        }
+    }
+}
+
+/// The move decision for one node against the *current* `community` /
+/// `comm_degree` state: the community with the best modularity gain.
+///
+/// The gain of moving node i into community C (after removing i from its
+/// own community) is `k_i_in_C / m - Σ_tot_C * k_i / (2 m²)`; comparing
+/// across C the constant factor 1/m drops, leaving
+/// `k_i_in_C - Σ_tot_C * k_i / (2m)`. Candidates are scanned in sorted
+/// order for deterministic tie-breaks. This is shared verbatim by the
+/// serial sweep, the parallel speculative scan and the commit-time
+/// recomputation, so a decision is the same bits wherever it is evaluated.
+fn scan_move_csr(
+    graph: &CsrLevel,
+    community: &[usize],
+    comm_degree: &[f64],
+    two_m: f64,
+    scratch: &mut ScanScratch,
+    node: usize,
+) -> usize {
+    let node_comm = community[node];
+    let k_i = graph.degree[node];
+
+    for &c in &scratch.touched {
+        scratch.links_to[c] = 0.0;
+    }
+    scratch.touched.clear();
+    let (targets, weights) = graph.row(node);
+    for (&nbr, &w) in targets.iter().zip(weights) {
+        let c = community[nbr as usize];
+        if scratch.links_to[c] == 0.0 {
+            scratch.touched.push(c);
+        }
+        scratch.links_to[c] += w;
+    }
+
+    // Degree of the node's community with the node itself removed.
+    let residual_own = comm_degree[node_comm] - k_i;
+    let k_i_in_own = scratch.links_to[node_comm];
+    let mut best_comm = node_comm;
+    let mut best_gain = k_i_in_own - residual_own * k_i / two_m;
+    scratch.touched.sort_unstable(); // deterministic tie-breaks
+    for &c in &scratch.touched {
+        if c == node_comm {
+            continue;
+        }
+        let gain = scratch.links_to[c] - comm_degree[c] * k_i / two_m;
+        if gain > best_gain + 1e-12 {
+            best_gain = gain;
+            best_comm = c;
+        }
+    }
+    best_comm
+}
+
 /// One local-moving phase over a CSR level. Returns the community
 /// assignment (labels are node indices, possibly with gaps) and whether any
-/// node moved. The per-node scratch is a dense index-addressed buffer plus
-/// a touched list — no hashing in the inner loop.
-fn local_moving_csr(graph: &CsrLevel, order: &[usize]) -> (Vec<usize>, bool) {
+/// node moved.
+///
+/// With `threads > 1` each sweep runs in two phases. **Scan:** the row
+/// space is split into edge-balanced chunks ([`par::RowChunks`]) and every
+/// node's best move is precomputed in parallel against the sweep-start
+/// state. **Commit:** nodes are visited serially in `order`, exactly like
+/// the serial sweep; a precomputed decision is used only if none of its
+/// inputs (a neighbour's community, or the weighted degree of the node's
+/// own or any neighbouring community) changed since the scan — otherwise
+/// the decision is recomputed on the spot with the same arithmetic. Commits
+/// therefore apply the identical move sequence the serial sweep would, and
+/// the resulting partition is bit-identical at any thread count; the
+/// parallel scan only prepays the scan cost of nodes whose neighbourhood
+/// stayed untouched (the common case once the sweep starts converging).
+fn local_moving_csr(graph: &CsrLevel, order: &[usize], threads: usize) -> (Vec<usize>, bool) {
     let n = graph.node_count();
     let mut community: Vec<usize> = (0..n).collect();
     let mut comm_degree: Vec<f64> = graph.degree.clone();
@@ -145,55 +245,61 @@ fn local_moving_csr(graph: &CsrLevel, order: &[usize]) -> (Vec<usize>, bool) {
 
     let mut moved_any = false;
     let mut improved = true;
-    // Dense scratch: links_to[c] = weight from the current node into
-    // community c; `touched` lists the communities with a non-zero entry.
-    let mut links_to = vec![0.0f64; n];
-    let mut touched: Vec<usize> = Vec::new();
+    let mut scratch = ScanScratch::new(n);
+
+    let chunks = par::RowChunks::from_offsets(&graph.offsets);
+    let speculate = threads > 1 && chunks.len() > 1;
+    // Move stamps, used only when speculating: `tick` counts applied moves;
+    // a node / community stamped after the sweep-start tick invalidates any
+    // precomputed decision that read it.
+    let mut tick: u64 = 0;
+    let mut node_stamp = vec![0u64; if speculate { n } else { 0 }];
+    let mut comm_stamp = vec![0u64; if speculate { n } else { 0 }];
+    let mut best = vec![0u32; if speculate { n } else { 0 }];
 
     while improved {
         improved = false;
+        if speculate {
+            let community = &community;
+            let comm_degree = &comm_degree;
+            par::par_fill_with(
+                &chunks,
+                threads,
+                &mut best,
+                || ScanScratch::new(n),
+                |scratch, _, range, out| {
+                    for (j, node) in range.clone().enumerate() {
+                        out[j] = scan_move_csr(graph, community, comm_degree, two_m, scratch, node)
+                            as u32;
+                    }
+                },
+            );
+        }
+        let scan_tick = tick;
         for &node in order {
             let node_comm = community[node];
-            let k_i = graph.degree[node];
-
-            for &c in &touched {
-                links_to[c] = 0.0;
-            }
-            touched.clear();
-            let (targets, weights) = graph.row(node);
-            for (&nbr, &w) in targets.iter().zip(weights) {
-                let c = community[nbr as usize];
-                if links_to[c] == 0.0 {
-                    touched.push(c);
-                }
-                links_to[c] += w;
-            }
-
-            // Remove the node from its community.
-            comm_degree[node_comm] -= k_i;
-            let k_i_in_own = links_to[node_comm];
-
-            // Best target community: the gain of moving node i into community
-            // C (after removal) is  k_i_in_C / m  -  Σ_tot_C * k_i / (2 m²);
-            // comparing across C we can drop the constant factor 1/m and use
-            // k_i_in_C - Σ_tot_C * k_i / (2m).
-            let mut best_comm = node_comm;
-            let mut best_gain = k_i_in_own - comm_degree[node_comm] * k_i / two_m;
-            touched.sort_unstable(); // deterministic tie-breaks
-            for &c in &touched {
-                if c == node_comm {
-                    continue;
-                }
-                let gain = links_to[c] - comm_degree[c] * k_i / two_m;
-                if gain > best_gain + 1e-12 {
-                    best_gain = gain;
-                    best_comm = c;
-                }
-            }
-
-            comm_degree[best_comm] += k_i;
+            let fresh = speculate
+                && comm_stamp[node_comm] <= scan_tick
+                && graph.row(node).0.iter().all(|&nbr| {
+                    let nbr = nbr as usize;
+                    node_stamp[nbr] <= scan_tick && comm_stamp[community[nbr]] <= scan_tick
+                });
+            let best_comm = if fresh {
+                best[node] as usize
+            } else {
+                scan_move_csr(graph, &community, &comm_degree, two_m, &mut scratch, node)
+            };
             if best_comm != node_comm {
+                let k_i = graph.degree[node];
+                comm_degree[node_comm] -= k_i;
+                comm_degree[best_comm] += k_i;
                 community[node] = best_comm;
+                if speculate {
+                    tick += 1;
+                    node_stamp[node] = tick;
+                    comm_stamp[node_comm] = tick;
+                    comm_stamp[best_comm] = tick;
+                }
                 improved = true;
                 moved_any = true;
             }
@@ -284,30 +390,49 @@ fn aggregate_csr(graph: &CsrLevel, compact: &[usize], k: usize) -> CsrLevel {
 }
 
 /// Modularity of the current membership against the *original* frozen
-/// graph, accumulated densely in index order.
-fn membership_modularity(graph: &CsrGraph, membership: &[usize], k: usize) -> f64 {
+/// graph: per-chunk dense accumulators merged in fixed chunk order, so the
+/// pass gate is bit-identical at any thread count. Each edge is owned by
+/// its lower-endpoint row, so chunks never double-count.
+fn membership_modularity(graph: &CsrGraph, membership: &[usize], k: usize, threads: usize) -> f64 {
     let m = graph.total_weight();
     if m <= 0.0 {
         return 0.0;
     }
+    // Every chunk allocates two k-length accumulators and the merge costs
+    // O(k) per chunk, so bound chunks × k (the first pass gate has k = n).
+    // The budget depends only on k — never on the thread count — so the
+    // determinism contract holds.
+    let max_chunks = (4_000_000 / k.max(1)).clamp(1, 16);
+    let chunks = par::RowChunks::balanced(graph.offsets(), max_chunks, 2048);
+    let partials = par::par_map(&chunks, threads, |_, range| {
+        let mut internal = vec![0.0f64; k];
+        let mut degree = vec![0.0f64; k];
+        for u in range {
+            let cu = membership[u];
+            let (targets, weights) = graph.row(u);
+            for (&v, &w) in targets.iter().zip(weights) {
+                let v = v as usize;
+                if v == u {
+                    internal[cu] += w;
+                    degree[cu] += 2.0 * w;
+                } else if v > u {
+                    let cv = membership[v];
+                    if cu == cv {
+                        internal[cu] += w;
+                    }
+                    degree[cu] += w;
+                    degree[cv] += w;
+                }
+            }
+        }
+        (internal, degree)
+    });
     let mut internal = vec![0.0f64; k];
     let mut degree = vec![0.0f64; k];
-    for u in 0..graph.node_count() {
-        let cu = membership[u];
-        let (targets, weights) = graph.row(u);
-        for (&v, &w) in targets.iter().zip(weights) {
-            let v = v as usize;
-            if v == u {
-                internal[cu] += w;
-                degree[cu] += 2.0 * w;
-            } else if v > u {
-                let cv = membership[v];
-                if cu == cv {
-                    internal[cu] += w;
-                }
-                degree[cu] += w;
-                degree[cv] += w;
-            }
+    for (pi, pd) in partials {
+        for c in 0..k {
+            internal[c] += pi[c];
+            degree[c] += pd[c];
         }
     }
     let mut q = 0.0;
@@ -333,17 +458,18 @@ pub fn louvain_csr(graph: &CsrGraph, config: &LouvainConfig) -> Partition {
         return Partition::new();
     }
 
+    let threads = par::thread_count(config.threads);
     let mut membership: Vec<usize> = (0..n).collect();
     let mut level = CsrLevel::from_frozen(g);
     let mut rng = config.seed.map(StdRng::seed_from_u64);
-    let mut last_q = membership_modularity(g, &membership, n);
+    let mut last_q = membership_modularity(g, &membership, n, threads);
 
     for _pass in 0..config.max_passes {
         let mut order: Vec<usize> = (0..level.node_count()).collect();
         if let Some(rng) = rng.as_mut() {
             order.shuffle(rng);
         }
-        let (community, moved) = local_moving_csr(&level, &order);
+        let (community, moved) = local_moving_csr(&level, &order, threads);
         if !moved {
             break;
         }
@@ -355,7 +481,7 @@ pub fn louvain_csr(graph: &CsrGraph, config: &LouvainConfig) -> Partition {
         }
 
         let aggregated = aggregate_csr(&level, &compact, k);
-        let q = membership_modularity(g, &membership, k);
+        let q = membership_modularity(g, &membership, k, threads);
         if q - last_q < config.min_modularity_gain {
             // Keep the (slightly) better assignment but stop iterating.
             break;
@@ -455,12 +581,15 @@ fn local_moving(graph: &LocalGraph, order: &[usize]) -> (Vec<usize>, bool) {
                 *links_to_comm.entry(community[nbr]).or_insert(0.0) += w;
             }
 
-            // Remove the node from its community.
-            comm_degree[node_comm] -= k_i;
+            // Degree of the node's community with the node itself removed —
+            // computed without writing back, mirroring the CSR path's
+            // `scan_move_csr` arithmetic exactly (the write-back only
+            // happens when a move is committed, in both paths).
+            let residual_own = comm_degree[node_comm] - k_i;
             let k_i_in_own = links_to_comm.get(&node_comm).copied().unwrap_or(0.0);
 
             let mut best_comm = node_comm;
-            let mut best_gain = k_i_in_own - comm_degree[node_comm] * k_i / two_m;
+            let mut best_gain = k_i_in_own - residual_own * k_i / two_m;
             let mut candidates: Vec<(usize, f64)> =
                 links_to_comm.iter().map(|(&c, &w)| (c, w)).collect();
             candidates.sort_by_key(|a| a.0); // deterministic tie-breaks
@@ -475,8 +604,9 @@ fn local_moving(graph: &LocalGraph, order: &[usize]) -> (Vec<usize>, bool) {
                 }
             }
 
-            comm_degree[best_comm] += k_i;
             if best_comm != node_comm {
+                comm_degree[node_comm] -= k_i;
+                comm_degree[best_comm] += k_i;
                 community[node] = best_comm;
                 improved = true;
                 moved_any = true;
@@ -791,6 +921,59 @@ mod tests {
                 ..Default::default()
             };
             assert_eq!(louvain(&g, &cfg), louvain_hashmap(&g, &cfg));
+        }
+    }
+
+    #[test]
+    fn parallel_thread_counts_produce_identical_partitions() {
+        // Big enough that the level's row space splits into several chunks
+        // and the speculative scan path actually runs.
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut g = WeightedGraph::new_undirected();
+        for c in 0..6u64 {
+            for _ in 0..180 {
+                let a = c * 1_000 + rng.gen_range(0..30u64);
+                let b = c * 1_000 + rng.gen_range(0..30u64);
+                g.add_edge(a, b, rng.gen_range(1.0..4.0));
+            }
+        }
+        for _ in 0..60 {
+            let a = rng.gen_range(0..6u64) * 1_000 + rng.gen_range(0..30u64);
+            let b = rng.gen_range(0..6u64) * 1_000 + rng.gen_range(0..30u64);
+            g.add_edge(a, b, 1.0);
+        }
+        let frozen = g.freeze();
+        for seed in [None, Some(7u64)] {
+            let serial = louvain_csr(
+                &frozen,
+                &LouvainConfig {
+                    seed,
+                    threads: Some(1),
+                    ..Default::default()
+                },
+            );
+            assert_eq!(
+                serial,
+                louvain_hashmap(
+                    &g,
+                    &LouvainConfig {
+                        seed,
+                        ..Default::default()
+                    }
+                ),
+                "serial CSR vs hashmap (seed {seed:?})"
+            );
+            for t in [2usize, 4, 8] {
+                let parallel = louvain_csr(
+                    &frozen,
+                    &LouvainConfig {
+                        seed,
+                        threads: Some(t),
+                        ..Default::default()
+                    },
+                );
+                assert_eq!(serial, parallel, "{t} threads diverged (seed {seed:?})");
+            }
         }
     }
 

@@ -1,6 +1,6 @@
 //! The prior-work baseline and the access-quality comparison against it.
 //!
-//! The paper's earlier system (reference [17], "Analyzing shared bike usage
+//! The paper's earlier system (reference \[17\], "Analyzing shared bike usage
 //! through graph-based spatio-temporal modelling") reassigned every
 //! non-station rental/return location to its **closest fixed station**
 //! without creating any new stations; the contribution of this paper is the

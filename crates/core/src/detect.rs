@@ -8,7 +8,7 @@
 
 use crate::temporal::{TemporalGranularity, TemporalGraph};
 use moby_community::stats::{community_table, CommunityTable};
-use moby_community::{label_propagation_csr, louvain_csr, modularity_csr};
+use moby_community::{label_propagation_csr, louvain_csr, modularity_csr_threads};
 use moby_community::{LabelPropagationConfig, LouvainConfig, Partition};
 use moby_graph::{CsrGraph, NodeId};
 use serde::{Deserialize, Serialize};
@@ -30,6 +30,12 @@ pub struct DetectConfig {
     pub detector: Detector,
     /// Seed for the detector's node-visiting order.
     pub seed: Option<u64>,
+    /// Worker-thread override for the detector sweeps and modularity
+    /// scoring. `None` resolves the `MOBY_THREADS` environment variable,
+    /// then the machine's parallelism (see
+    /// [`moby_graph::par::thread_count`]). Detection results are
+    /// bit-identical at any thread count, so this only tunes speed.
+    pub threads: Option<usize>,
 }
 
 impl Default for DetectConfig {
@@ -37,6 +43,7 @@ impl Default for DetectConfig {
         Self {
             detector: Detector::Louvain,
             seed: None,
+            threads: None,
         }
     }
 }
@@ -133,6 +140,7 @@ pub fn detect_communities(
             &temporal.csr,
             &LouvainConfig {
                 seed: config.seed,
+                threads: config.threads,
                 ..Default::default()
             },
         ),
@@ -140,11 +148,12 @@ pub fn detect_communities(
             &temporal.csr,
             &LabelPropagationConfig {
                 seed: config.seed.unwrap_or(1),
+                threads: config.threads,
                 ..Default::default()
             },
         ),
     };
-    let q = modularity_csr(&temporal.csr, &raw_partition);
+    let q = modularity_csr_threads(&temporal.csr, &raw_partition, config.threads);
     let station_partition = fold_to_stations(temporal, &raw_partition);
     let table = community_table(directed_trips, &station_partition, old_stations, q);
     CommunityDetection {
@@ -269,6 +278,7 @@ mod tests {
             &DetectConfig {
                 detector: Detector::LabelPropagation,
                 seed: Some(5),
+                threads: None,
             },
         );
         assert!(det.community_count() >= 1);

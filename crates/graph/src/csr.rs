@@ -1,6 +1,6 @@
 //! The frozen compressed-sparse-row analytical graph.
 //!
-//! [`WeightedGraph`](crate::WeightedGraph) is the *builder*: cheap merged
+//! [`WeightedGraph`] is the *builder*: cheap merged
 //! inserts backed by per-node hash maps. Every analytical algorithm pays
 //! hash-probe and cache-miss costs when it walks that representation, so
 //! the hot layers (Louvain, modularity, PageRank, centrality, clustering,
@@ -25,7 +25,7 @@
 //! downstream — is deterministic regardless of hash-map iteration order in
 //! the builder.
 
-use crate::{NodeId, WeightedGraph};
+use crate::{par, NodeId, WeightedGraph};
 use std::collections::HashMap;
 
 /// A frozen, immutable weighted graph in compressed sparse row form.
@@ -70,18 +70,42 @@ impl CsrGraph {
             (Vec::new(), Vec::new(), Vec::new())
         };
 
+        // Cache the per-node weighted degrees with a parallel row sweep.
+        // Each row's accumulation is independent and runs in row order, so
+        // the cached values are bit-identical at any thread count.
         let mut strength = vec![0.0f64; n];
         let mut weighted_degree = vec![0.0f64; n];
         let mut self_loops = vec![0.0f64; n];
-        for u in 0..n {
-            let (row_t, row_w) = row(&offsets, &targets, &weights, u);
-            for (&t, &w) in row_t.iter().zip(row_w) {
-                strength[u] += w;
-                if t as usize == u {
-                    self_loops[u] = w;
-                    weighted_degree[u] += 2.0 * w;
-                } else {
-                    weighted_degree[u] += w;
+        {
+            let chunks = par::RowChunks::balanced(&offsets, 64, 4096);
+            let threads = par::thread_count(None);
+            let cached = par::par_map(&chunks, threads, |_, range| {
+                let mut out = Vec::with_capacity(range.len());
+                for u in range {
+                    let (row_t, row_w) = row(&offsets, &targets, &weights, u);
+                    let mut s = 0.0f64;
+                    let mut wd = 0.0f64;
+                    let mut sl = 0.0f64;
+                    for (&t, &w) in row_t.iter().zip(row_w) {
+                        s += w;
+                        if t as usize == u {
+                            sl = w;
+                            wd += 2.0 * w;
+                        } else {
+                            wd += w;
+                        }
+                    }
+                    out.push((s, wd, sl));
+                }
+                out
+            });
+            let mut u = 0usize;
+            for chunk in cached {
+                for (s, wd, sl) in chunk {
+                    strength[u] = s;
+                    weighted_degree[u] = wd;
+                    self_loops[u] = sl;
+                    u += 1;
                 }
             }
         }
@@ -156,6 +180,23 @@ impl CsrGraph {
     #[inline]
     pub fn row(&self, u: usize) -> (&[u32], &[f64]) {
         row(&self.offsets, &self.targets, &self.weights, u)
+    }
+
+    /// The out-row offset array (`n + 1` entries) — the chunking input for
+    /// [`par::RowChunks`].
+    pub fn offsets(&self) -> &[u32] {
+        &self.offsets
+    }
+
+    /// The in-row offset array (equals [`CsrGraph::offsets`] for undirected
+    /// graphs) — chunk by this when a sweep walks in-rows, e.g. pull-based
+    /// PageRank.
+    pub fn in_offsets(&self) -> &[u32] {
+        if self.directed {
+            &self.in_offsets
+        } else {
+            &self.offsets
+        }
     }
 
     /// The in-neighbour row of a node (equals [`CsrGraph::row`] for

@@ -16,6 +16,11 @@
 //!   Louvain, centrality) runs on this cache-friendly representation;
 //! * [`aggregate`] — the multi-edge → weighted-edge aggregation used to
 //!   build `GBasic`, `GDay` and `GHour` from raw trip relationships;
+//! * [`par`] — the deterministic parallel scheduler: edge-balanced
+//!   contiguous row chunks over CSR offsets, scoped-thread execution with a
+//!   fixed chunk-merge order, and `MOBY_THREADS` thread-count resolution.
+//!   Results are bit-identical at any thread count; see the module docs for
+//!   the contract;
 //! * [`metrics`] — degree, strength, local clustering coefficient,
 //!   betweenness, closeness, PageRank, connected components and the Gini
 //!   coefficient, the network descriptors referenced in the paper's related
@@ -43,6 +48,7 @@ pub mod csr;
 pub mod export;
 mod graph;
 pub mod metrics;
+pub mod par;
 mod store;
 mod value;
 

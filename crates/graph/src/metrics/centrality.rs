@@ -6,14 +6,18 @@
 //! bike-share literature applies these centralities to trip-weighted
 //! networks. Passing `weighted = false` uses hop counts instead.
 //!
-//! Betweenness uses Brandes' algorithm; the per-source accumulation is
-//! parallelised across scoped std threads because the O(V·E log V) cost is
-//! the most expensive metric in the suite.
+//! Betweenness uses Brandes' algorithm; the per-source accumulation is the
+//! most expensive metric in the suite (O(V·E log V)), so both centralities
+//! run their per-source sweeps on the shared deterministic scheduler
+//! ([`crate::par`]): sources are chunked into contiguous ranges, each chunk
+//! accumulates into its own buffer, and the buffers merge in fixed chunk
+//! order — so the scores are bit-identical at any thread count (the old
+//! ad-hoc scoped-thread implementation merged in thread-completion order,
+//! which was not).
 
-use crate::{CsrGraph, NodeId, WeightedGraph};
+use crate::{par, CsrGraph, NodeId, WeightedGraph};
 use std::cmp::Ordering;
 use std::collections::{BinaryHeap, HashMap};
-use std::sync::Mutex;
 
 /// A min-heap entry for Dijkstra.
 #[derive(Debug, PartialEq)]
@@ -135,43 +139,35 @@ pub fn betweenness_centrality_csr(
     if n == 0 {
         return HashMap::new();
     }
-    let centrality = Mutex::new(vec![0.0f64; n]);
-    let n_threads = std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(1)
-        .clamp(1, 8);
-
-    let chunk = n.div_ceil(n_threads);
-    std::thread::scope(|scope| {
-        for t in 0..n_threads {
-            let centrality = &centrality;
-            let lo = t * chunk;
-            let hi = ((t + 1) * chunk).min(n);
-            scope.spawn(move || {
-                let mut local = vec![0.0f64; n];
-                for s in lo..hi {
-                    let (_, sigma, preds, order) = brandes_sssp(graph, s, weighted);
-                    let mut delta = vec![0.0f64; n];
-                    for &w in order.iter().rev() {
-                        for &v in &preds[w] {
-                            if sigma[w] > 0.0 {
-                                delta[v] += sigma[v] / sigma[w] * (1.0 + delta[w]);
-                            }
-                        }
-                        if w != s {
-                            local[w] += delta[w];
-                        }
+    // Per-source trees cost roughly the same regardless of the source's own
+    // degree, so chunk the source space uniformly. Chunk count is fixed (32)
+    // so the merge below is the same reduction at any thread count.
+    let threads = par::thread_count(None);
+    let chunks = par::RowChunks::uniform(n, 32);
+    let partials = par::par_map(&chunks, threads, |_, range| {
+        let mut local = vec![0.0f64; n];
+        for s in range {
+            let (_, sigma, preds, order) = brandes_sssp(graph, s, weighted);
+            let mut delta = vec![0.0f64; n];
+            for &w in order.iter().rev() {
+                for &v in &preds[w] {
+                    if sigma[w] > 0.0 {
+                        delta[v] += sigma[v] / sigma[w] * (1.0 + delta[w]);
                     }
                 }
-                let mut global = centrality.lock().expect("no worker panicked");
-                for i in 0..n {
-                    global[i] += local[i];
+                if w != s {
+                    local[w] += delta[w];
                 }
-            });
+            }
         }
+        local
     });
-
-    let mut scores = centrality.into_inner().expect("no worker panicked");
+    let mut scores = vec![0.0f64; n];
+    for local in partials {
+        for (score, l) in scores.iter_mut().zip(&local) {
+            *score += l;
+        }
+    }
     if !graph.is_directed() {
         // Each unordered pair was counted from both endpoints.
         for s in scores.iter_mut() {
@@ -201,29 +197,40 @@ pub fn closeness_centrality(graph: &WeightedGraph, weighted: bool) -> HashMap<No
     closeness_centrality_csr(&graph.freeze(), weighted)
 }
 
-/// [`closeness_centrality`] over an already-frozen [`CsrGraph`].
+/// [`closeness_centrality`] over an already-frozen [`CsrGraph`] — one
+/// shortest-path tree per node, parallelised over uniform source chunks on
+/// the shared scheduler. Each source's score is written exclusively by its
+/// chunk, so the result is deterministic at any thread count.
 pub fn closeness_centrality_csr(graph: &CsrGraph, weighted: bool) -> HashMap<NodeId, f64> {
     let n = graph.node_count();
-    let mut out = HashMap::with_capacity(n);
-    for s in 0..n {
-        let (dist, _, _, _) = brandes_sssp(graph, s, weighted);
-        let mut reachable = 0usize;
-        let mut total = 0.0f64;
-        for (i, d) in dist.iter().enumerate() {
-            if i != s && d.is_finite() {
-                reachable += 1;
-                total += d;
-            }
-        }
-        let score = if reachable == 0 || total == 0.0 {
-            0.0
-        } else {
-            let frac = reachable as f64 / (n - 1).max(1) as f64;
-            frac * reachable as f64 / total
-        };
-        out.insert(graph.id_of(s).expect("dense index valid"), score);
+    if n == 0 {
+        return HashMap::new();
     }
-    out
+    let threads = par::thread_count(None);
+    let chunks = par::RowChunks::uniform(n, 32);
+    let mut scores = vec![0.0f64; n];
+    par::par_fill(&chunks, threads, &mut scores, |_, range, out| {
+        for (j, s) in range.clone().enumerate() {
+            let (dist, _, _, _) = brandes_sssp(graph, s, weighted);
+            let mut reachable = 0usize;
+            let mut total = 0.0f64;
+            for (i, d) in dist.iter().enumerate() {
+                if i != s && d.is_finite() {
+                    reachable += 1;
+                    total += d;
+                }
+            }
+            out[j] = if reachable == 0 || total == 0.0 {
+                0.0
+            } else {
+                let frac = reachable as f64 / (n - 1).max(1) as f64;
+                frac * reachable as f64 / total
+            };
+        }
+    });
+    (0..n)
+        .map(|s| (graph.id_of(s).expect("dense index valid"), scores[s]))
+        .collect()
 }
 
 #[cfg(test)]

@@ -1,6 +1,13 @@
 //! Weighted PageRank.
+//!
+//! The CSR path runs *pull-based* power iterations on the shared
+//! deterministic scheduler ([`crate::par`]): each worker owns a contiguous
+//! chunk of in-rows and computes its nodes' next scores exclusively, so no
+//! synchronisation is needed and — because chunk boundaries and the
+//! chunk-merge order of the convergence norm are independent of the thread
+//! count — the scores are bit-identical at any parallelism.
 
-use crate::{CsrGraph, NodeId, WeightedGraph};
+use crate::{par, CsrGraph, NodeId, WeightedGraph};
 use std::collections::HashMap;
 
 /// Configuration for [`pagerank`].
@@ -12,6 +19,10 @@ pub struct PageRankConfig {
     pub max_iterations: usize,
     /// L1 convergence tolerance.
     pub tolerance: f64,
+    /// Worker-thread override. `None` resolves `MOBY_THREADS`, then
+    /// [`std::thread::available_parallelism`] (see
+    /// [`par::thread_count`]). The result is bit-identical either way.
+    pub threads: Option<usize>,
 }
 
 impl Default for PageRankConfig {
@@ -20,6 +31,7 @@ impl Default for PageRankConfig {
             damping: 0.85,
             max_iterations: 100,
             tolerance: 1e-9,
+            threads: None,
         }
     }
 }
@@ -38,41 +50,85 @@ pub fn pagerank(graph: &WeightedGraph, config: &PageRankConfig) -> HashMap<NodeI
 }
 
 /// Weighted PageRank over a frozen [`CsrGraph`]: each power iteration is a
-/// linear sweep over the CSR rows using the cached out-strengths.
+/// pull-based sweep over the in-rows, parallelised on the deterministic
+/// row-chunk scheduler. A node's next score accumulates its in-neighbour
+/// contributions in sorted row order — the same arithmetic and order as the
+/// classic push-based serial sweep — so the result is bit-identical at any
+/// thread count, including one.
 pub fn pagerank_csr(graph: &CsrGraph, config: &PageRankConfig) -> HashMap<NodeId, f64> {
     let n = graph.node_count();
     if n == 0 {
         return HashMap::new();
     }
-    let uniform = 1.0 / n as f64;
-    let mut rank = vec![uniform; n];
-    let mut next = vec![0.0f64; n];
+    let threads = par::thread_count(config.threads);
+    let in_chunks = par::RowChunks::from_offsets(graph.in_offsets());
 
-    for _ in 0..config.max_iterations {
-        next.fill((1.0 - config.damping) * uniform);
-        let mut dangling_mass = 0.0;
-        for u in 0..n {
-            let out_strength = graph.strength(u);
-            if out_strength <= 0.0 {
-                dangling_mass += rank[u];
-                continue;
-            }
-            let scale = config.damping * rank[u] / out_strength;
-            let (targets, weights) = graph.row(u);
-            for (&v, &w) in targets.iter().zip(weights) {
-                next[v as usize] += scale * w;
-            }
-        }
-        let dangling_share = config.damping * dangling_mass * uniform;
-        for r in next.iter_mut() {
-            *r += dangling_share;
-        }
-        let diff: f64 = next.iter().zip(&rank).map(|(a, b)| (a - b).abs()).sum();
-        std::mem::swap(&mut rank, &mut next);
-        if diff < config.tolerance {
-            break;
-        }
+    let uniform = 1.0 / n as f64;
+    let damping = config.damping;
+    let base = (1.0 - damping) * uniform;
+    let dangling: Vec<u32> = (0..n)
+        .filter(|&u| graph.strength(u) <= 0.0)
+        .map(|u| u as u32)
+        .collect();
+
+    // Double-buffered scores on the persistent-worker driver: iteration k
+    // reads `bufs[k % 2]` and writes `bufs[(k + 1) % 2]`; the caller-side
+    // control window reduces the per-chunk diffs (chunk order), checks
+    // convergence, and precomputes the next iteration's dangling share —
+    // accumulated in dense index order like the classic serial sweep.
+    let bufs = [
+        par::SharedF64Buf::new(n, uniform),
+        par::SharedF64Buf::new(n, 0.0),
+    ];
+    let chunk_diffs = par::SharedF64Buf::new(in_chunks.len(), 0.0);
+    let dangling_share = par::SharedF64Buf::new(1, {
+        let mass: f64 = dangling.iter().map(|_| uniform).sum();
+        damping * mass * uniform
+    });
+    let mut final_buf = 0usize;
+    if config.max_iterations > 0 {
+        par::par_iterate(
+            &in_chunks,
+            threads,
+            |k, ci, range| {
+                let src = &bufs[(k % 2) as usize];
+                let dst = &bufs[((k + 1) % 2) as usize];
+                let share = dangling_share.get(0);
+                let mut diff = 0.0f64;
+                for v in range {
+                    let (sources, weights) = graph.in_row(v);
+                    let mut acc = base;
+                    for (&u, &w) in sources.iter().zip(weights) {
+                        let u = u as usize;
+                        let s = graph.strength(u);
+                        if s > 0.0 {
+                            let scale = damping * src.get(u) / s;
+                            acc += scale * w;
+                        }
+                    }
+                    acc += share;
+                    dst.set(v, acc);
+                    diff += (acc - src.get(v)).abs();
+                }
+                chunk_diffs.set(ci, diff);
+            },
+            |k| {
+                let diff: f64 = (0..chunk_diffs.len()).map(|i| chunk_diffs.get(i)).sum();
+                let next_buf = ((k + 1) % 2) as usize;
+                final_buf = next_buf;
+                if diff < config.tolerance || k + 1 >= config.max_iterations as u64 {
+                    return false;
+                }
+                let mut mass = 0.0f64;
+                for &u in &dangling {
+                    mass += bufs[next_buf].get(u as usize);
+                }
+                dangling_share.set(0, damping * mass * uniform);
+                true
+            },
+        );
     }
+    let rank = bufs[final_buf].to_vec();
     (0..n)
         .map(|i| (graph.id_of(i).expect("dense index valid"), rank[i]))
         .collect()
@@ -211,6 +267,43 @@ mod tests {
                 "node {id}: csr {} vs reference {r}",
                 csr[id]
             );
+        }
+    }
+
+    #[test]
+    fn parallel_thread_counts_are_bit_identical() {
+        // Large enough that the row space splits into several chunks.
+        let mut g = WeightedGraph::new_directed();
+        for i in 0..200u64 {
+            for j in 1..=5u64 {
+                g.add_edge(i, (i * 7 + j * 13) % 200, (1 + (i + j) % 9) as f64);
+            }
+        }
+        g.add_node(9_999); // dangling isolate
+        let frozen = g.freeze();
+        let serial = pagerank_csr(
+            &frozen,
+            &PageRankConfig {
+                threads: Some(1),
+                ..Default::default()
+            },
+        );
+        for t in [2usize, 4, 8] {
+            let parallel = pagerank_csr(
+                &frozen,
+                &PageRankConfig {
+                    threads: Some(t),
+                    ..Default::default()
+                },
+            );
+            assert_eq!(parallel.len(), serial.len());
+            for (id, r) in &serial {
+                assert_eq!(
+                    parallel[id].to_bits(),
+                    r.to_bits(),
+                    "node {id} diverged at {t} threads"
+                );
+            }
         }
     }
 

@@ -1,7 +1,10 @@
 //! Property tests: the frozen [`CsrGraph`] must agree with the builder
 //! [`WeightedGraph`] it was frozen from on every structural invariant, for
-//! arbitrary directed and undirected graphs including self-loops.
+//! arbitrary directed and undirected graphs including self-loops — and the
+//! parallel PageRank sweeps must be bit-identical to the serial CSR path
+//! at 1, 2 and 4 worker threads.
 
+use moby_graph::metrics::{pagerank_csr, PageRankConfig};
 use moby_graph::{CsrGraph, WeightedGraph};
 use proptest::prelude::*;
 
@@ -15,6 +18,13 @@ fn edge_list() -> impl Strategy<Value = Vec<(u64, u64, f64)>> {
             .map(|(a, b, w)| (a * 1_000 + 7, b * 1_000 + 7, w))
             .collect()
     })
+}
+
+/// A denser edge list whose CSR row space splits into several scheduler
+/// chunks, so the parallel PageRank property exercises the chunked sweep
+/// rather than collapsing to the inline single-chunk case.
+fn dense_edge_list() -> impl Strategy<Value = Vec<(u64, u64, f64)>> {
+    prop::collection::vec((0u64..60, 0u64..60, 0.25f64..8.0), 300..700)
 }
 
 fn build(directed: bool, edges: &[(u64, u64, f64)]) -> WeightedGraph {
@@ -105,5 +115,29 @@ proptest! {
         let via_builder = g.to_undirected();
         let via_csr = g.freeze().to_undirected();
         assert_agreement(&via_builder, &via_csr);
+    }
+
+    #[test]
+    fn parallel_pagerank_is_bit_identical_at_any_thread_count(
+        edges in dense_edge_list(),
+        directed in 0u8..2,
+    ) {
+        let g = build(directed == 1, &edges);
+        let frozen = g.freeze();
+        let serial = pagerank_csr(&frozen, &PageRankConfig {
+            threads: Some(1),
+            ..Default::default()
+        });
+        for t in [2usize, 4] {
+            let parallel = pagerank_csr(&frozen, &PageRankConfig {
+                threads: Some(t),
+                ..Default::default()
+            });
+            prop_assert_eq!(parallel.len(), serial.len());
+            for (id, r) in &serial {
+                prop_assert_eq!(parallel[id].to_bits(), r.to_bits(),
+                    "node {} diverged at {} threads", id, t);
+            }
+        }
     }
 }

@@ -46,6 +46,29 @@
 //! path's advantage, and the property tests can keep proving the two
 //! representations agree.
 //!
+//! ## Parallelism: the deterministic execution layer
+//!
+//! Hot CSR sweeps run on the shared scheduler in [`graph::par`]:
+//! contiguous row chunks balanced by edge count, executed on scoped `std`
+//! threads, with every reduction merged in fixed chunk order. The
+//! determinism contract is strict — **results are bit-identical at any
+//! thread count**, because chunk boundaries depend only on the graph (never
+//! on the thread count) and the serial path is simply the 1-thread
+//! specialisation of the parallel one. PageRank runs pull-based power
+//! iterations on a persistent worker pool ([`graph::par::par_iterate`]);
+//! Louvain and label propagation precompute move/label decisions in
+//! parallel and commit them serially with staleness checks, so the
+//! committed sequence is exactly the serial one; modularity and the
+//! freeze-time degree caches accumulate per chunk and merge in chunk
+//! order; betweenness/closeness chunk their per-source trees.
+//!
+//! The worker count comes from the `threads` field on the algorithm
+//! configs ([`community::LouvainConfig`], [`graph::metrics::PageRankConfig`],
+//! [`core::detect::DetectConfig`], …), falling back to the `MOBY_THREADS`
+//! environment variable and then the machine's parallelism — so `MOBY_THREADS=8`
+//! speeds a pipeline up without touching any result, and `MOBY_THREADS=1`
+//! reproduces the serial path exactly.
+//!
 //! ## Quick start
 //!
 //! ```

@@ -2,14 +2,17 @@
 //! Dublin dataset, the frozen-CSR community path must reproduce the legacy
 //! `WeightedGraph` (hash-map) path — Louvain partitions exactly,
 //! modularity within float-accumulation tolerance — at every temporal
-//! granularity.
+//! granularity. The parallel execution layer must additionally reproduce
+//! the serial CSR results bit-for-bit at every tested thread count.
 
 use moby_expansion::community::{
-    louvain_csr, louvain_hashmap, modularity_csr, modularity_hashmap, LouvainConfig,
+    louvain_csr, louvain_hashmap, modularity_csr, modularity_csr_threads, modularity_hashmap,
+    LouvainConfig,
 };
 use moby_expansion::core::pipeline::{ExpansionPipeline, PipelineConfig};
 use moby_expansion::core::temporal::{build_temporal_graph, TemporalGranularity};
 use moby_expansion::data::synth::{generate, SynthConfig};
+use moby_expansion::graph::metrics::{pagerank_csr, PageRankConfig};
 
 #[test]
 fn csr_louvain_matches_hashmap_louvain_on_synthetic_dataset() {
@@ -38,6 +41,75 @@ fn csr_louvain_matches_hashmap_louvain_on_synthetic_dataset() {
             "{}: csr Q {q_csr} vs hashmap Q {q_hash}",
             granularity.graph_name()
         );
+    }
+}
+
+#[test]
+fn parallel_execution_matches_serial_on_synthetic_dataset() {
+    let raw = generate(&SynthConfig::small_test());
+    let outcome = ExpansionPipeline::new(PipelineConfig::default())
+        .run(&raw)
+        .expect("pipeline runs");
+
+    for granularity in TemporalGranularity::ALL {
+        let temporal = build_temporal_graph(&outcome.selected.store, granularity);
+        let name = granularity.graph_name();
+
+        let serial_louvain = louvain_csr(
+            &temporal.csr,
+            &LouvainConfig {
+                threads: Some(1),
+                ..Default::default()
+            },
+        );
+        let serial_q = modularity_csr_threads(&temporal.csr, &serial_louvain, Some(1));
+        for t in [2usize, 4] {
+            let parallel_louvain = louvain_csr(
+                &temporal.csr,
+                &LouvainConfig {
+                    threads: Some(t),
+                    ..Default::default()
+                },
+            );
+            assert_eq!(
+                serial_louvain, parallel_louvain,
+                "{name}: Louvain diverged at {t} threads"
+            );
+            let parallel_q = modularity_csr_threads(&temporal.csr, &parallel_louvain, Some(t));
+            assert_eq!(
+                serial_q.to_bits(),
+                parallel_q.to_bits(),
+                "{name}: modularity diverged at {t} threads ({serial_q} vs {parallel_q})"
+            );
+        }
+    }
+
+    // PageRank over the directed trip graph, the paper's station-prominence
+    // descriptor.
+    let directed = outcome.selected.directed.freeze();
+    let serial_pr = pagerank_csr(
+        &directed,
+        &PageRankConfig {
+            threads: Some(1),
+            ..Default::default()
+        },
+    );
+    for t in [2usize, 4] {
+        let parallel_pr = pagerank_csr(
+            &directed,
+            &PageRankConfig {
+                threads: Some(t),
+                ..Default::default()
+            },
+        );
+        assert_eq!(parallel_pr.len(), serial_pr.len());
+        for (id, r) in &serial_pr {
+            assert_eq!(
+                parallel_pr[id].to_bits(),
+                r.to_bits(),
+                "PageRank of station {id} diverged at {t} threads"
+            );
+        }
     }
 }
 

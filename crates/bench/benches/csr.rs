@@ -73,7 +73,8 @@ fn bench_louvain_csr_vs_hashmap_dublin_medium(c: &mut Criterion) {
             bench.iter(|| louvain_csr(&temporal.csr, &cfg).community_count())
         });
         group.bench_function(format!("hashmap/{}", granularity.graph_name()), |bench| {
-            bench.iter(|| louvain_hashmap(&temporal.graph, &cfg).community_count())
+            let builder = temporal.builder.as_ref().expect("legacy path");
+            bench.iter(|| louvain_hashmap(builder, &cfg).community_count())
         });
     }
     group.finish();
@@ -91,7 +92,8 @@ fn bench_modularity_csr_vs_hashmap(c: &mut Criterion) {
             bench.iter(|| modularity_csr(&temporal.csr, &partition))
         });
         group.bench_function(format!("hashmap/{}", granularity.graph_name()), |bench| {
-            bench.iter(|| modularity_hashmap(&temporal.graph, &partition))
+            let builder = temporal.builder.as_ref().expect("legacy path");
+            bench.iter(|| modularity_hashmap(builder, &partition))
         });
     }
     group.finish();

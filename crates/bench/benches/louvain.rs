@@ -63,7 +63,8 @@ fn bench_temporal_graphs(c: &mut Criterion) {
     for granularity in TemporalGranularity::ALL {
         let temporal = build_temporal_graph(&outcome.selected.store, granularity);
         group.bench_function(granularity.graph_name(), |bench| {
-            bench.iter(|| louvain(&temporal.graph, &LouvainConfig::default()).community_count())
+            let builder = temporal.builder.as_ref().expect("legacy path");
+            bench.iter(|| louvain(builder, &LouvainConfig::default()).community_count())
         });
     }
     group.finish();

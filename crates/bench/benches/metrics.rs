@@ -1,12 +1,12 @@
 //! Benchmarks of the network-metrics suite (degree/strength, clustering
-//! coefficient, PageRank, betweenness, Gini) on trip graphs taken from the
-//! pipeline.
+//! coefficient, PageRank, betweenness, Gini) on the frozen trip graphs
+//! taken from the pipeline.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use moby_bench::{run_pipeline, Scale};
 use moby_graph::metrics::{
-    average_clustering_coefficient, betweenness_centrality, closeness_centrality, degree_map,
-    gini_coefficient, pagerank, strength_map, PageRankConfig,
+    average_clustering_coefficient_csr, betweenness_centrality_csr, closeness_centrality_csr,
+    degree_map_csr, gini_coefficient, pagerank_csr, strength_map_csr, PageRankConfig,
 };
 
 fn bench_metrics(c: &mut Criterion) {
@@ -18,22 +18,22 @@ fn bench_metrics(c: &mut Criterion) {
     group.sample_size(10);
 
     group.bench_function("degree_and_strength", |bench| {
-        bench.iter(|| (degree_map(g).len(), strength_map(g).len()))
+        bench.iter(|| (degree_map_csr(g).len(), strength_map_csr(g).len()))
     });
     group.bench_function("clustering_coefficient", |bench| {
-        bench.iter(|| average_clustering_coefficient(g))
+        bench.iter(|| average_clustering_coefficient_csr(g))
     });
     group.bench_function("pagerank", |bench| {
-        bench.iter(|| pagerank(directed, &PageRankConfig::default()).len())
+        bench.iter(|| pagerank_csr(directed, &PageRankConfig::default()).len())
     });
     group.bench_function("closeness", |bench| {
-        bench.iter(|| closeness_centrality(g, true).len())
+        bench.iter(|| closeness_centrality_csr(g, true).len())
     });
     group.bench_function("betweenness_weighted", |bench| {
-        bench.iter(|| betweenness_centrality(g, true, true).len())
+        bench.iter(|| betweenness_centrality_csr(g, true, true).len())
     });
     group.bench_function("gini_over_strength", |bench| {
-        let strengths: Vec<f64> = strength_map(g).values().copied().collect();
+        let strengths: Vec<f64> = strength_map_csr(g).values().copied().collect();
         bench.iter(|| gini_coefficient(&strengths))
     });
     group.finish();

@@ -1,23 +1,30 @@
 //! CI benchmark smoke run: serial-vs-parallel timings with a JSON artifact.
 //!
-//! Runs the expansion pipeline on the synthetic Dublin dataset, times the
-//! hot CSR sweeps (Louvain and PageRank) at 1 worker thread and at the
-//! parallel thread count, *verifies the results are bit-identical* (the
-//! scheduler's determinism contract — any divergence panics, failing CI),
+//! Runs the expansion pipeline on the synthetic Dublin dataset, then:
+//!
+//! * times the hot CSR sweeps (Louvain and PageRank) at 1 worker thread
+//!   and at the parallel thread count, *verifying the results are
+//!   bit-identical* (the scheduler's determinism contract — any
+//!   divergence panics, failing CI);
+//! * times **graph construction** both ways — the legacy hash-map
+//!   builder-freeze path against the columnar sort-merge build, at 1 and
+//!   N threads — verifying the two paths produce identical frozen graphs;
+//!
 //! and writes the timings to a `BENCH_*.json` file that the `bench-smoke`
 //! CI job uploads as a workflow artifact. This is where the repo's perf
 //! trajectory accumulates from PR 2 onward.
 //!
 //! ```text
 //! cargo run --release -p moby-bench --bin bench_smoke -- \
-//!     [--scale small|medium|paper] [--threads N] [--out BENCH_pr2.json]
+//!     [--scale small|medium|paper] [--threads N] [--out BENCH_pr3.json]
 //! ```
 
 use moby_bench::{run_pipeline, Scale};
 use moby_community::{louvain_csr, modularity_csr_threads, LouvainConfig};
-use moby_core::temporal::{build_temporal_graph, TemporalGranularity};
+use moby_core::candidate::TRIP_LABEL;
+use moby_core::temporal::{build_all_from_trips, build_temporal_graph, TemporalGranularity};
 use moby_graph::metrics::{pagerank_csr, PageRankConfig};
-use moby_graph::{par, CsrGraph};
+use moby_graph::{aggregate, build_dense_csr, par, CsrGraph};
 use std::time::Instant;
 
 /// Timing repetitions per measurement; the minimum is reported.
@@ -49,6 +56,129 @@ fn time_min<F: FnMut()>(mut f: F) -> f64 {
         best = best.min(start.elapsed().as_secs_f64() * 1e3);
     }
     best
+}
+
+/// Construction timings for one graph: the legacy hash-map builder-freeze
+/// path against the columnar sort-merge build.
+struct ConstructionResult {
+    name: String,
+    nodes: usize,
+    edges: usize,
+    hashmap_ms: f64,
+    sortmerge_1t_ms: f64,
+    sortmerge_nt_ms: f64,
+}
+
+impl ConstructionResult {
+    fn speedup_vs_hashmap(&self) -> f64 {
+        if self.sortmerge_1t_ms > 0.0 {
+            self.hashmap_ms / self.sortmerge_1t_ms
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Time the construction of all three temporal graphs: legacy store
+/// projection (per-granularity hash-map builders + freeze) vs one
+/// columnar pass over the trip table + sort-merge builds. Panics if the
+/// two paths — or any two thread counts — disagree on a single bit of the
+/// frozen graphs.
+fn smoke_temporal_construction(
+    outcome: &moby_core::pipeline::ExpansionOutcome,
+    threads: usize,
+) -> ConstructionResult {
+    let store = &outcome.selected.store;
+    let trips = &outcome.selected.trips;
+
+    let legacy: Vec<_> = TemporalGranularity::ALL
+        .iter()
+        .map(|&g| build_temporal_graph(store, g))
+        .collect();
+    let serial = build_all_from_trips(trips, None, Some(1));
+    let parallel = build_all_from_trips(trips, None, Some(threads));
+    for ((l, s), p) in legacy.iter().zip(&serial).zip(&parallel) {
+        assert_eq!(
+            l.csr, s.csr,
+            "{:?}: columnar construction diverged from the builder-freeze path",
+            l.granularity
+        );
+        assert_eq!(
+            s.csr, p.csr,
+            "{:?}: parallel construction diverged from serial — determinism contract broken",
+            s.granularity
+        );
+    }
+
+    let hashmap_ms = time_min(|| {
+        for &g in &TemporalGranularity::ALL {
+            std::hint::black_box(build_temporal_graph(store, g));
+        }
+    });
+    let sortmerge_1t_ms = time_min(|| {
+        std::hint::black_box(build_all_from_trips(trips, None, Some(1)));
+    });
+    let sortmerge_nt_ms = time_min(|| {
+        std::hint::black_box(build_all_from_trips(trips, None, Some(threads)));
+    });
+    ConstructionResult {
+        name: "construct/temporal_all".into(),
+        nodes: serial.iter().map(|t| t.csr.node_count()).sum(),
+        edges: serial.iter().map(|t| t.csr.edge_count()).sum(),
+        hashmap_ms,
+        sortmerge_1t_ms,
+        sortmerge_nt_ms,
+    }
+}
+
+/// Time the directed trip-graph construction both ways (store projection +
+/// freeze vs seeded sort-merge build), verifying identity.
+fn smoke_directed_construction(
+    outcome: &moby_core::pipeline::ExpansionOutcome,
+    threads: usize,
+) -> ConstructionResult {
+    let store = &outcome.selected.store;
+    let trips = &outcome.selected.trips;
+    // The exact build the pipeline performs: dense trip columns over the
+    // shared station-intern table, no re-interning.
+    let build_sortmerge = |t: usize| {
+        build_dense_csr(
+            true,
+            trips.station_ids().to_vec(),
+            trips.src(),
+            trips.dst(),
+            trips.weights(),
+            Some(t),
+        )
+    };
+    let legacy = aggregate::project_directed(store, TRIP_LABEL).freeze();
+    assert_eq!(
+        legacy,
+        build_sortmerge(1),
+        "directed trip graph: columnar construction diverged from the builder-freeze path"
+    );
+    assert_eq!(
+        build_sortmerge(1),
+        build_sortmerge(threads),
+        "directed trip graph: parallel construction diverged from serial"
+    );
+    let hashmap_ms = time_min(|| {
+        std::hint::black_box(aggregate::project_directed(store, TRIP_LABEL).freeze());
+    });
+    let sortmerge_1t_ms = time_min(|| {
+        std::hint::black_box(build_sortmerge(1));
+    });
+    let sortmerge_nt_ms = time_min(|| {
+        std::hint::black_box(build_sortmerge(threads));
+    });
+    ConstructionResult {
+        name: "construct/directed_trips".into(),
+        nodes: legacy.node_count(),
+        edges: legacy.edge_count(),
+        hashmap_ms,
+        sortmerge_1t_ms,
+        sortmerge_nt_ms,
+    }
 }
 
 /// Time Louvain serially and in parallel on one frozen graph, panicking if
@@ -129,7 +259,7 @@ fn smoke_pagerank(name: &str, graph: &CsrGraph, threads: usize) -> SmokeResult {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut scale = Scale::Medium;
-    let mut out = String::from("BENCH_pr2.json");
+    let mut out = String::from("BENCH_pr3.json");
     let mut threads = par::thread_count(None).max(2);
     let mut i = 0;
     while i < args.len() {
@@ -186,14 +316,20 @@ fn main() {
     println!("pipeline finished in {:.1?}", started.elapsed());
 
     let mut results: Vec<SmokeResult> = Vec::new();
-    let directed_trips = outcome.selected.directed.freeze();
-    results.push(smoke_pagerank("trip_graph", &directed_trips, threads));
+    let directed_trips = &outcome.selected.directed;
+    results.push(smoke_pagerank("trip_graph", directed_trips, threads));
     for granularity in [TemporalGranularity::TNull, TemporalGranularity::THour] {
         let temporal = build_temporal_graph(&outcome.selected.store, granularity);
         let name = granularity.graph_name().to_lowercase();
         results.push(smoke_pagerank(&name, &temporal.csr, threads));
         results.push(smoke_louvain(&name, &temporal.csr, threads));
     }
+
+    println!("\ntiming graph construction (hashmap freeze vs sort-merge) ...");
+    let construction = vec![
+        smoke_directed_construction(&outcome, threads),
+        smoke_temporal_construction(&outcome, threads),
+    ];
 
     println!(
         "\n{:<22} {:>8} {:>9} {:>12} {:>12} {:>9}",
@@ -210,8 +346,24 @@ fn main() {
             r.speedup()
         );
     }
+    println!(
+        "\n{:<26} {:>8} {:>9} {:>12} {:>13} {:>13} {:>12}",
+        "construction", "nodes", "edges", "hashmap(ms)", "sortmerge@1", "sortmerge@N", "vs hashmap"
+    );
+    for r in &construction {
+        println!(
+            "{:<26} {:>8} {:>9} {:>12.2} {:>13.2} {:>13.2} {:>11.2}x",
+            r.name,
+            r.nodes,
+            r.edges,
+            r.hashmap_ms,
+            r.sortmerge_1t_ms,
+            r.sortmerge_nt_ms,
+            r.speedup_vs_hashmap()
+        );
+    }
 
-    let json = render_json(scale, threads, &results);
+    let json = render_json(scale, threads, &results, &construction);
     match std::fs::write(&out, &json) {
         Ok(()) => println!("\nwrote {out} ({} bytes)", json.len()),
         Err(e) => {
@@ -227,17 +379,25 @@ fn main() {
 
 /// Hand-rolled JSON (the workspace has no serde_json; every value below is
 /// a number or a plain ASCII identifier, so no string escaping is needed).
-fn render_json(scale: Scale, threads: usize, results: &[SmokeResult]) -> String {
+fn render_json(
+    scale: Scale,
+    threads: usize,
+    results: &[SmokeResult],
+    construction: &[ConstructionResult],
+) -> String {
     let host = std::thread::available_parallelism()
         .map(|p| p.get())
         .unwrap_or(1);
     let mut s = String::new();
     s.push_str("{\n");
-    s.push_str("  \"schema\": \"moby-bench-smoke/v1\",\n");
+    s.push_str("  \"schema\": \"moby-bench-smoke/v2\",\n");
     s.push_str(&format!("  \"scale\": \"{}\",\n", scale.name()));
     s.push_str(&format!("  \"parallel_threads\": {threads},\n"));
     s.push_str(&format!("  \"host_parallelism\": {host},\n"));
-    s.push_str("  \"determinism\": \"bit-identical serial vs parallel (verified)\",\n");
+    s.push_str(
+        "  \"determinism\": \"bit-identical serial vs parallel and \
+         hashmap-freeze vs sort-merge (verified)\",\n",
+    );
     s.push_str("  \"benches\": [\n");
     for (i, r) in results.iter().enumerate() {
         s.push_str(&format!(
@@ -250,6 +410,23 @@ fn render_json(scale: Scale, threads: usize, results: &[SmokeResult]) -> String 
             r.parallel_ms,
             r.speedup(),
             if i + 1 < results.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ],\n");
+    s.push_str("  \"construction\": [\n");
+    for (i, r) in construction.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"name\": \"{}\", \"nodes\": {}, \"edges\": {}, \
+             \"hashmap_freeze_ms\": {:.3}, \"sortmerge_1t_ms\": {:.3}, \
+             \"sortmerge_nt_ms\": {:.3}, \"speedup_vs_hashmap\": {:.3}}}{}\n",
+            r.name,
+            r.nodes,
+            r.edges,
+            r.hashmap_ms,
+            r.sortmerge_1t_ms,
+            r.sortmerge_nt_ms,
+            r.speedup_vs_hashmap(),
+            if i + 1 < construction.len() { "," } else { "" }
         ));
     }
     s.push_str("  ]\n}\n");

@@ -159,8 +159,11 @@ fn figure_candidate_graph(outcome: &ExpansionOutcome) {
         .map(|n| (n.id, n.name.clone()))
         .collect();
     let fixed: std::collections::HashSet<_> = outcome.candidate.fixed_ids().into_iter().collect();
+    // The candidate graph stays on the builder representation; freeze once
+    // for the frozen-graph report API.
+    let candidate_csr = outcome.candidate.undirected.freeze();
     let geojson = network_geojson(
-        &outcome.candidate.undirected,
+        &candidate_csr,
         &positions,
         &names,
         &|id| fixed.contains(&id),
@@ -347,8 +350,9 @@ fn ablate_detector(outcome: &ExpansionOutcome) {
         "graph", "detector", "#communities", "modularity", "self-contained"
     );
     let old_ids = outcome.selected.fixed_ids();
-    // Freeze once; both detectors and all granularities share the frozen CSR.
-    let directed_trips = outcome.selected.directed.freeze();
+    // The pipeline froze the directed trip graph once; both detectors and
+    // all granularities share it.
+    let directed_trips = &outcome.selected.directed;
     for granularity in TemporalGranularity::ALL {
         let temporal = build_temporal_graph(&outcome.selected.store, granularity);
         for (name, detector) in [
@@ -357,7 +361,7 @@ fn ablate_detector(outcome: &ExpansionOutcome) {
         ] {
             let detection = detect_communities(
                 &temporal,
-                &directed_trips,
+                directed_trips,
                 &old_ids,
                 &DetectConfig {
                     detector,

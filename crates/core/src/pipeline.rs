@@ -10,7 +10,7 @@ use crate::candidate::{build_candidate_network, CandidateNetwork};
 use crate::detect::{detect_communities, CommunityDetection, DetectConfig};
 use crate::reassign::{build_selected_network, SelectedNetwork};
 use crate::selection::{select_stations, SelectionOutcome};
-use crate::temporal::{build_temporal_graph, TemporalGranularity};
+use crate::temporal::build_all_from_trips;
 use crate::{ExpansionConfig, Result};
 use moby_data::clean::{clean_dataset, CleaningReport};
 use moby_data::schema::{CleanDataset, RawDataset};
@@ -108,15 +108,21 @@ impl ExpansionPipeline {
         let selected = build_selected_network(&dataset, &candidate, &selection)?;
 
         let old_ids = selected.fixed_ids();
-        // Freeze the directed trip graph once; all three granularities share
-        // the frozen CSR instead of re-deriving adjacency per detection.
-        let directed_trips = selected.directed.freeze();
+        // One pass over the columnar trip table emits the edge lists for
+        // all three granularities; `GBasic` shares the already-built
+        // undirected CSR and the directed trip graph was frozen once at
+        // network build — nothing on this path touches a hash-map builder
+        // or re-derives adjacency.
+        let temporals = build_all_from_trips(
+            &selected.trips,
+            Some(&selected.undirected),
+            self.config.detect.threads,
+        );
         let mut detections = Vec::with_capacity(3);
-        for granularity in TemporalGranularity::ALL {
-            let temporal = build_temporal_graph(&selected.store, granularity);
+        for temporal in &temporals {
             detections.push(detect_communities(
-                &temporal,
-                &directed_trips,
+                temporal,
+                &selected.directed,
                 &old_ids,
                 &self.config.detect,
             ));

@@ -12,9 +12,9 @@ use crate::selection::SelectionOutcome;
 use crate::{CoreError, Result};
 use moby_cluster::assign::StationAssigner;
 use moby_data::schema::{CleanDataset, LocationId};
+use moby_data::trips::TripTable;
 use moby_geo::GeoPoint;
-use moby_graph::aggregate;
-use moby_graph::{props, GraphStore, NodeId, PropValue, WeightedGraph};
+use moby_graph::{build_dense_csr, props, CsrGraph, GraphStore, NodeId, PropValue};
 use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, HashSet};
 
@@ -68,12 +68,21 @@ pub struct SelectedNetwork {
     pub stations: Vec<FinalStation>,
     /// Mapping from cleaned location id to its final station.
     pub location_to_station: HashMap<LocationId, NodeId>,
-    /// Property-graph store with one `TRIP` relationship per rental.
+    /// Property-graph store with one `TRIP` relationship per rental — the
+    /// full-fidelity record (the Neo4j analogue) behind the reporting
+    /// layer's profiles; graph construction no longer reads it.
     pub store: GraphStore,
-    /// Directed weighted trip graph.
-    pub directed: WeightedGraph,
-    /// Undirected weighted trip graph (`GBasic` before temporal splitting).
-    pub undirected: WeightedGraph,
+    /// The columnar trip table: one row per rental over the shared sorted
+    /// station-intern table. One pass over these columns feeds every
+    /// graph the pipeline builds.
+    pub trips: TripTable,
+    /// Frozen directed trip graph, built straight from
+    /// [`SelectedNetwork::trips`] by sort-merge — shared by every
+    /// downstream consumer; nothing re-freezes it.
+    pub directed: CsrGraph,
+    /// Frozen undirected trip graph (`GBasic` before temporal splitting),
+    /// also built by sort-merge from the trip table.
+    pub undirected: CsrGraph,
     /// Table III counts.
     pub table: SelectedGraphTable,
 }
@@ -168,7 +177,32 @@ pub fn build_selected_network(
         }
     }
 
-    // --- Trip store over final stations. ---
+    // --- Columnar trip table over the final stations. ---
+    // Location endpoints resolve through a sorted lookup table (binary
+    // search), so the per-rental hot loop performs zero hash-map
+    // operations.
+    let mut trips = TripTable::new(stations.iter().map(|s| s.id).collect());
+    let mut location_lookup: Vec<(LocationId, u32)> = location_to_station
+        .iter()
+        .map(|(&loc, &station)| {
+            (
+                loc,
+                trips
+                    .station_index(station)
+                    .expect("every mapped station is final"),
+            )
+        })
+        .collect();
+    location_lookup.sort_unstable();
+    let resolve = |loc: LocationId| -> Option<u32> {
+        location_lookup
+            .binary_search_by_key(&loc, |&(l, _)| l)
+            .ok()
+            .map(|at| location_lookup[at].1)
+    };
+
+    // --- Trip store over final stations (full-fidelity record for the
+    //     reporting layer; not on the construction hot path). ---
     let mut store = GraphStore::new();
     for s in &stations {
         store.add_node(
@@ -183,19 +217,18 @@ pub fn build_selected_network(
         );
     }
     for r in &dataset.rentals {
-        let (Some(&src), Some(&dst)) = (
-            location_to_station.get(&r.rental_location_id),
-            location_to_station.get(&r.return_location_id),
-        ) else {
+        let (Some(src), Some(dst)) = (resolve(r.rental_location_id), resolve(r.return_location_id))
+        else {
             return Err(CoreError::Internal(format!(
                 "rental {} references an unmapped location",
                 r.id
             )));
         };
+        trips.push(src, dst, r.start_time);
         store
             .add_edge(
-                src,
-                dst,
+                trips.station_id(src),
+                trips.station_id(dst),
                 TRIP_LABEL,
                 props([
                     (
@@ -208,14 +241,32 @@ pub fn build_selected_network(
             .map_err(|e| CoreError::Internal(format!("failed to add trip edge: {e}")))?;
     }
 
-    let directed = aggregate::project_directed(&store, TRIP_LABEL);
-    let undirected = aggregate::project_undirected(&store, TRIP_LABEL);
-    let table = build_table(&stations, &store, &directed);
+    // --- Frozen trip graphs, built by columnar sort-merge straight from
+    //     the dense trip columns (one shared station-intern table; no
+    //     hash-map builder, no re-interning). ---
+    let directed = build_dense_csr(
+        true,
+        trips.station_ids().to_vec(),
+        trips.src(),
+        trips.dst(),
+        trips.weights(),
+        None,
+    );
+    let undirected = build_dense_csr(
+        false,
+        trips.station_ids().to_vec(),
+        trips.src(),
+        trips.dst(),
+        trips.weights(),
+        None,
+    );
+    let table = build_table(&stations, &trips, &directed);
 
     Ok(SelectedNetwork {
         stations,
         location_to_station,
         store,
+        trips,
         directed,
         undirected,
         table,
@@ -224,46 +275,57 @@ pub fn build_selected_network(
 
 fn build_table(
     stations: &[FinalStation],
-    store: &GraphStore,
-    directed: &WeightedGraph,
+    trips: &TripTable,
+    directed: &CsrGraph,
 ) -> SelectedGraphTable {
-    let fixed: HashSet<NodeId> = stations
-        .iter()
-        .filter(|s| s.is_fixed)
-        .map(|s| s.id)
-        .collect();
+    // Dense per-station fixed flags (trip table order), so the per-trip
+    // tally below is an array index, not a set probe.
+    let mut fixed_dense = vec![false; trips.station_count()];
+    let mut fixed_count = 0usize;
+    for s in stations {
+        if s.is_fixed {
+            fixed_dense[trips.station_index(s.id).expect("final station interned") as usize] = true;
+            fixed_count += 1;
+        }
+    }
     let mut pre = GroupRow {
-        stations: fixed.len(),
+        stations: fixed_count,
         ..Default::default()
     };
     let mut sel = GroupRow {
-        stations: stations.len() - fixed.len(),
+        stations: stations.len() - fixed_count,
         ..Default::default()
     };
 
-    // Trips per group (every relationship counted once per endpoint role).
-    for e in store.edges_with_label(TRIP_LABEL) {
-        if fixed.contains(&e.src) {
+    // Trips per group (every rental counted once per endpoint role).
+    for (&src, &dst) in trips.src().iter().zip(trips.dst()) {
+        if fixed_dense[src as usize] {
             pre.trips_from += 1;
         } else {
             sel.trips_from += 1;
         }
-        if fixed.contains(&e.dst) {
+        if fixed_dense[dst as usize] {
             pre.trips_to += 1;
         } else {
             sel.trips_to += 1;
         }
     }
-    // Distinct directed edges per group.
+    // Distinct directed edges per group, straight off the frozen rows.
     let mut total_edges = 0usize;
+    let fixed_of_id = |id: NodeId| {
+        trips
+            .station_index(id)
+            .map(|i| fixed_dense[i as usize])
+            .unwrap_or(false)
+    };
     for (src, dst, _) in directed.edges() {
         total_edges += 1;
-        if fixed.contains(&src) {
+        if fixed_of_id(src) {
             pre.edges_from += 1;
         } else {
             sel.edges_from += 1;
         }
-        if fixed.contains(&dst) {
+        if fixed_of_id(dst) {
             pre.edges_to += 1;
         } else {
             sel.edges_to += 1;
@@ -271,7 +333,7 @@ fn build_table(
     }
     SelectedGraphTable {
         total_stations: stations.len(),
-        total_trips: store.edges_with_label(TRIP_LABEL).count(),
+        total_trips: trips.len(),
         total_edges,
         pre_existing: pre,
         selected: sel,

@@ -17,12 +17,28 @@
 //! that exchange many trips **and** do so at similar times; the final
 //! station-level community is the station's dominant layer community
 //! (weighted by trip volume). This is the interpretation documented in
-//! DESIGN.md; the observable consequences match the paper — community count
-//! and modularity both rise with granularity.
+//! `DESIGN.md` at the repository root; the observable consequences match
+//! the paper — community count and modularity both rise with granularity.
+//!
+//! ## Two construction paths
+//!
+//! * **Columnar (hot path)** — [`build_all_from_trips`] makes **one pass**
+//!   over the cleaned [`TripTable`] columns, emitting the edge lists of
+//!   all three granularities against the table's shared station-intern
+//!   table (layer keys computed inline), then freezes each through the
+//!   sort-merge [`CsrBuilder`]. No per-edge hash operation anywhere,
+//!   parallel yet bit-identical at any thread count.
+//! * **Store projection (compatibility / equivalence baseline)** —
+//!   [`build_temporal_graph`] re-scans the property store once per
+//!   granularity through the `WeightedGraph` hash-map builders and
+//!   freezes the result. The equivalence suites assert both paths produce
+//!   *identical* frozen graphs; benchmarks keep it around to measure what
+//!   the columnar path buys.
 
 use crate::candidate::TRIP_LABEL;
+use moby_data::trips::TripTable;
 use moby_graph::aggregate;
-use moby_graph::{CsrGraph, GraphStore, NodeId, WeightedGraph};
+use moby_graph::{CsrBuilder, CsrGraph, GraphStore, NodeId, WeightedGraph};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
@@ -79,14 +95,16 @@ impl TemporalGranularity {
 pub struct TemporalGraph {
     /// The granularity this graph was built for.
     pub granularity: TemporalGranularity,
-    /// The undirected weighted **builder** graph. For `TNull` the nodes
-    /// are station ids; for `TDay`/`THour` they are layered
+    /// The legacy undirected **builder** graph, populated only by the
+    /// store-projection path ([`build_temporal_graph`]) where it serves as
+    /// the equivalence baseline. The columnar path
+    /// ([`build_all_from_trips`]) never materialises it. For `TNull` the
+    /// nodes are station ids; for `TDay`/`THour` they are layered
     /// `(station, key)` ids.
-    pub graph: WeightedGraph,
-    /// The frozen CSR projection of [`TemporalGraph::graph`], produced
-    /// once at build time. Louvain, modularity and the station folding all
-    /// consume this — the temporal layer owns freezing, so detection never
-    /// re-derives adjacency.
+    pub builder: Option<WeightedGraph>,
+    /// The frozen CSR graph, produced once at build time. Louvain,
+    /// modularity and the station folding all consume this — the temporal
+    /// layer owns freezing, so detection never re-derives adjacency.
     pub csr: CsrGraph,
     /// For layered graphs: layered node id → `(station id, temporal key)`.
     /// `None` for `TNull`.
@@ -94,8 +112,9 @@ pub struct TemporalGraph {
 }
 
 impl TemporalGraph {
-    /// Wrap a built (possibly layered) station graph, freezing its CSR
-    /// projection once.
+    /// Wrap a built (possibly layered) station builder graph, freezing its
+    /// CSR projection once and keeping the builder as the equivalence
+    /// baseline.
     pub fn new(
         granularity: TemporalGranularity,
         graph: WeightedGraph,
@@ -104,7 +123,22 @@ impl TemporalGraph {
         let csr = graph.freeze();
         TemporalGraph {
             granularity,
-            graph,
+            builder: Some(graph),
+            csr,
+            layer_map,
+        }
+    }
+
+    /// Wrap an already-frozen graph produced by the columnar build path —
+    /// no builder graph exists on the hot path.
+    pub fn from_csr(
+        granularity: TemporalGranularity,
+        csr: CsrGraph,
+        layer_map: Option<HashMap<NodeId, (NodeId, u32)>>,
+    ) -> TemporalGraph {
+        TemporalGraph {
+            granularity,
+            builder: None,
             csr,
             layer_map,
         }
@@ -121,7 +155,7 @@ impl TemporalGraph {
     /// Number of distinct stations represented in the graph.
     pub fn station_count(&self) -> usize {
         match &self.layer_map {
-            None => self.graph.node_count(),
+            None => self.csr.node_count(),
             Some(map) => {
                 let mut stations: Vec<NodeId> = map.values().map(|&(s, _)| s).collect();
                 stations.sort_unstable();
@@ -161,6 +195,96 @@ pub fn build_all(store: &GraphStore) -> Vec<TemporalGraph> {
         .iter()
         .map(|&g| build_temporal_graph(store, g))
         .collect()
+}
+
+/// Decode a layered graph's node table back into the
+/// `layered id → (station, key)` map. Layered ids are
+/// `station * stride + key` by construction, so the map is pure
+/// arithmetic over the nodes the build actually touched.
+fn decode_layer_map(csr: &CsrGraph, stride: u64) -> HashMap<NodeId, (NodeId, u32)> {
+    csr.node_ids()
+        .iter()
+        .map(|&id| (id, (id / stride, (id % stride) as u32)))
+        .collect()
+}
+
+/// Build all three temporal graphs from the columnar [`TripTable`] — the
+/// hot construction path.
+///
+/// **One pass** over the trip columns emits the edge lists for every
+/// granularity against the table's shared station-intern table: `GBasic`
+/// edges are the station pairs themselves, `GDay`/`GHour` edges carry the
+/// layer key folded into the node id inline
+/// (`station * stride + key`). Each list then freezes through the
+/// sort-merge [`CsrBuilder`] — zero per-edge hash operations end to end,
+/// and (per the scheduler contract) bit-identical results at any
+/// `threads` setting.
+///
+/// `basic` optionally supplies an already-built station-level undirected
+/// CSR (the pipeline shares the selected network's
+/// [`undirected`](crate::reassign::SelectedNetwork::undirected) graph so
+/// `GBasic` is built exactly once); pass `None` to build it from the
+/// table here.
+///
+/// The frozen graphs are **identical** to what the legacy store
+/// projection ([`build_temporal_graph`]) produces — the synthetic-dataset
+/// equivalence suite asserts this bitwise — because both paths intern
+/// nodes in the same first-appearance order and merge duplicate edges in
+/// the same insertion order. That baseline weights every trip at 1.0, so
+/// the equivalence claim covers the unit-weight tables cleaning produces;
+/// a table with explicit
+/// [`push_weighted`](moby_data::trips::TripTable::push_weighted) weights
+/// builds the weighted generalisation the store projection cannot
+/// represent.
+pub fn build_all_from_trips(
+    trips: &TripTable,
+    basic: Option<&CsrGraph>,
+    threads: Option<usize>,
+) -> Vec<TemporalGraph> {
+    let m = trips.len();
+    let mut day_builder = CsrBuilder::undirected().threads(threads);
+    let mut hour_builder = CsrBuilder::undirected().threads(threads);
+    let day_stride = TemporalGranularity::TDay.stride();
+    let hour_stride = TemporalGranularity::THour.stride();
+
+    let (src, dst) = (trips.src(), trips.dst());
+    let (day, hour, weight) = (trips.day(), trips.hour(), trips.weights());
+    for k in 0..m {
+        let s = trips.station_id(src[k]);
+        let d = trips.station_id(dst[k]);
+        let w = weight[k];
+        let dk = day[k] as u64;
+        day_builder.push(s * day_stride + dk, d * day_stride + dk, w);
+        let hk = hour[k] as u64;
+        hour_builder.push(s * hour_stride + hk, d * hour_stride + hk, w);
+    }
+
+    let basic_csr = match basic {
+        Some(csr) => csr.clone(),
+        None => {
+            // The station-level graph builds straight from the dense trip
+            // columns; seeding the full sorted node table keeps every
+            // station visible, like the legacy store projection.
+            moby_graph::build_dense_csr(
+                false,
+                trips.station_ids().to_vec(),
+                trips.src(),
+                trips.dst(),
+                trips.weights(),
+                threads,
+            )
+        }
+    };
+    let day_csr = day_builder.build();
+    let hour_csr = hour_builder.build();
+
+    let day_map = decode_layer_map(&day_csr, day_stride);
+    let hour_map = decode_layer_map(&hour_csr, hour_stride);
+    vec![
+        TemporalGraph::from_csr(TemporalGranularity::TNull, basic_csr, None),
+        TemporalGraph::from_csr(TemporalGranularity::TDay, day_csr, Some(day_map)),
+        TemporalGraph::from_csr(TemporalGranularity::THour, hour_csr, Some(hour_map)),
+    ]
 }
 
 #[cfg(test)]
@@ -207,13 +331,46 @@ mod tests {
         assert_eq!(TemporalGranularity::TDay.property(), Some("day"));
     }
 
+    /// The columnar trip table matching [`store`] (same station set, same
+    /// trip order).
+    fn trip_table() -> TripTable {
+        let mut t = TripTable::new(vec![1, 2, 3]);
+        let trips = [
+            (1u64, 2u64, 0u8, 8u8),
+            (1, 2, 0, 9),
+            (2, 1, 4, 17),
+            (2, 3, 5, 12),
+            (3, 3, 6, 13),
+        ];
+        for (src, dst, day, hour) in trips {
+            // 2020-06-01 is a Monday; day 1 + `day` keeps the weekday key,
+            // `hour` the hour key.
+            let ts = moby_data::timeparse::Timestamp::from_ymd_hms(
+                2020,
+                6,
+                1 + day as u32,
+                hour as u32,
+                0,
+                0,
+            )
+            .unwrap();
+            t.push(
+                t.station_index(src).unwrap(),
+                t.station_index(dst).unwrap(),
+                ts,
+            );
+        }
+        t
+    }
+
     #[test]
     fn basic_graph_merges_all_trips() {
         let g = build_temporal_graph(&store(), TemporalGranularity::TNull);
         assert!(g.layer_map.is_none());
-        assert_eq!(g.graph.node_count(), 3);
-        assert_eq!(g.graph.edge_weight(1, 2), Some(3.0)); // both directions merged
-        assert_eq!(g.graph.self_loop_weight(3), 1.0);
+        assert_eq!(g.csr.node_count(), 3);
+        assert_eq!(g.csr.edge_weight(1, 2), Some(3.0)); // both directions merged
+        let builder = g.builder.as_ref().expect("legacy path keeps the builder");
+        assert_eq!(builder.self_loop_weight(3), 1.0);
         assert_eq!(g.station_of(2), 2);
         assert_eq!(g.station_count(), 3);
     }
@@ -223,23 +380,24 @@ mod tests {
         let g = build_temporal_graph(&store(), TemporalGranularity::TDay);
         let map = g.layer_map.as_ref().unwrap();
         // Day-0 edge between stations 1 and 2 carries two trips.
-        assert_eq!(g.graph.edge_weight(1 * 8, 2 * 8), Some(2.0));
+        assert_eq!(g.csr.edge_weight(1 * 8, 2 * 8), Some(2.0));
         // Day-4 edge carries one.
-        assert_eq!(g.graph.edge_weight(2 * 8 + 4, 1 * 8 + 4), Some(1.0));
+        assert_eq!(g.csr.edge_weight(2 * 8 + 4, 1 * 8 + 4), Some(1.0));
         // Layer map points back at stations.
         assert_eq!(map[&(2 * 8 + 4)], (2, 4));
         assert_eq!(g.station_of(2 * 8 + 4), 2);
         assert_eq!(g.station_count(), 3);
         // Total weight equals the number of trips.
-        assert_eq!(g.graph.total_weight(), 5.0);
+        assert_eq!(g.csr.total_weight(), 5.0);
     }
 
     #[test]
     fn hour_graph_uses_hour_keys() {
         let g = build_temporal_graph(&store(), TemporalGranularity::THour);
-        assert_eq!(g.graph.edge_weight(1 * 32 + 8, 2 * 32 + 8), Some(1.0));
-        assert_eq!(g.graph.edge_weight(1 * 32 + 9, 2 * 32 + 9), Some(1.0));
-        assert_eq!(g.graph.self_loop_weight(3 * 32 + 13), 1.0);
+        assert_eq!(g.csr.edge_weight(1 * 32 + 8, 2 * 32 + 8), Some(1.0));
+        assert_eq!(g.csr.edge_weight(1 * 32 + 9, 2 * 32 + 9), Some(1.0));
+        let i = g.csr.index_of(3 * 32 + 13).unwrap() as usize;
+        assert_eq!(g.csr.self_loop(i), 1.0);
     }
 
     #[test]
@@ -249,8 +407,8 @@ mod tests {
         assert_eq!(all[0].granularity, TemporalGranularity::TNull);
         assert_eq!(all[2].granularity, TemporalGranularity::THour);
         // Finer granularity never has fewer nodes.
-        assert!(all[1].graph.node_count() >= all[0].graph.node_count());
-        assert!(all[2].graph.node_count() >= all[1].graph.node_count());
+        assert!(all[1].csr.node_count() >= all[0].csr.node_count());
+        assert!(all[2].csr.node_count() >= all[1].csr.node_count());
     }
 
     #[test]
@@ -258,11 +416,12 @@ mod tests {
         let s = store();
         for granularity in TemporalGranularity::ALL {
             let t = build_temporal_graph(&s, granularity);
-            assert_eq!(t.csr.node_count(), t.graph.node_count(), "{granularity:?}");
-            assert_eq!(t.csr.edge_count(), t.graph.edge_count(), "{granularity:?}");
-            assert_eq!(t.csr.total_weight(), t.graph.total_weight());
-            for &id in t.graph.node_ids() {
-                assert_eq!(t.csr.strength_of(id), t.graph.strength_of(id));
+            let builder = t.builder.as_ref().expect("legacy path keeps the builder");
+            assert_eq!(t.csr.node_count(), builder.node_count(), "{granularity:?}");
+            assert_eq!(t.csr.edge_count(), builder.edge_count(), "{granularity:?}");
+            assert_eq!(t.csr.total_weight(), builder.total_weight());
+            for &id in builder.node_ids() {
+                assert_eq!(t.csr.strength_of(id), builder.strength_of(id));
             }
         }
     }
@@ -271,5 +430,33 @@ mod tests {
     fn station_of_unknown_node_is_identity() {
         let g = build_temporal_graph(&store(), TemporalGranularity::TDay);
         assert_eq!(g.station_of(999), 999);
+    }
+
+    #[test]
+    fn columnar_build_is_identical_to_store_projection() {
+        let s = store();
+        let trips = trip_table();
+        for threads in [Some(1), Some(2), Some(4)] {
+            let columnar = build_all_from_trips(&trips, None, threads);
+            assert_eq!(columnar.len(), 3);
+            for (temporal, granularity) in columnar.iter().zip(TemporalGranularity::ALL) {
+                assert_eq!(temporal.granularity, granularity);
+                assert!(temporal.builder.is_none(), "hot path has no builder");
+                let legacy = build_temporal_graph(&s, granularity);
+                assert_eq!(temporal.csr, legacy.csr, "{granularity:?} CSR diverged");
+                assert_eq!(temporal.layer_map, legacy.layer_map, "{granularity:?} map");
+            }
+        }
+    }
+
+    #[test]
+    fn columnar_build_reuses_a_shared_basic_graph() {
+        let trips = trip_table();
+        let built = build_all_from_trips(&trips, None, None);
+        let shared = built[0].csr.clone();
+        let reused = build_all_from_trips(&trips, Some(&shared), None);
+        assert_eq!(reused[0].csr, shared);
+        assert_eq!(reused[1].csr, built[1].csr);
+        assert_eq!(reused[2].csr, built[2].csr);
     }
 }

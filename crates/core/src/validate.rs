@@ -77,10 +77,10 @@ pub fn validate_expansion(outcome: &ExpansionOutcome, detect: &DetectConfig) -> 
     // Degree comparability on the selected undirected graph.
     let old_vec: Vec<_> = old_ids.iter().copied().collect();
     let new_vec: Vec<_> = new_ids.iter().copied().collect();
-    let old_mean = DegreeSummary::for_nodes(&selected.undirected, &old_vec)
+    let old_mean = DegreeSummary::for_nodes_csr(&selected.undirected, &old_vec)
         .map(|s| s.mean)
         .unwrap_or(0.0);
-    let new_mean = DegreeSummary::for_nodes(&selected.undirected, &new_vec)
+    let new_mean = DegreeSummary::for_nodes_csr(&selected.undirected, &new_vec)
         .map(|s| s.mean)
         .unwrap_or(0.0);
     let degree_ratio = if old_mean > 0.0 {
@@ -94,11 +94,8 @@ pub fn validate_expansion(outcome: &ExpansionOutcome, detect: &DetectConfig) -> 
     // restricted to old stations.
     let fixed_only = selected.undirected.subgraph(|id| old_ids.contains(&id));
     let fixed_store_graph =
-        crate::temporal::TemporalGraph::new(TemporalGranularity::TNull, fixed_only, None);
-    let fixed_directed = selected
-        .directed
-        .subgraph(|id| old_ids.contains(&id))
-        .freeze();
+        crate::temporal::TemporalGraph::from_csr(TemporalGranularity::TNull, fixed_only, None);
+    let fixed_directed = selected.directed.subgraph(|id| old_ids.contains(&id));
     let fixed_detection = detect_communities(&fixed_store_graph, &fixed_directed, &old_ids, detect);
     let expanded_restricted: Partition = basic
         .station_partition
@@ -130,8 +127,8 @@ pub fn validate_default(outcome: &ExpansionOutcome) -> ValidationReport {
 /// (guards against accidental divergence between pipeline stages).
 pub fn gbasic_is_consistent(outcome: &ExpansionOutcome) -> bool {
     let rebuilt = build_temporal_graph(&outcome.selected.store, TemporalGranularity::TNull);
-    rebuilt.graph.node_count() == outcome.selected.stations.len()
-        && (rebuilt.graph.total_weight() - outcome.selected.undirected.total_weight()).abs() < 1e-9
+    rebuilt.csr.node_count() == outcome.selected.stations.len()
+        && (rebuilt.csr.total_weight() - outcome.selected.undirected.total_weight()).abs() < 1e-9
 }
 
 #[cfg(test)]

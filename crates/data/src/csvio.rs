@@ -4,12 +4,19 @@
 //! row; fields never contain embedded commas, but quoted fields are accepted
 //! for robustness. Missing values are encoded as empty fields, matching how
 //! the defects described in paper §III appear in the raw export.
+//!
+//! Each reader exists in two forms: a `read_*` convenience over an
+//! in-memory `&str`, and a streaming `read_*_from` over any
+//! [`BufRead`] source that parses **line by line** — so a rentals file
+//! larger than the RAM headroom is never slurped into one `String` on top
+//! of the parsed records (see [`crate::loader`]).
 
 use crate::schema::{RawLocation, RawRental, Station};
 use crate::timeparse::Timestamp;
 use crate::{DataError, Result};
 use moby_geo::GeoPoint;
 use std::fmt::Write as _;
+use std::io::BufRead;
 
 /// Split a single CSV line into fields, honouring double-quoted fields with
 /// `""` escapes.
@@ -39,30 +46,86 @@ fn split_csv_line(line: &str) -> Vec<String> {
     fields
 }
 
-/// Parse a CSV document into a header and rows.
-fn parse_csv(text: &str) -> Result<(Vec<String>, Vec<(usize, Vec<String>)>)> {
-    let mut lines = text
-        .lines()
-        .enumerate()
-        .filter(|(_, l)| !l.trim().is_empty());
-    let (_, header_line) = lines.next().ok_or(DataError::EmptyInput)?;
-    let header: Vec<String> = split_csv_line(header_line)
-        .into_iter()
-        .map(|h| h.trim().to_lowercase())
-        .collect();
-    let mut rows = Vec::new();
-    for (i, line) in lines {
-        let fields = split_csv_line(line);
-        if fields.len() != header.len() {
+/// Streaming CSV row source over any [`BufRead`]: reads one line at a
+/// time into a reused buffer, skips blank lines, and validates each row's
+/// field count against the header. Line numbers are 1-based over the raw
+/// input (blank lines included), matching the in-memory parser.
+struct CsvRows<R: BufRead> {
+    reader: R,
+    source: String,
+    buf: String,
+    line_no: usize,
+    width: usize,
+}
+
+impl<R: BufRead> CsvRows<R> {
+    /// Open the source and parse the header row. `source` labels I/O
+    /// errors (a file path, or `"<memory>"` for in-memory input).
+    fn open(reader: R, source: &str) -> Result<(Vec<String>, CsvRows<R>)> {
+        let mut rows = CsvRows {
+            reader,
+            source: source.to_owned(),
+            buf: String::new(),
+            line_no: 0,
+            width: 0,
+        };
+        if !rows.advance()? {
+            return Err(DataError::EmptyInput);
+        }
+        let header: Vec<String> = split_csv_line(rows.current_line())
+            .into_iter()
+            .map(|h| h.trim().to_lowercase())
+            .collect();
+        rows.width = header.len();
+        Ok((header, rows))
+    }
+
+    /// Advance to the next non-blank line, reusing the internal buffer
+    /// (no per-line allocation). Returns `false` at end of input.
+    fn advance(&mut self) -> Result<bool> {
+        loop {
+            self.buf.clear();
+            let read = self
+                .reader
+                .read_line(&mut self.buf)
+                .map_err(|e| DataError::Io {
+                    path: self.source.clone(),
+                    message: e.to_string(),
+                })?;
+            if read == 0 {
+                return Ok(false);
+            }
+            self.line_no += 1;
+            if !self.current_line().trim().is_empty() {
+                return Ok(true);
+            }
+        }
+    }
+
+    /// The buffered line with at most one trailing `\r\n` / `\n`
+    /// stripped (exactly what `str::lines` removes, so CR bytes inside a
+    /// final field survive).
+    fn current_line(&self) -> &str {
+        let line = self.buf.strip_suffix('\n').unwrap_or(&self.buf);
+        line.strip_suffix('\r').unwrap_or(line)
+    }
+
+    /// The next data row as `(line number, fields)`, or `None` at end of
+    /// input.
+    fn next_row(&mut self) -> Result<Option<(usize, Vec<String>)>> {
+        if !self.advance()? {
+            return Ok(None);
+        }
+        let fields = split_csv_line(self.current_line());
+        if fields.len() != self.width {
             return Err(DataError::MalformedRow {
-                line: i + 1,
-                expected: header.len(),
+                line: self.line_no,
+                expected: self.width,
                 found: fields.len(),
             });
         }
-        rows.push((i + 1, fields));
+        Ok(Some((self.line_no, fields)))
     }
-    Ok((header, rows))
 }
 
 fn column_index(header: &[String], name: &str) -> Result<usize> {
@@ -116,91 +179,106 @@ fn parse_timestamp(line: usize, column: &str, raw: &str) -> Result<Timestamp> {
     })
 }
 
-/// Read the `Location` table from CSV.
+/// Read the `Location` table from an in-memory CSV document.
+pub fn read_locations(text: &str) -> Result<Vec<RawLocation>> {
+    read_locations_from(text.as_bytes(), "<memory>")
+}
+
+/// Read the `Location` table from a buffered CSV stream, line by line.
 ///
 /// Expected header: `id,lat,lon,station_id` (order-insensitive, extra
 /// columns ignored). Empty `lat`/`lon`/`station_id` become `None`.
-pub fn read_locations(text: &str) -> Result<Vec<RawLocation>> {
-    let (header, rows) = parse_csv(text)?;
+/// `source` labels I/O errors (typically the file path).
+pub fn read_locations_from<R: BufRead>(reader: R, source: &str) -> Result<Vec<RawLocation>> {
+    let (header, mut rows) = CsvRows::open(reader, source)?;
     let c_id = column_index(&header, "id")?;
     let c_lat = column_index(&header, "lat")?;
     let c_lon = column_index(&header, "lon")?;
     let c_station = column_index(&header, "station_id")?;
-    rows.into_iter()
-        .map(|(line, f)| {
-            Ok(RawLocation {
-                id: parse_u64(line, "id", &f[c_id])?,
-                lat: parse_opt_f64(line, "lat", &f[c_lat])?,
-                lon: parse_opt_f64(line, "lon", &f[c_lon])?,
-                station_id: parse_opt_u64(line, "station_id", &f[c_station])?,
-            })
-        })
-        .collect()
+    let mut out = Vec::new();
+    while let Some((line, f)) = rows.next_row()? {
+        out.push(RawLocation {
+            id: parse_u64(line, "id", &f[c_id])?,
+            lat: parse_opt_f64(line, "lat", &f[c_lat])?,
+            lon: parse_opt_f64(line, "lon", &f[c_lon])?,
+            station_id: parse_opt_u64(line, "station_id", &f[c_station])?,
+        });
+    }
+    Ok(out)
 }
 
-/// Read the `Rental` table from CSV.
+/// Read the `Rental` table from an in-memory CSV document.
+pub fn read_rentals(text: &str) -> Result<Vec<RawRental>> {
+    read_rentals_from(text.as_bytes(), "<memory>")
+}
+
+/// Read the `Rental` table from a buffered CSV stream, line by line.
 ///
 /// Expected header:
 /// `id,bike_id,start_time,end_time,rental_location_id,return_location_id`.
-pub fn read_rentals(text: &str) -> Result<Vec<RawRental>> {
-    let (header, rows) = parse_csv(text)?;
+/// `source` labels I/O errors (typically the file path).
+pub fn read_rentals_from<R: BufRead>(reader: R, source: &str) -> Result<Vec<RawRental>> {
+    let (header, mut rows) = CsvRows::open(reader, source)?;
     let c_id = column_index(&header, "id")?;
     let c_bike = column_index(&header, "bike_id")?;
     let c_start = column_index(&header, "start_time")?;
     let c_end = column_index(&header, "end_time")?;
     let c_rent = column_index(&header, "rental_location_id")?;
     let c_ret = column_index(&header, "return_location_id")?;
-    rows.into_iter()
-        .map(|(line, f)| {
-            Ok(RawRental {
-                id: parse_u64(line, "id", &f[c_id])?,
-                bike_id: parse_u64(line, "bike_id", &f[c_bike])? as u32,
-                start_time: parse_timestamp(line, "start_time", &f[c_start])?,
-                end_time: parse_timestamp(line, "end_time", &f[c_end])?,
-                rental_location_id: parse_opt_u64(line, "rental_location_id", &f[c_rent])?,
-                return_location_id: parse_opt_u64(line, "return_location_id", &f[c_ret])?,
-            })
-        })
-        .collect()
+    let mut out = Vec::new();
+    while let Some((line, f)) = rows.next_row()? {
+        out.push(RawRental {
+            id: parse_u64(line, "id", &f[c_id])?,
+            bike_id: parse_u64(line, "bike_id", &f[c_bike])? as u32,
+            start_time: parse_timestamp(line, "start_time", &f[c_start])?,
+            end_time: parse_timestamp(line, "end_time", &f[c_end])?,
+            rental_location_id: parse_opt_u64(line, "rental_location_id", &f[c_rent])?,
+            return_location_id: parse_opt_u64(line, "return_location_id", &f[c_ret])?,
+        });
+    }
+    Ok(out)
 }
 
-/// Read the fixed-station table from CSV.
+/// Read the fixed-station table from an in-memory CSV document.
+pub fn read_stations(text: &str) -> Result<Vec<Station>> {
+    read_stations_from(text.as_bytes(), "<memory>")
+}
+
+/// Read the fixed-station table from a buffered CSV stream, line by line.
 ///
 /// Expected header: `id,name,lat,lon`. Stations must have valid coordinates;
 /// a bad row is an error rather than a defect (the station list is small and
-/// operator-curated).
-pub fn read_stations(text: &str) -> Result<Vec<Station>> {
-    let (header, rows) = parse_csv(text)?;
+/// operator-curated). `source` labels I/O errors (typically the file path).
+pub fn read_stations_from<R: BufRead>(reader: R, source: &str) -> Result<Vec<Station>> {
+    let (header, mut rows) = CsvRows::open(reader, source)?;
     let c_id = column_index(&header, "id")?;
     let c_name = column_index(&header, "name")?;
     let c_lat = column_index(&header, "lat")?;
     let c_lon = column_index(&header, "lon")?;
-    rows.into_iter()
-        .map(|(line, f)| {
-            let lat =
-                parse_opt_f64(line, "lat", &f[c_lat])?.ok_or_else(|| DataError::FieldParse {
-                    line,
-                    column: "lat".into(),
-                    value: f[c_lat].clone(),
-                })?;
-            let lon =
-                parse_opt_f64(line, "lon", &f[c_lon])?.ok_or_else(|| DataError::FieldParse {
-                    line,
-                    column: "lon".into(),
-                    value: f[c_lon].clone(),
-                })?;
-            let position = GeoPoint::new(lat, lon).map_err(|_| DataError::FieldParse {
-                line,
-                column: "lat/lon".into(),
-                value: format!("{lat},{lon}"),
-            })?;
-            Ok(Station {
-                id: parse_u64(line, "id", &f[c_id])?,
-                name: f[c_name].trim().to_owned(),
-                position,
-            })
-        })
-        .collect()
+    let mut out = Vec::new();
+    while let Some((line, f)) = rows.next_row()? {
+        let lat = parse_opt_f64(line, "lat", &f[c_lat])?.ok_or_else(|| DataError::FieldParse {
+            line,
+            column: "lat".into(),
+            value: f[c_lat].clone(),
+        })?;
+        let lon = parse_opt_f64(line, "lon", &f[c_lon])?.ok_or_else(|| DataError::FieldParse {
+            line,
+            column: "lon".into(),
+            value: f[c_lon].clone(),
+        })?;
+        let position = GeoPoint::new(lat, lon).map_err(|_| DataError::FieldParse {
+            line,
+            column: "lat/lon".into(),
+            value: format!("{lat},{lon}"),
+        })?;
+        out.push(Station {
+            id: parse_u64(line, "id", &f[c_id])?,
+            name: f[c_name].trim().to_owned(),
+            position,
+        });
+    }
+    Ok(out)
 }
 
 fn csv_quote(field: &str) -> String {
@@ -397,5 +475,52 @@ mod tests {
     fn blank_lines_are_skipped() {
         let csv = "id,lat,lon,station_id\n\n1,53.35,-6.26,\n\n";
         assert_eq!(read_locations(csv).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn streaming_reader_handles_crlf_and_reports_line_numbers() {
+        let csv = "id,lat,lon,station_id\r\n1,53.35,-6.26,\r\n\r\nbroken\r\n";
+        let err = read_locations_from(csv.as_bytes(), "test.csv").unwrap_err();
+        // The malformed row sits on raw line 4 (blank line included).
+        assert!(
+            matches!(err, DataError::MalformedRow { line: 4, .. }),
+            "{err:?}"
+        );
+        let good = "id,lat,lon,station_id\r\n1,53.35,-6.26,7\r\n";
+        let locs = read_locations_from(good.as_bytes(), "test.csv").unwrap();
+        assert_eq!(locs.len(), 1);
+        assert_eq!(locs[0].station_id, Some(7));
+    }
+
+    #[test]
+    fn streaming_reader_labels_io_errors_with_the_source() {
+        /// A reader that fails after the header line.
+        struct Flaky(usize);
+        impl std::io::Read for Flaky {
+            fn read(&mut self, _: &mut [u8]) -> std::io::Result<usize> {
+                Err(std::io::Error::other("disk on fire"))
+            }
+        }
+        impl BufRead for Flaky {
+            fn fill_buf(&mut self) -> std::io::Result<&[u8]> {
+                if self.0 == 0 {
+                    self.0 = 1;
+                    Ok(b"id,lat,lon,station_id\n")
+                } else {
+                    Err(std::io::Error::other("disk on fire"))
+                }
+            }
+            fn consume(&mut self, _amt: usize) {}
+        }
+        // The header consumes the whole first buffer; the next fill fails.
+        let err =
+            read_locations_from(std::io::BufReader::new(Flaky(0)), "rentals.csv").unwrap_err();
+        match err {
+            DataError::Io { path, message } => {
+                assert_eq!(path, "rentals.csv");
+                assert!(message.contains("disk on fire"));
+            }
+            other => panic!("expected Io error, got {other:?}"),
+        }
     }
 }

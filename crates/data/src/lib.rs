@@ -20,7 +20,12 @@
 //!   stations, ≈62 k rentals, ≈14 k distinct dockless locations, commuter
 //!   and leisure temporal profiles, deliberately injected dirty rows);
 //! * [`stats`] — dataset overview statistics (Table I) and descriptive
-//!   summaries.
+//!   summaries;
+//! * [`trips`] — the columnar [`trips::TripTable`]: struct-of-arrays
+//!   station trips (dense `u32` endpoints over a shared sorted intern
+//!   table, weekday/hour keys, weights) that the graph layer's sort-merge
+//!   CSR construction consumes — the hashmap-free hot path from cleaned
+//!   records to frozen graphs.
 //!
 //! ## Example
 //!
@@ -44,6 +49,7 @@ pub mod schema;
 pub mod stats;
 pub mod synth;
 pub mod timeparse;
+pub mod trips;
 
 use std::fmt;
 

@@ -15,6 +15,8 @@ use crate::csvio;
 use crate::schema::RawDataset;
 use crate::{DataError, Result};
 use std::fs;
+use std::fs::File;
+use std::io::BufReader;
 use std::path::Path;
 
 /// File name of the stations table inside a dataset directory.
@@ -24,12 +26,17 @@ pub const LOCATIONS_FILE: &str = "locations.csv";
 /// File name of the rentals table inside a dataset directory.
 pub const RENTALS_FILE: &str = "rentals.csv";
 
-fn read_file(dir: &Path, name: &str) -> Result<String> {
+/// Open a table file for buffered line streaming. Loading never slurps a
+/// file into one `String` — a rentals export larger than the RAM headroom
+/// only ever costs the parsed records, not the raw text on top.
+fn open_file(dir: &Path, name: &str) -> Result<(BufReader<File>, String)> {
     let path = dir.join(name);
-    fs::read_to_string(&path).map_err(|e| DataError::Io {
-        path: path.display().to_string(),
+    let display = path.display().to_string();
+    let file = File::open(&path).map_err(|e| DataError::Io {
+        path: display.clone(),
         message: e.to_string(),
-    })
+    })?;
+    Ok((BufReader::new(file), display))
 }
 
 fn write_file(dir: &Path, name: &str, content: &str) -> Result<()> {
@@ -40,17 +47,21 @@ fn write_file(dir: &Path, name: &str, content: &str) -> Result<()> {
     })
 }
 
-/// Load a raw dataset from a directory containing the three CSV files.
+/// Load a raw dataset from a directory containing the three CSV files,
+/// streaming each file line by line through a [`BufReader`].
 ///
 /// # Errors
 ///
-/// I/O failures are reported as [`DataError::Io`]; malformed rows propagate
-/// the usual CSV parsing errors.
+/// I/O failures are reported as [`DataError::Io`] (labelled with the file
+/// path); malformed rows propagate the usual CSV parsing errors.
 pub fn load_raw_dataset(dir: &Path) -> Result<RawDataset> {
+    let (stations, stations_path) = open_file(dir, STATIONS_FILE)?;
+    let (locations, locations_path) = open_file(dir, LOCATIONS_FILE)?;
+    let (rentals, rentals_path) = open_file(dir, RENTALS_FILE)?;
     Ok(RawDataset {
-        stations: csvio::read_stations(&read_file(dir, STATIONS_FILE)?)?,
-        locations: csvio::read_locations(&read_file(dir, LOCATIONS_FILE)?)?,
-        rentals: csvio::read_rentals(&read_file(dir, RENTALS_FILE)?)?,
+        stations: csvio::read_stations_from(stations, &stations_path)?,
+        locations: csvio::read_locations_from(locations, &locations_path)?,
+        rentals: csvio::read_rentals_from(rentals, &rentals_path)?,
     })
 }
 

@@ -1,0 +1,299 @@
+//! The columnar trip table — struct-of-arrays trips for hashmap-free
+//! graph construction.
+//!
+//! Cleaning produces row-of-structs [`Rental`](crate::schema::Rental)
+//! records; the graph layer
+//! wants columns. [`TripTable`] is the bridge: each trip is one row of
+//!
+//! * `src` / `dst` — the endpoint stations as dense `u32` indices into a
+//!   **shared, sorted station-intern table** (one table for every graph
+//!   built from the trips, so `GBasic`/`GDay`/`GHour` never re-derive the
+//!   id space);
+//! * `day` / `hour` — the start-time keys the temporal graphs layer by
+//!   (weekday 0–6 Monday-first, hour 0–23), computed once at table build;
+//! * `weight` — the trip's edge weight (1.0 for a plain rental).
+//!
+//! Station interning happens by **binary search over the sorted id
+//! table** — the hot per-trip path performs zero hash-map operations.
+//! One linear pass over these columns feeds the edge lists of every graph
+//! granularity (see `moby_core::temporal`), which is what replaced the
+//! per-granularity re-scans of the property store.
+
+use crate::schema::CleanDataset;
+use crate::timeparse::Timestamp;
+
+/// External station identifier (matches the graph layer's `NodeId`).
+pub type StationNodeId = u64;
+
+/// A struct-of-arrays table of station-to-station trips. See the
+/// [module docs](self).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TripTable {
+    /// Sorted external station ids; dense index = position.
+    station_ids: Vec<StationNodeId>,
+    src: Vec<u32>,
+    dst: Vec<u32>,
+    day: Vec<u8>,
+    hour: Vec<u8>,
+    weight: Vec<f64>,
+}
+
+impl TripTable {
+    /// An empty table over the given station set. Ids are sorted and
+    /// deduplicated; the sorted order defines the dense index space.
+    pub fn new(mut station_ids: Vec<StationNodeId>) -> TripTable {
+        station_ids.sort_unstable();
+        station_ids.dedup();
+        assert!(
+            station_ids.len() <= u32::MAX as usize,
+            "station index space is u32"
+        );
+        TripTable {
+            station_ids,
+            ..TripTable::default()
+        }
+    }
+
+    /// Number of trips.
+    pub fn len(&self) -> usize {
+        self.src.len()
+    }
+
+    /// Whether the table holds no trips.
+    pub fn is_empty(&self) -> bool {
+        self.src.is_empty()
+    }
+
+    /// Number of interned stations.
+    pub fn station_count(&self) -> usize {
+        self.station_ids.len()
+    }
+
+    /// The sorted external station ids (dense index = position).
+    pub fn station_ids(&self) -> &[StationNodeId] {
+        &self.station_ids
+    }
+
+    /// The dense index of an external station id (binary search — no hash
+    /// map anywhere on this path).
+    #[inline]
+    pub fn station_index(&self, id: StationNodeId) -> Option<u32> {
+        self.station_ids.binary_search(&id).ok().map(|i| i as u32)
+    }
+
+    /// The external station id at a dense index.
+    #[inline]
+    pub fn station_id(&self, index: u32) -> StationNodeId {
+        self.station_ids[index as usize]
+    }
+
+    /// Append a unit-weight trip between two dense station indices,
+    /// deriving the temporal keys from the start time.
+    #[inline]
+    pub fn push(&mut self, src: u32, dst: u32, start: Timestamp) {
+        self.push_weighted(src, dst, start, 1.0);
+    }
+
+    /// Append a weighted trip between two dense station indices.
+    ///
+    /// Non-finite or negative weights are ignored with a debug assertion,
+    /// the same boundary convention as the graph builders — so the table
+    /// always satisfies the columnar build path's validated-weights
+    /// contract.
+    pub fn push_weighted(&mut self, src: u32, dst: u32, start: Timestamp, weight: f64) {
+        debug_assert!((src as usize) < self.station_ids.len());
+        debug_assert!((dst as usize) < self.station_ids.len());
+        debug_assert!(
+            weight.is_finite() && weight >= 0.0,
+            "invalid weight {weight}"
+        );
+        if !weight.is_finite() || weight < 0.0 {
+            return;
+        }
+        self.src.push(src);
+        self.dst.push(dst);
+        self.day.push(start.weekday().index() as u8);
+        self.hour.push(start.hour() as u8);
+        self.weight.push(weight);
+    }
+
+    /// Source station column (dense indices).
+    pub fn src(&self) -> &[u32] {
+        &self.src
+    }
+
+    /// Destination station column (dense indices).
+    pub fn dst(&self) -> &[u32] {
+        &self.dst
+    }
+
+    /// Weekday-of-start column (0–6, Monday first).
+    pub fn day(&self) -> &[u8] {
+        &self.day
+    }
+
+    /// Hour-of-start column (0–23).
+    pub fn hour(&self) -> &[u8] {
+        &self.hour
+    }
+
+    /// Edge-weight column.
+    pub fn weights(&self) -> &[f64] {
+        &self.weight
+    }
+
+    /// Iterate over the trips as `(src_station_id, dst_station_id, weight)`
+    /// external-id triples in insertion order — the edge list of the
+    /// station-level trip graph, ready for a CSR builder.
+    pub fn station_edges(&self) -> impl Iterator<Item = (StationNodeId, StationNodeId, f64)> + '_ {
+        (0..self.len()).map(move |k| {
+            (
+                self.station_ids[self.src[k] as usize],
+                self.station_ids[self.dst[k] as usize],
+                self.weight[k],
+            )
+        })
+    }
+
+    /// Build a station-level trip table straight from a cleaned dataset,
+    /// using the `Location → Station` references the cleaning pipeline
+    /// validated: a trip contributes a row when **both** endpoints resolve
+    /// to a fixed station; dockless-endpoint trips are skipped (the
+    /// expansion pipeline instead builds its table against the expanded
+    /// station set after reassignment, in `moby_core`).
+    pub fn from_clean_dataset(dataset: &CleanDataset) -> TripTable {
+        let mut table = TripTable::new(dataset.stations.iter().map(|s| s.id).collect());
+        // Sorted (location id, station dense index) pairs: per-trip lookup
+        // is a binary search, never a hash probe.
+        let mut location_station: Vec<(u64, u32)> = dataset
+            .locations
+            .iter()
+            .filter_map(|l| {
+                let station = l.station_id?;
+                Some((l.id, table.station_index(station)?))
+            })
+            .collect();
+        location_station.sort_unstable();
+        let resolve = |loc: u64| -> Option<u32> {
+            location_station
+                .binary_search_by_key(&loc, |&(l, _)| l)
+                .ok()
+                .map(|at| location_station[at].1)
+        };
+        for r in &dataset.rentals {
+            let (Some(src), Some(dst)) =
+                (resolve(r.rental_location_id), resolve(r.return_location_id))
+            else {
+                continue;
+            };
+            table.push(src, dst, r.start_time);
+        }
+        table
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{Location, Rental, Station};
+    use moby_geo::GeoPoint;
+
+    fn ts(day: u32, hour: u32) -> Timestamp {
+        // 2020-06-01 is a Monday.
+        Timestamp::from_ymd_hms(2020, 6, day, hour, 0, 0).unwrap()
+    }
+
+    #[test]
+    fn interning_is_sorted_and_deduplicated() {
+        let t = TripTable::new(vec![30, 10, 20, 10]);
+        assert_eq!(t.station_ids(), &[10, 20, 30]);
+        assert_eq!(t.station_count(), 3);
+        assert_eq!(t.station_index(20), Some(1));
+        assert_eq!(t.station_index(99), None);
+        assert_eq!(t.station_id(2), 30);
+    }
+
+    #[test]
+    fn push_derives_temporal_keys() {
+        let mut t = TripTable::new(vec![1, 2]);
+        t.push(0, 1, ts(1, 8)); // Monday 08:00
+        t.push(1, 0, ts(6, 17)); // Saturday 17:00
+        t.push_weighted(0, 0, ts(7, 12), 2.5); // Sunday noon self-loop
+        assert_eq!(t.len(), 3);
+        assert!(!t.is_empty());
+        assert_eq!(t.src(), &[0, 1, 0]);
+        assert_eq!(t.dst(), &[1, 0, 0]);
+        assert_eq!(t.day(), &[0, 5, 6]);
+        assert_eq!(t.hour(), &[8, 17, 12]);
+        assert_eq!(t.weights(), &[1.0, 1.0, 2.5]);
+    }
+
+    #[test]
+    fn station_edges_yield_external_ids_in_order() {
+        let mut t = TripTable::new(vec![10, 20]);
+        t.push(0, 1, ts(1, 8));
+        t.push(1, 1, ts(2, 9));
+        let edges: Vec<_> = t.station_edges().collect();
+        assert_eq!(edges, vec![(10, 20, 1.0), (20, 20, 1.0)]);
+    }
+
+    #[test]
+    fn from_clean_dataset_resolves_station_endpoints() {
+        let pos = GeoPoint::new(53.35, -6.26).unwrap();
+        let dataset = CleanDataset {
+            stations: vec![
+                Station {
+                    id: 7,
+                    name: "A".into(),
+                    position: pos,
+                },
+                Station {
+                    id: 3,
+                    name: "B".into(),
+                    position: pos,
+                },
+            ],
+            locations: vec![
+                Location {
+                    id: 100,
+                    position: pos,
+                    station_id: Some(7),
+                },
+                Location {
+                    id: 101,
+                    position: pos,
+                    station_id: Some(3),
+                },
+                Location {
+                    id: 102,
+                    position: pos,
+                    station_id: None, // dockless
+                },
+            ],
+            rentals: vec![
+                Rental {
+                    id: 1,
+                    bike_id: 1,
+                    start_time: ts(1, 8),
+                    end_time: ts(1, 9),
+                    rental_location_id: 100,
+                    return_location_id: 101,
+                },
+                Rental {
+                    id: 2,
+                    bike_id: 1,
+                    start_time: ts(2, 10),
+                    end_time: ts(2, 11),
+                    rental_location_id: 100,
+                    return_location_id: 102, // dockless endpoint: skipped
+                },
+            ],
+        };
+        let t = TripTable::from_clean_dataset(&dataset);
+        assert_eq!(t.station_ids(), &[3, 7]);
+        assert_eq!(t.len(), 1);
+        // Station 7 has dense index 1, station 3 dense index 0.
+        assert_eq!(t.src(), &[1]);
+        assert_eq!(t.dst(), &[0]);
+    }
+}

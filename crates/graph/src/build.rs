@@ -1,0 +1,677 @@
+//! Columnar sort-merge CSR construction — the hashmap-free build path.
+//!
+//! [`WeightedGraph`](crate::WeightedGraph) builds adjacency through
+//! per-node hash maps: every inserted edge pays a hash probe per endpoint.
+//! That is fine for small graphs but it is the last hash-bound stage on the
+//! pipeline's hot path now that every *algorithm* consumes a frozen
+//! [`CsrGraph`]. This module replaces it with a columnar pipeline:
+//!
+//! 1. collect `(src, dst, weight)` triples in a struct-of-arrays
+//!    [`EdgeList`];
+//! 2. intern external [`NodeId`]s into dense `u32` indices by
+//!    **sort + dedup** over `(id, first-occurrence slot)` pairs — no hash
+//!    map, and the dense order reproduces the builder's insertion order
+//!    exactly (seeded nodes first, then endpoints in edge order);
+//! 3. bucket the half-edges by source row with a counting pass, then
+//!    **sort each row by target and merge adjacent duplicates**, summing
+//!    weights in original insertion order.
+//!
+//! Steps 2–3 are expressed as fixed-chunk passes on the
+//! [`par`] scheduler, so construction parallelises while staying
+//! **bit-identical at any thread count** (chunk boundaries never depend on
+//! the thread count, and every merge folds per-chunk results in chunk
+//! order — the module contract of [`par`]).
+//!
+//! The output is *exactly* the graph `WeightedGraph::freeze()` would have
+//! produced from the same inserts — same dense node table, same sorted
+//! rows, same bit pattern in every merged weight and cached degree — which
+//! the equivalence proptests assert at 1/2/4 build threads. The builder
+//! path survives as the compatibility baseline; this is the hot path.
+
+use crate::csr::CsrParts;
+use crate::{par, CsrGraph, NodeId};
+
+/// A struct-of-arrays list of weighted edges — the columnar intermediate
+/// between trip records and a frozen [`CsrGraph`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct EdgeList {
+    src: Vec<NodeId>,
+    dst: Vec<NodeId>,
+    weight: Vec<f64>,
+}
+
+impl EdgeList {
+    /// An empty edge list.
+    pub fn new() -> EdgeList {
+        EdgeList::default()
+    }
+
+    /// An empty edge list with pre-allocated capacity.
+    pub fn with_capacity(n: usize) -> EdgeList {
+        EdgeList {
+            src: Vec::with_capacity(n),
+            dst: Vec::with_capacity(n),
+            weight: Vec::with_capacity(n),
+        }
+    }
+
+    /// Append one edge.
+    #[inline]
+    pub fn push(&mut self, src: NodeId, dst: NodeId, weight: f64) {
+        self.src.push(src);
+        self.dst.push(dst);
+        self.weight.push(weight);
+    }
+
+    /// Number of edges.
+    pub fn len(&self) -> usize {
+        self.src.len()
+    }
+
+    /// Whether the list holds no edges.
+    pub fn is_empty(&self) -> bool {
+        self.src.is_empty()
+    }
+
+    /// Iterate over the edges as `(src, dst, weight)` in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, NodeId, f64)> + '_ {
+        self.src
+            .iter()
+            .zip(&self.dst)
+            .zip(&self.weight)
+            .map(|((&s, &d), &w)| (s, d, w))
+    }
+}
+
+impl Extend<(NodeId, NodeId, f64)> for EdgeList {
+    fn extend<T: IntoIterator<Item = (NodeId, NodeId, f64)>>(&mut self, iter: T) {
+        for (s, d, w) in iter {
+            self.push(s, d, w);
+        }
+    }
+}
+
+impl FromIterator<(NodeId, NodeId, f64)> for EdgeList {
+    fn from_iter<T: IntoIterator<Item = (NodeId, NodeId, f64)>>(iter: T) -> EdgeList {
+        let mut list = EdgeList::new();
+        list.extend(iter);
+        list
+    }
+}
+
+/// Builds a frozen [`CsrGraph`] from an [`EdgeList`] by parallel
+/// sort-merge, without touching a hash map on the per-edge path.
+///
+/// Semantics mirror [`WeightedGraph`](crate::WeightedGraph) insertion
+/// exactly:
+///
+/// * nodes are interned in first-appearance order (seeded nodes first,
+///   then `src` before `dst` within each edge);
+/// * parallel edges between the same pair merge by summing weights in
+///   insertion order;
+/// * undirected edges appear in both endpoint rows but count once in
+///   [`CsrGraph::edge_count`] / [`CsrGraph::total_weight`];
+/// * non-finite or negative weights are ignored, matching
+///   [`WeightedGraph::add_edge`](crate::WeightedGraph::add_edge)'s release
+///   behaviour.
+///
+/// See the [module docs](self) for the pipeline and the determinism
+/// contract.
+#[derive(Debug, Clone, Default)]
+pub struct CsrBuilder {
+    directed: bool,
+    seeds: Vec<NodeId>,
+    edges: EdgeList,
+    threads: Option<usize>,
+}
+
+impl CsrBuilder {
+    /// A builder for an undirected graph.
+    pub fn undirected() -> CsrBuilder {
+        CsrBuilder {
+            directed: false,
+            ..CsrBuilder::default()
+        }
+    }
+
+    /// A builder for a directed graph.
+    pub fn directed() -> CsrBuilder {
+        CsrBuilder {
+            directed: true,
+            ..CsrBuilder::default()
+        }
+    }
+
+    /// Override the worker-thread count for [`CsrBuilder::build`]. `None`
+    /// (the default) resolves `MOBY_THREADS` / the machine parallelism via
+    /// [`par::thread_count`]. The built graph is bit-identical at any
+    /// thread count; this only tunes speed.
+    pub fn threads(mut self, threads: Option<usize>) -> CsrBuilder {
+        self.threads = threads;
+        self
+    }
+
+    /// Pre-intern nodes in the given order before any edge endpoints —
+    /// the analogue of calling
+    /// [`WeightedGraph::add_node`](crate::WeightedGraph::add_node) up
+    /// front, which is how projections keep isolated stations visible.
+    /// Duplicate ids keep their first position.
+    pub fn seed_nodes<I: IntoIterator<Item = NodeId>>(&mut self, ids: I) -> &mut CsrBuilder {
+        self.seeds.extend(ids);
+        self
+    }
+
+    /// Append one edge (invalid weights are ignored; see the type docs).
+    #[inline]
+    pub fn push(&mut self, src: NodeId, dst: NodeId, weight: f64) -> &mut CsrBuilder {
+        if weight.is_finite() && weight >= 0.0 {
+            self.edges.push(src, dst, weight);
+        }
+        self
+    }
+
+    /// Append every edge of an [`EdgeList`] (invalid weights are ignored).
+    pub fn extend_edges(&mut self, edges: &EdgeList) -> &mut CsrBuilder {
+        for (s, d, w) in edges.iter() {
+            self.push(s, d, w);
+        }
+        self
+    }
+
+    /// Number of (valid) edges buffered so far.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Freeze the buffered edges into a [`CsrGraph`] by parallel
+    /// sort-merge. See the [module docs](self).
+    pub fn build(&self) -> CsrGraph {
+        let threads = par::thread_count(self.threads);
+        let m = self.edges.len();
+        assert!(
+            m <= (u32::MAX / 2) as usize,
+            "edge list exceeds the u32 CSR index space"
+        );
+
+        // --- Intern: sort (id, first-slot) pairs, dedup, order by slot. ---
+        // Seeded nodes occupy slots 0..S; edge k contributes its src at
+        // slot S + 2k and its dst at S + 2k + 1, reproducing the builder's
+        // add_node order without a hash map.
+        let mut pairs: Vec<(NodeId, u64)> = Vec::with_capacity(self.seeds.len() + 2 * m);
+        for (i, &id) in self.seeds.iter().enumerate() {
+            pairs.push((id, i as u64));
+        }
+        let base = self.seeds.len() as u64;
+        for k in 0..m {
+            pairs.push((self.edges.src[k], base + 2 * k as u64));
+            pairs.push((self.edges.dst[k], base + 2 * k as u64 + 1));
+        }
+        pairs.sort_unstable();
+        pairs.dedup_by_key(|p| p.0); // keeps the first (minimal) slot per id
+        let mut order: Vec<(u64, NodeId)> = pairs.iter().map(|&(id, slot)| (slot, id)).collect();
+        order.sort_unstable();
+        let node_ids: Vec<NodeId> = order.iter().map(|&(_, id)| id).collect();
+        let n = node_ids.len();
+        assert!(n <= u32::MAX as usize, "CSR index space is u32");
+        // Sorted-by-id lookup table for binary-search endpoint mapping.
+        let mut lookup: Vec<(NodeId, u32)> = node_ids
+            .iter()
+            .enumerate()
+            .map(|(i, &id)| (id, i as u32))
+            .collect();
+        lookup.sort_unstable();
+
+        // --- Map endpoints to dense indices (parallel, fixed chunks). ---
+        let edge_chunks = par::RowChunks::uniform(m, 64);
+        let resolve = |id: NodeId| -> u32 {
+            let at = lookup
+                .binary_search_by_key(&id, |&(id, _)| id)
+                .expect("endpoint interned");
+            lookup[at].1
+        };
+        let mapped = par::par_map(&edge_chunks, threads, |_, range| {
+            range
+                .map(|k| (resolve(self.edges.src[k]), resolve(self.edges.dst[k])))
+                .collect::<Vec<(u32, u32)>>()
+        });
+        let mut srcs: Vec<u32> = Vec::with_capacity(m);
+        let mut dsts: Vec<u32> = Vec::with_capacity(m);
+        for chunk in mapped {
+            for (s, d) in chunk {
+                srcs.push(s);
+                dsts.push(d);
+            }
+        }
+
+        assemble(
+            self.directed,
+            node_ids,
+            &srcs,
+            &dsts,
+            &self.edges.weight,
+            threads,
+        )
+    }
+}
+
+/// Build a frozen graph straight from **already-interned dense edge
+/// columns** — the zero-copy entry for columnar sources like
+/// `moby_data`'s trip table, whose rows carry dense `u32` endpoints over
+/// a known node table. Skips the intern/sort and endpoint-mapping passes
+/// of [`CsrBuilder::build`]; the sort-merge row packing and its
+/// semantics (insertion-order weight merges, builder edge-count
+/// conventions, bit-identical results at any thread count) are
+/// identical.
+///
+/// `node_ids` supplies the dense node table (dense index = position);
+/// `src[k]`/`dst[k]` must be valid indices into it and every weight must
+/// be finite and non-negative — callers validate at the boundary, as the
+/// trip table does.
+pub fn build_dense_csr(
+    directed: bool,
+    node_ids: Vec<NodeId>,
+    src: &[u32],
+    dst: &[u32],
+    weight: &[f64],
+    threads: Option<usize>,
+) -> CsrGraph {
+    assert_eq!(src.len(), dst.len(), "dense edge columns must align");
+    assert_eq!(src.len(), weight.len(), "dense edge columns must align");
+    assert!(
+        src.len() <= (u32::MAX / 2) as usize,
+        "edge list exceeds the u32 CSR index space"
+    );
+    let threads = par::thread_count(threads);
+    assemble(directed, node_ids, src, dst, weight, threads)
+}
+
+/// The shared tail of both construction entries: pack the dense edge
+/// columns into sorted merged CSR rows and assemble the frozen graph.
+fn assemble(
+    directed: bool,
+    node_ids: Vec<NodeId>,
+    srcs: &[u32],
+    dsts: &[u32],
+    weights_in: &[f64],
+    threads: usize,
+) -> CsrGraph {
+    let n = node_ids.len();
+
+    // Total weight: summed in insertion order, like the builder.
+    let mut total_weight = 0.0f64;
+    for &w in weights_in {
+        debug_assert!(w.is_finite() && w >= 0.0, "invalid weight {w}");
+        total_weight += w;
+    }
+
+    // Pack rows. Undirected edges emit both orientations (a self-loop
+    // emits once), so each endpoint's row sees every incident edge in
+    // insertion order, exactly as the builder's symmetric adjacency
+    // update does.
+    let out_half = half_edges(srcs, dsts, weights_in, directed);
+    let (offsets, targets, weights, pairs_once) = pack_rows(n, &out_half, threads);
+    let (in_offsets, in_targets, in_weights) = if directed {
+        let in_half = half_edges(dsts, srcs, weights_in, true);
+        let (io, it, iw, _) = pack_rows(n, &in_half, threads);
+        (io, it, iw)
+    } else {
+        (Vec::new(), Vec::new(), Vec::new())
+    };
+    let edge_count = if directed { targets.len() } else { pairs_once };
+
+    CsrGraph::from_parts(
+        CsrParts {
+            directed,
+            node_ids,
+            offsets,
+            targets,
+            weights,
+            in_offsets,
+            in_targets,
+            in_weights,
+            edge_count,
+            total_weight,
+        },
+        threads,
+    )
+}
+
+/// Half-edge columns: one `(row, col, weight)` record per adjacency entry,
+/// in insertion order.
+struct HalfEdges {
+    row: Vec<u32>,
+    col: Vec<u32>,
+    weight: Vec<f64>,
+}
+
+/// Expand edges into half-edges. Directed graphs emit one record per edge
+/// (`rows`/`cols` swapped by the caller for the in-adjacency); an
+/// undirected edge emits both orientations, self-loops once.
+fn half_edges(rows: &[u32], cols: &[u32], weights: &[f64], directed: bool) -> HalfEdges {
+    let m = rows.len();
+    let mut half = HalfEdges {
+        row: Vec::with_capacity(if directed { m } else { 2 * m }),
+        col: Vec::with_capacity(if directed { m } else { 2 * m }),
+        weight: Vec::with_capacity(if directed { m } else { 2 * m }),
+    };
+    for k in 0..m {
+        half.row.push(rows[k]);
+        half.col.push(cols[k]);
+        half.weight.push(weights[k]);
+        if !directed && rows[k] != cols[k] {
+            half.row.push(cols[k]);
+            half.col.push(rows[k]);
+            half.weight.push(weights[k]);
+        }
+    }
+    half
+}
+
+/// Bucket half-edges by row (stable counting pass), then sort each row by
+/// target and merge adjacent duplicates — weights summed in insertion
+/// order. Returns `(offsets, targets, weights, pairs_once)` where
+/// `pairs_once` counts merged entries with `row <= col` (the undirected
+/// edge-count convention).
+fn pack_rows(n: usize, half: &HalfEdges, threads: usize) -> (Vec<u32>, Vec<u32>, Vec<f64>, usize) {
+    let h = half.row.len();
+    assert!(h <= u32::MAX as usize, "half-edge space exceeds u32");
+
+    // Per-chunk histograms over fixed uniform chunks, merged in chunk
+    // order: provisional row counts independent of the thread count.
+    let chunks = par::RowChunks::uniform(h, 16);
+    let histograms = par::par_map(&chunks, threads, |_, range| {
+        let mut counts = vec![0u32; n];
+        for i in range {
+            counts[half.row[i] as usize] += 1;
+        }
+        counts
+    });
+    let mut offsets = vec![0u32; n + 1];
+    for counts in &histograms {
+        for (u, &c) in counts.iter().enumerate() {
+            offsets[u + 1] += c;
+        }
+    }
+    for u in 0..n {
+        offsets[u + 1] += offsets[u];
+    }
+
+    // Stable scatter: a single linear pass in insertion order, so every
+    // row's bucket lists its entries oldest-first (the merge below relies
+    // on this to reproduce the builder's accumulation order).
+    let mut bucket_col = vec![0u32; h];
+    let mut bucket_w = vec![0.0f64; h];
+    let mut cursor: Vec<u32> = offsets[..n].to_vec();
+    for i in 0..h {
+        let r = half.row[i] as usize;
+        let p = cursor[r] as usize;
+        cursor[r] += 1;
+        bucket_col[p] = half.col[i];
+        bucket_w[p] = half.weight[i];
+    }
+
+    // Per-row sort + adjacent merge, parallel over edge-balanced row
+    // chunks; per-chunk outputs concatenate in chunk order.
+    let row_chunks = par::RowChunks::balanced(&offsets, 64, 4096);
+    let merged = par::par_map(&row_chunks, threads, |_, range| {
+        let mut targets = Vec::new();
+        let mut weights = Vec::new();
+        let mut lens = Vec::with_capacity(range.len());
+        let mut pairs_once = 0usize;
+        let mut scratch: Vec<(u32, f64)> = Vec::new();
+        for u in range {
+            let lo = offsets[u] as usize;
+            let hi = offsets[u + 1] as usize;
+            scratch.clear();
+            scratch.extend(
+                bucket_col[lo..hi]
+                    .iter()
+                    .copied()
+                    .zip(bucket_w[lo..hi].iter().copied()),
+            );
+            // Stable: equal targets keep insertion order for the merge.
+            scratch.sort_by_key(|&(col, _)| col);
+            let before = targets.len();
+            let mut i = 0usize;
+            while i < scratch.len() {
+                let col = scratch[i].0;
+                let mut acc = 0.0f64;
+                while i < scratch.len() && scratch[i].0 == col {
+                    acc += scratch[i].1;
+                    i += 1;
+                }
+                targets.push(col);
+                weights.push(acc);
+                if u as u32 <= col {
+                    pairs_once += 1;
+                }
+            }
+            lens.push((targets.len() - before) as u32);
+        }
+        (targets, weights, lens, pairs_once)
+    });
+
+    let mut final_offsets = Vec::with_capacity(n + 1);
+    final_offsets.push(0u32);
+    let mut final_targets = Vec::new();
+    let mut final_weights = Vec::new();
+    let mut pairs_once = 0usize;
+    for (targets, weights, lens, pairs) in merged {
+        for len in lens {
+            final_offsets.push(final_offsets.last().unwrap() + len);
+        }
+        final_targets.extend(targets);
+        final_weights.extend(weights);
+        pairs_once += pairs;
+    }
+    // Empty row spaces (n rows, zero chunks) still need n+1 offsets.
+    while final_offsets.len() < n + 1 {
+        final_offsets.push(*final_offsets.last().unwrap());
+    }
+    (final_offsets, final_targets, final_weights, pairs_once)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::WeightedGraph;
+
+    fn sample_edges() -> Vec<(NodeId, NodeId, f64)> {
+        vec![
+            (10, 20, 3.0),
+            (20, 30, 1.0),
+            (10, 20, 2.0), // merges
+            (40, 40, 5.0), // self-loop
+            (30, 10, 0.5),
+        ]
+    }
+
+    /// Bit-strict equality between a built CSR and a frozen builder.
+    fn assert_identical(built: &CsrGraph, frozen: &CsrGraph) {
+        assert_eq!(built, frozen);
+        assert_eq!(
+            built.total_weight().to_bits(),
+            frozen.total_weight().to_bits()
+        );
+        for u in 0..frozen.node_count() {
+            let (bt, bw) = built.row(u);
+            let (ft, fw) = frozen.row(u);
+            assert_eq!(bt, ft, "row {u} targets");
+            for (a, b) in bw.iter().zip(fw) {
+                assert_eq!(a.to_bits(), b.to_bits(), "row {u} weights");
+            }
+            assert_eq!(built.strength(u).to_bits(), frozen.strength(u).to_bits());
+            assert_eq!(
+                built.weighted_degree(u).to_bits(),
+                frozen.weighted_degree(u).to_bits()
+            );
+            assert_eq!(built.self_loop(u).to_bits(), frozen.self_loop(u).to_bits());
+            let (bit, biw) = built.in_row(u);
+            let (fit, fiw) = frozen.in_row(u);
+            assert_eq!(bit, fit, "in-row {u} targets");
+            for (a, b) in biw.iter().zip(fiw) {
+                assert_eq!(a.to_bits(), b.to_bits(), "in-row {u} weights");
+            }
+        }
+    }
+
+    #[test]
+    fn undirected_build_matches_freeze() {
+        let mut g = WeightedGraph::new_undirected();
+        for &(s, d, w) in &sample_edges() {
+            g.add_edge(s, d, w);
+        }
+        for threads in [1usize, 2, 4] {
+            let mut b = CsrBuilder::undirected().threads(Some(threads));
+            for &(s, d, w) in &sample_edges() {
+                b.push(s, d, w);
+            }
+            assert_identical(&b.build(), &g.freeze());
+        }
+    }
+
+    #[test]
+    fn directed_build_matches_freeze() {
+        let mut g = WeightedGraph::new_directed();
+        for &(s, d, w) in &sample_edges() {
+            g.add_edge(s, d, w);
+        }
+        for threads in [1usize, 2, 4] {
+            let mut b = CsrBuilder::directed().threads(Some(threads));
+            for &(s, d, w) in &sample_edges() {
+                b.push(s, d, w);
+            }
+            assert_identical(&b.build(), &g.freeze());
+        }
+    }
+
+    #[test]
+    fn seeded_nodes_come_first_and_keep_isolated_nodes() {
+        let seeds = [5u64, 1, 99];
+        let mut g = WeightedGraph::new_undirected();
+        for &id in &seeds {
+            g.add_node(id);
+        }
+        g.add_edge(1, 7, 2.0);
+        let mut b = CsrBuilder::undirected();
+        b.seed_nodes(seeds);
+        b.push(1, 7, 2.0);
+        let built = b.build();
+        assert_identical(&built, &g.freeze());
+        assert_eq!(built.node_ids(), &[5, 1, 99, 7]);
+        assert_eq!(built.degree_of(99), Some(0));
+    }
+
+    #[test]
+    fn duplicate_seeds_keep_first_position() {
+        let mut b = CsrBuilder::undirected();
+        b.seed_nodes([3u64, 3, 1, 3]);
+        let built = b.build();
+        assert_eq!(built.node_ids(), &[3, 1]);
+    }
+
+    #[test]
+    fn invalid_weights_are_ignored_entirely() {
+        let mut b = CsrBuilder::undirected();
+        b.push(1, 2, f64::NAN);
+        b.push(3, 4, -1.0);
+        assert_eq!(b.edge_count(), 0);
+        let built = b.build();
+        // Like the builder, a rejected edge interns no endpoints.
+        assert!(built.is_empty());
+    }
+
+    #[test]
+    fn empty_builder_builds_empty_graph() {
+        let built = CsrBuilder::directed().build();
+        assert!(built.is_empty());
+        assert_eq!(built.edge_count(), 0);
+        assert_eq!(built.total_weight(), 0.0);
+    }
+
+    #[test]
+    fn edge_list_round_trips() {
+        let list: EdgeList = sample_edges().into_iter().collect();
+        assert_eq!(list.len(), 5);
+        assert!(!list.is_empty());
+        let back: Vec<_> = list.iter().collect();
+        assert_eq!(back, sample_edges());
+        let mut b = CsrBuilder::undirected();
+        b.extend_edges(&list);
+        assert_eq!(b.edge_count(), 5);
+        assert!(EdgeList::with_capacity(8).is_empty());
+    }
+
+    #[test]
+    fn dense_build_matches_seeded_builder() {
+        // Dense columns over a sorted node table reproduce exactly what a
+        // fully-seeded builder (and therefore a freeze) produces.
+        let node_ids: Vec<NodeId> = vec![10, 20, 30, 40, 99];
+        let dense = |id: NodeId| node_ids.iter().position(|&x| x == id).unwrap() as u32;
+        let (mut src, mut dst, mut w) = (Vec::new(), Vec::new(), Vec::new());
+        let mut g_dir = WeightedGraph::new_directed();
+        let mut g_und = WeightedGraph::new_undirected();
+        for &id in &node_ids {
+            g_dir.add_node(id);
+            g_und.add_node(id);
+        }
+        for &(a, b, weight) in &sample_edges() {
+            src.push(dense(a));
+            dst.push(dense(b));
+            w.push(weight);
+            g_dir.add_edge(a, b, weight);
+            g_und.add_edge(a, b, weight);
+        }
+        for threads in [Some(1), Some(3)] {
+            let built = build_dense_csr(true, node_ids.clone(), &src, &dst, &w, threads);
+            assert_identical(&built, &g_dir.freeze());
+            let built = build_dense_csr(false, node_ids.clone(), &src, &dst, &w, threads);
+            assert_identical(&built, &g_und.freeze());
+        }
+    }
+
+    #[test]
+    fn subgraph_matches_builder_subgraph() {
+        let mut g = WeightedGraph::new_undirected();
+        g.add_edge(1, 2, 1.0);
+        g.add_edge(2, 3, 1.5);
+        g.add_edge(3, 4, 2.0);
+        g.add_edge(2, 2, 0.5);
+        let keep = |id: NodeId| id <= 3;
+        let via_builder = g.subgraph(keep).freeze();
+        let via_csr = g.freeze().subgraph(keep);
+        assert_identical(&via_csr, &via_builder);
+    }
+
+    #[test]
+    fn build_is_bit_identical_across_thread_counts() {
+        // A larger pseudo-random list so several chunks exist.
+        let mut edges = EdgeList::new();
+        let mut x = 7u64;
+        for _ in 0..5000 {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let s = (x >> 33) % 257;
+            let d = (x >> 17) % 257;
+            let w = ((x >> 3) % 1000) as f64 / 64.0 + 0.25;
+            edges.push(s, d, w);
+        }
+        for directed in [false, true] {
+            let mk = |threads: usize| {
+                let mut b = if directed {
+                    CsrBuilder::directed()
+                } else {
+                    CsrBuilder::undirected()
+                }
+                .threads(Some(threads));
+                b.extend_edges(&edges);
+                b.build()
+            };
+            let one = mk(1);
+            for threads in [2usize, 3, 8] {
+                assert_identical(&mk(threads), &one);
+            }
+        }
+    }
+}

@@ -25,8 +25,37 @@
 //! downstream — is deterministic regardless of hash-map iteration order in
 //! the builder.
 
-use crate::{par, NodeId, WeightedGraph};
+use crate::{par, CsrBuilder, NodeId, WeightedGraph};
 use std::collections::HashMap;
+
+/// The raw arrays of a CSR graph, handed to
+/// [`CsrGraph::from_parts`] by construction paths that assemble the
+/// adjacency themselves (the freeze path and the columnar
+/// [`CsrBuilder`](crate::CsrBuilder)). Rows must already be
+/// sorted by target index with duplicates merged.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct CsrParts {
+    /// Whether the graph is directed.
+    pub directed: bool,
+    /// External node ids in dense-index order.
+    pub node_ids: Vec<NodeId>,
+    /// Out-row offsets (`n + 1` entries).
+    pub offsets: Vec<u32>,
+    /// Out-row targets, sorted per row.
+    pub targets: Vec<u32>,
+    /// Out-row merged weights, parallel to `targets`.
+    pub weights: Vec<f64>,
+    /// In-row offsets (empty for undirected graphs).
+    pub in_offsets: Vec<u32>,
+    /// In-row targets (empty for undirected graphs).
+    pub in_targets: Vec<u32>,
+    /// In-row merged weights (empty for undirected graphs).
+    pub in_weights: Vec<f64>,
+    /// Number of distinct merged edges (builder convention).
+    pub edge_count: usize,
+    /// Sum of merged edge weights, each edge counted once.
+    pub total_weight: f64,
+}
 
 /// A frozen, immutable weighted graph in compressed sparse row form.
 ///
@@ -57,11 +86,6 @@ impl CsrGraph {
         let n = graph.node_count();
         assert!(n <= u32::MAX as usize, "CSR index space is u32");
         let node_ids = graph.node_ids().to_vec();
-        let index: HashMap<NodeId, u32> = node_ids
-            .iter()
-            .enumerate()
-            .map(|(i, &id)| (id, i as u32))
-            .collect();
 
         let (offsets, targets, weights) = pack_rows(n, |i| graph.neighbors(i));
         let (in_offsets, in_targets, in_weights) = if graph.is_directed() {
@@ -69,6 +93,49 @@ impl CsrGraph {
         } else {
             (Vec::new(), Vec::new(), Vec::new())
         };
+        CsrGraph::from_parts(
+            CsrParts {
+                directed: graph.is_directed(),
+                node_ids,
+                offsets,
+                targets,
+                weights,
+                in_offsets,
+                in_targets,
+                in_weights,
+                edge_count: graph.edge_count(),
+                total_weight: graph.total_weight(),
+            },
+            par::thread_count(None),
+        )
+    }
+
+    /// Assemble a frozen graph from already-sorted-and-merged CSR arrays.
+    /// Shared by [`CsrGraph::from_weighted`] and the columnar
+    /// [`CsrBuilder`](crate::CsrBuilder), so both paths intern ids and
+    /// cache the per-node weighted degrees through the exact same sweep —
+    /// which is what makes the two construction paths bit-identical.
+    pub(crate) fn from_parts(parts: CsrParts, threads: usize) -> CsrGraph {
+        let CsrParts {
+            directed,
+            node_ids,
+            offsets,
+            targets,
+            weights,
+            in_offsets,
+            in_targets,
+            in_weights,
+            edge_count,
+            total_weight,
+        } = parts;
+        let n = node_ids.len();
+        assert!(n <= u32::MAX as usize, "CSR index space is u32");
+        debug_assert_eq!(offsets.len(), n + 1);
+        let index: HashMap<NodeId, u32> = node_ids
+            .iter()
+            .enumerate()
+            .map(|(i, &id)| (id, i as u32))
+            .collect();
 
         // Cache the per-node weighted degrees with a parallel row sweep.
         // Each row's accumulation is independent and runs in row order, so
@@ -78,7 +145,6 @@ impl CsrGraph {
         let mut self_loops = vec![0.0f64; n];
         {
             let chunks = par::RowChunks::balanced(&offsets, 64, 4096);
-            let threads = par::thread_count(None);
             let cached = par::par_map(&chunks, threads, |_, range| {
                 let mut out = Vec::with_capacity(range.len());
                 for u in range {
@@ -111,7 +177,7 @@ impl CsrGraph {
         }
 
         CsrGraph {
-            directed: graph.is_directed(),
+            directed,
             node_ids,
             index,
             offsets,
@@ -123,8 +189,8 @@ impl CsrGraph {
             strength,
             weighted_degree,
             self_loops,
-            edge_count: graph.edge_count(),
-            total_weight: graph.total_weight(),
+            edge_count,
+            total_weight,
         }
     }
 
@@ -363,6 +429,26 @@ impl CsrGraph {
             edge_count,
             total_weight,
         }
+    }
+
+    /// A frozen graph containing only the nodes for which `keep` returns
+    /// true (and the merged edges among them), preserving the relative
+    /// dense order of the kept nodes. Matches
+    /// [`WeightedGraph::subgraph`](crate::WeightedGraph::subgraph) followed
+    /// by a freeze.
+    pub fn subgraph<F: Fn(NodeId) -> bool>(&self, keep: F) -> CsrGraph {
+        let mut builder = if self.directed {
+            CsrBuilder::directed()
+        } else {
+            CsrBuilder::undirected()
+        };
+        builder.seed_nodes(self.node_ids.iter().copied().filter(|&id| keep(id)));
+        for (src, dst, w) in self.edges() {
+            if keep(src) && keep(dst) {
+                builder.push(src, dst, w);
+            }
+        }
+        builder.build()
     }
 }
 

@@ -5,7 +5,7 @@
 //! artefacts: node features carry the community/colour assignments and edge
 //! features carry the trip weights, so any GIS viewer reproduces the figure.
 
-use crate::{NodeId, WeightedGraph};
+use crate::{CsrGraph, NodeId, WeightedGraph};
 use std::collections::HashMap;
 use std::fmt::Write as _;
 
@@ -95,7 +95,7 @@ pub struct NodeFeature {
 /// `min_edge_weight` drops light edges — Fig. 2 only draws the top percentile
 /// of edge weights, which callers implement by passing the percentile value.
 pub fn to_geojson(
-    graph: &WeightedGraph,
+    graph: &CsrGraph,
     features: &HashMap<NodeId, NodeFeature>,
     min_edge_weight: f64,
 ) -> String {
@@ -115,7 +115,10 @@ pub fn to_geojson(
             .community
             .map(|c| c.to_string())
             .unwrap_or_else(|| "null".to_string());
-        let self_loops = graph.self_loop_weight(*id);
+        let self_loops = graph
+            .index_of(*id)
+            .map(|u| graph.self_loop(u as usize))
+            .unwrap_or(0.0);
         parts.push(format!(
             concat!(
                 "{{\"type\":\"Feature\",\"geometry\":{{\"type\":\"Point\",",
@@ -133,7 +136,7 @@ pub fn to_geojson(
         ));
     }
 
-    let mut edges = graph.edges();
+    let mut edges: Vec<(NodeId, NodeId, f64)> = graph.edges().collect();
     edges.sort_by_key(|a| (a.0, a.1));
     for (src, dst, w) in edges {
         if w < min_edge_weight || src == dst {
@@ -215,7 +218,7 @@ mod tests {
 
     #[test]
     fn geojson_contains_points_and_lines() {
-        let g = sample();
+        let g = sample().freeze();
         let mut feats = HashMap::new();
         for (id, lat, lon) in [(1u64, 53.35, -6.26), (2, 53.36, -6.25), (3, 53.34, -6.24)] {
             feats.insert(
@@ -241,7 +244,7 @@ mod tests {
 
     #[test]
     fn geojson_edge_weight_filter() {
-        let g = sample();
+        let g = sample().freeze();
         let mut feats = HashMap::new();
         for (id, lat, lon) in [(1u64, 53.35, -6.26), (2, 53.36, -6.25), (3, 53.34, -6.24)] {
             feats.insert(
@@ -264,7 +267,7 @@ mod tests {
 
     #[test]
     fn geojson_skips_nodes_without_features() {
-        let g = sample();
+        let g = sample().freeze();
         let mut feats = HashMap::new();
         feats.insert(
             1u64,

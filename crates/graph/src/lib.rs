@@ -10,10 +10,17 @@
 //!   carrying typed key/value properties), the analogue of the Neo4j store
 //!   that holds `Station` nodes and `TRIP` relationships;
 //! * [`WeightedGraph`] — the mutable *builder* graph: merged weighted-edge
-//!   inserts over per-node hash maps;
-//! * [`CsrGraph`] — the frozen compressed-sparse-row projection produced by
-//!   [`WeightedGraph::freeze`]; every analytical algorithm (degree/strength,
-//!   Louvain, centrality) runs on this cache-friendly representation;
+//!   inserts over per-node hash maps. Since the columnar path landed this
+//!   is the compatibility / equivalence baseline, not the hot path;
+//! * [`CsrGraph`] — the frozen compressed-sparse-row projection; every
+//!   analytical algorithm (degree/strength, Louvain, centrality) runs on
+//!   this cache-friendly representation;
+//! * [`EdgeList`] / [`CsrBuilder`] — the columnar **sort-merge
+//!   construction** path: `(src, dst, weight)` triples become a frozen
+//!   [`CsrGraph`] directly (sort by row/target + adjacent-duplicate
+//!   merge, parallelised on [`par`]), producing bit-for-bit the graph
+//!   [`WeightedGraph::freeze`] would have built — with zero per-edge hash
+//!   operations;
 //! * [`aggregate`] — the multi-edge → weighted-edge aggregation used to
 //!   build `GBasic`, `GDay` and `GHour` from raw trip relationships;
 //! * [`par`] — the deterministic parallel scheduler: edge-balanced
@@ -44,6 +51,7 @@
 #![warn(missing_docs)]
 
 pub mod aggregate;
+pub mod build;
 pub mod csr;
 pub mod export;
 mod graph;
@@ -52,6 +60,7 @@ pub mod par;
 mod store;
 mod value;
 
+pub use build::{build_dense_csr, CsrBuilder, EdgeList};
 pub use csr::CsrGraph;
 pub use graph::{NodeId, WeightedGraph};
 pub use store::{EdgeRecord, GraphStore, NodeRecord};

@@ -21,10 +21,8 @@ pub struct DegreeSummary {
 }
 
 impl DegreeSummary {
-    /// Summarise the degrees of the given node ids in `graph`. Ids not in
-    /// the graph are skipped. Returns `None` when no listed node exists.
-    pub fn for_nodes(graph: &WeightedGraph, ids: &[NodeId]) -> Option<Self> {
-        let degrees: Vec<usize> = ids.iter().filter_map(|&id| graph.degree_of(id)).collect();
+    /// Summarise a collected degree list (`None` when empty).
+    fn from_degrees(degrees: Vec<usize>) -> Option<Self> {
         if degrees.is_empty() {
             return None;
         }
@@ -39,9 +37,26 @@ impl DegreeSummary {
         })
     }
 
+    /// Summarise the degrees of the given node ids in `graph`. Ids not in
+    /// the graph are skipped. Returns `None` when no listed node exists.
+    pub fn for_nodes(graph: &WeightedGraph, ids: &[NodeId]) -> Option<Self> {
+        Self::from_degrees(ids.iter().filter_map(|&id| graph.degree_of(id)).collect())
+    }
+
     /// Summarise every node in the graph.
     pub fn for_graph(graph: &WeightedGraph) -> Option<Self> {
         Self::for_nodes(graph, graph.node_ids())
+    }
+
+    /// [`DegreeSummary::for_nodes`] over an already-frozen [`CsrGraph`]:
+    /// degrees come straight off the offsets array.
+    pub fn for_nodes_csr(graph: &CsrGraph, ids: &[NodeId]) -> Option<Self> {
+        Self::from_degrees(ids.iter().filter_map(|&id| graph.degree_of(id)).collect())
+    }
+
+    /// [`DegreeSummary::for_graph`] over an already-frozen [`CsrGraph`].
+    pub fn for_graph_csr(graph: &CsrGraph) -> Option<Self> {
+        Self::for_nodes_csr(graph, graph.node_ids())
     }
 }
 
@@ -140,5 +155,20 @@ mod tests {
         assert!(DegreeSummary::for_nodes(&g, &[999]).is_none());
         let empty = WeightedGraph::new_undirected();
         assert!(DegreeSummary::for_graph(&empty).is_none());
+    }
+
+    #[test]
+    fn csr_summary_matches_builder_summary() {
+        let g = triangle_plus_leaf();
+        let c = g.freeze();
+        assert_eq!(
+            DegreeSummary::for_graph_csr(&c),
+            DegreeSummary::for_graph(&g)
+        );
+        assert_eq!(
+            DegreeSummary::for_nodes_csr(&c, &[1, 4, 999]),
+            DegreeSummary::for_nodes(&g, &[1, 4, 999])
+        );
+        assert!(DegreeSummary::for_nodes_csr(&c, &[999]).is_none());
     }
 }

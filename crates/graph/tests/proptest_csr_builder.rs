@@ -1,0 +1,108 @@
+//! Property tests for the columnar construction path: on arbitrary edge
+//! lists with duplicates and self-loops, [`CsrBuilder`] must produce a
+//! graph **identical** to `WeightedGraph::freeze()` — same dense node
+//! table, same offsets/targets, bit-identical merged weights and cached
+//! degrees — at 1, 2 and 4 build threads, seeded and unseeded.
+
+use moby_graph::{CsrBuilder, CsrGraph, WeightedGraph};
+use proptest::prelude::*;
+
+/// Random edge list over a sparse id space; duplicates and `a == b`
+/// self-loops occur naturally.
+fn edge_list() -> impl Strategy<Value = Vec<(u64, u64, f64)>> {
+    prop::collection::vec((0u64..30, 0u64..30, 0.25f64..8.0), 1..220).prop_map(|edges| {
+        edges
+            .into_iter()
+            .map(|(a, b, w)| (a * 1_000 + 7, b * 1_000 + 7, w))
+            .collect()
+    })
+}
+
+/// Strict equality: the derived `PartialEq` plus bit-level comparison of
+/// every weight column and cached degree (`==` would let `0.0 == -0.0`
+/// slip through).
+fn assert_bit_identical(built: &CsrGraph, frozen: &CsrGraph) {
+    assert_eq!(built, frozen);
+    assert_eq!(built.node_ids(), frozen.node_ids());
+    assert_eq!(built.edge_count(), frozen.edge_count());
+    assert_eq!(
+        built.total_weight().to_bits(),
+        frozen.total_weight().to_bits()
+    );
+    for u in 0..frozen.node_count() {
+        let (bt, bw) = built.row(u);
+        let (ft, fw) = frozen.row(u);
+        assert_eq!(bt, ft, "row {u} targets");
+        for (a, b) in bw.iter().zip(fw) {
+            assert_eq!(a.to_bits(), b.to_bits(), "row {u} merged weight");
+        }
+        let (bit, biw) = built.in_row(u);
+        let (fit, fiw) = frozen.in_row(u);
+        assert_eq!(bit, fit, "in-row {u} targets");
+        for (a, b) in biw.iter().zip(fiw) {
+            assert_eq!(a.to_bits(), b.to_bits(), "in-row {u} merged weight");
+        }
+        assert_eq!(built.strength(u).to_bits(), frozen.strength(u).to_bits());
+        assert_eq!(
+            built.weighted_degree(u).to_bits(),
+            frozen.weighted_degree(u).to_bits()
+        );
+        assert_eq!(built.self_loop(u).to_bits(), frozen.self_loop(u).to_bits());
+    }
+}
+
+fn check(edges: &[(u64, u64, f64)], directed: bool, seeded: bool) {
+    let mut g = if directed {
+        WeightedGraph::new_directed()
+    } else {
+        WeightedGraph::new_undirected()
+    };
+    // Seeding mirrors how projections pre-add the full (sorted) node set so
+    // isolated nodes stay visible.
+    let mut seeds: Vec<u64> = Vec::new();
+    if seeded {
+        seeds = edges.iter().flat_map(|&(a, b, _)| [a, b]).collect();
+        seeds.push(999_999_999); // one isolated node
+        seeds.sort_unstable();
+        seeds.dedup();
+        for &id in &seeds {
+            g.add_node(id);
+        }
+    }
+    for &(a, b, w) in edges {
+        g.add_edge(a, b, w);
+    }
+    let frozen = g.freeze();
+    for threads in [1usize, 2, 4] {
+        let mut builder = if directed {
+            CsrBuilder::directed()
+        } else {
+            CsrBuilder::undirected()
+        }
+        .threads(Some(threads));
+        builder.seed_nodes(seeds.iter().copied());
+        for &(a, b, w) in edges {
+            builder.push(a, b, w);
+        }
+        assert_bit_identical(&builder.build(), &frozen);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn undirected_build_is_identical_to_freeze(edges in edge_list()) {
+        check(&edges, false, false);
+    }
+
+    #[test]
+    fn directed_build_is_identical_to_freeze(edges in edge_list()) {
+        check(&edges, true, false);
+    }
+
+    #[test]
+    fn seeded_build_is_identical_to_freeze(edges in edge_list(), directed in 0u8..2) {
+        check(&edges, directed == 1, true);
+    }
+}

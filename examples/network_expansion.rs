@@ -67,9 +67,12 @@ fn main() {
         .map(|n| (n.id, n.name.clone()))
         .collect();
     let fixed_ids = network.fixed_ids();
-    let threshold = edge_weight_percentile(&network.undirected, 99.0);
+    // The candidate graph stays on the builder representation; freeze once
+    // for the frozen-graph report API.
+    let candidate_csr = network.undirected.freeze();
+    let threshold = edge_weight_percentile(&candidate_csr, 99.0);
     let geojson = network_geojson(
-        &network.undirected,
+        &candidate_csr,
         &positions,
         &names,
         &|id| fixed_ids.contains(&id),

@@ -16,35 +16,47 @@
 //! * [`core`] — the paper's pipeline: candidate generation, station
 //!   selection (Algorithm 1), temporal graphs and community validation.
 //!
-//! ## Architecture: the builder / frozen graph lifecycle
+//! ## Architecture: columnar build → frozen graph lifecycle
 //!
 //! The analytical core follows a **two-phase graph lifecycle**:
 //!
-//! 1. **Build.** [`graph::WeightedGraph`] is the mutable *builder*: node
-//!    interning and merged weighted-edge inserts backed by per-node hash
-//!    maps. Projections from the property store
-//!    ([`graph::GraphStore`] via [`graph::aggregate`]) produce builders.
-//! 2. **Freeze.** `WeightedGraph::freeze()` produces an immutable
-//!    [`graph::CsrGraph`]: compressed sparse row adjacency
-//!    (`offsets`/`targets`/`weights`, rows sorted by target), an interned
-//!    dense `NodeId → u32` table, and cached per-node weighted degrees.
-//!    Every hot algorithm — Louvain, label propagation, modularity,
-//!    PageRank, centrality, clustering, components, path metrics — walks
-//!    the frozen CSR rows; the `*_csr` entry points consume an
-//!    already-frozen graph and the builder-graph entry points freeze once
-//!    and delegate.
+//! 1. **Build (columnar).** Cleaning emits a struct-of-arrays
+//!    [`data::trips::TripTable`] — dense `u32` station endpoints over one
+//!    shared sorted intern table, weekday/hour keys, weights. Graph
+//!    construction goes straight from those columns to a frozen graph via
+//!    [`graph::CsrBuilder`] / [`graph::build_dense_csr`]: **sort-merge
+//!    construction** (sort by row and target, merge adjacent duplicates
+//!    in insertion order) expressed as fixed-chunk passes on the
+//!    [`graph::par`] scheduler — zero per-edge hash operations, parallel
+//!    yet bit-identical at any thread count. One pass over the trip
+//!    table emits the edge lists for all three temporal granularities
+//!    ([`core::temporal::build_all_from_trips`]).
+//! 2. **Freeze.** The product is an immutable [`graph::CsrGraph`]:
+//!    compressed sparse row adjacency (`offsets`/`targets`/`weights`,
+//!    rows sorted by target), an interned dense `NodeId → u32` table, and
+//!    cached per-node weighted degrees. Every hot algorithm — Louvain,
+//!    label propagation, modularity, PageRank, centrality, clustering,
+//!    components, path metrics — walks the frozen CSR rows; the `*_csr`
+//!    entry points consume an already-frozen graph.
 //!
-//! **Which layer owns freezing:** the temporal layer. Each
-//! [`core::temporal::TemporalGraph`] freezes its (possibly layered)
-//! station graph once at construction, and the pipeline freezes the
-//! directed trip graph once and shares it across the three granularities
-//! (`GBasic`, `GDay`, `GHour`) — detection, modularity scoring, station
+//! **Which layer owns freezing:** the selected-network/temporal layer.
+//! [`core::reassign::build_selected_network`] freezes the directed and
+//! undirected trip graphs once from the trip table, and
+//! [`core::temporal::build_all_from_trips`] freezes each granularity's
+//! (possibly layered) graph once — detection, modularity scoring, station
 //! folding and the per-community trip tables all read the same frozen
-//! graphs; adjacency is never re-derived downstream. The legacy hash-map
-//! walks survive as `*_hashmap` baselines so the criterion benches
-//! (`crates/bench/benches/csr.rs`) can keep demonstrating the frozen
-//! path's advantage, and the property tests can keep proving the two
-//! representations agree.
+//! graphs; adjacency is never re-derived downstream.
+//!
+//! The legacy mutable builder, [`graph::WeightedGraph`] (per-node
+//! hash-map adjacency, `freeze()` to CSR), survives **off the hot path**
+//! as the compatibility and equivalence baseline: `CsrBuilder` output is
+//! bit-identical to `WeightedGraph::freeze()` by construction, proptests
+//! enforce it at 1/2/4 build threads, the synthetic-dataset suite proves
+//! the columnar pipeline reproduces the legacy store-projection pipeline
+//! partition-for-partition, and the benches
+//! (`crates/bench/benches/csr.rs`, the `bench_smoke` construction bench)
+//! keep measuring what the columnar path buys. See `DESIGN.md` for the
+//! construction pipeline's internals.
 //!
 //! ## Parallelism: the deterministic execution layer
 //!

@@ -1,17 +1,25 @@
-//! Acceptance check for the freeze-to-CSR refactor: on the synthetic
+//! Acceptance checks for the frozen-CSR refactors: on the synthetic
 //! Dublin dataset, the frozen-CSR community path must reproduce the legacy
 //! `WeightedGraph` (hash-map) path — Louvain partitions exactly,
 //! modularity within float-accumulation tolerance — at every temporal
-//! granularity. The parallel execution layer must additionally reproduce
-//! the serial CSR results bit-for-bit at every tested thread count.
+//! granularity; the parallel execution layer must reproduce the serial
+//! CSR results bit-for-bit at every tested thread count; and the columnar
+//! sort-merge construction path (PR 3) must produce graphs — and
+//! therefore partitions — **bitwise identical** to the pre-refactor
+//! store-projection pipeline.
 
 use moby_expansion::community::{
     louvain_csr, louvain_hashmap, modularity_csr, modularity_csr_threads, modularity_hashmap,
     LouvainConfig,
 };
+use moby_expansion::core::candidate::TRIP_LABEL;
+use moby_expansion::core::detect::{detect_communities, DetectConfig};
 use moby_expansion::core::pipeline::{ExpansionPipeline, PipelineConfig};
-use moby_expansion::core::temporal::{build_temporal_graph, TemporalGranularity};
+use moby_expansion::core::temporal::{
+    build_all_from_trips, build_temporal_graph, TemporalGranularity,
+};
 use moby_expansion::data::synth::{generate, SynthConfig};
+use moby_expansion::graph::aggregate;
 use moby_expansion::graph::metrics::{pagerank_csr, PageRankConfig};
 
 #[test]
@@ -24,9 +32,10 @@ fn csr_louvain_matches_hashmap_louvain_on_synthetic_dataset() {
     let cfg = LouvainConfig::default();
     for granularity in TemporalGranularity::ALL {
         let temporal = build_temporal_graph(&outcome.selected.store, granularity);
+        let builder = temporal.builder.as_ref().expect("legacy path");
 
         let p_csr = louvain_csr(&temporal.csr, &cfg);
-        let p_hash = louvain_hashmap(&temporal.graph, &cfg);
+        let p_hash = louvain_hashmap(builder, &cfg);
         assert_eq!(
             p_csr,
             p_hash,
@@ -35,7 +44,7 @@ fn csr_louvain_matches_hashmap_louvain_on_synthetic_dataset() {
         );
 
         let q_csr = modularity_csr(&temporal.csr, &p_csr);
-        let q_hash = modularity_hashmap(&temporal.graph, &p_hash);
+        let q_hash = modularity_hashmap(builder, &p_hash);
         assert!(
             (q_csr - q_hash).abs() < 1e-9,
             "{}: csr Q {q_csr} vs hashmap Q {q_hash}",
@@ -85,10 +94,10 @@ fn parallel_execution_matches_serial_on_synthetic_dataset() {
     }
 
     // PageRank over the directed trip graph, the paper's station-prominence
-    // descriptor.
-    let directed = outcome.selected.directed.freeze();
+    // descriptor. The pipeline's directed graph is already frozen.
+    let directed = &outcome.selected.directed;
     let serial_pr = pagerank_csr(
-        &directed,
+        directed,
         &PageRankConfig {
             threads: Some(1),
             ..Default::default()
@@ -96,7 +105,7 @@ fn parallel_execution_matches_serial_on_synthetic_dataset() {
     );
     for t in [2usize, 4] {
         let parallel_pr = pagerank_csr(
-            &directed,
+            directed,
             &PageRankConfig {
                 threads: Some(t),
                 ..Default::default()
@@ -113,21 +122,86 @@ fn parallel_execution_matches_serial_on_synthetic_dataset() {
     }
 }
 
+/// PR 3 acceptance: the columnar sort-merge construction — trip table →
+/// edge lists for all three granularities → `CsrBuilder` — must produce
+/// graphs identical to the pre-refactor store-projection path (hash-map
+/// builders + freeze), and identical detections on top of them.
 #[test]
-fn frozen_graph_agrees_with_builder_on_the_selected_network() {
+fn columnar_construction_matches_legacy_store_projection() {
     let raw = generate(&SynthConfig::small_test());
     let outcome = ExpansionPipeline::new(PipelineConfig::default())
         .run(&raw)
         .expect("pipeline runs");
+    let selected = &outcome.selected;
 
-    for g in [&outcome.selected.undirected, &outcome.selected.directed] {
-        let c = g.freeze();
-        assert_eq!(c.node_count(), g.node_count());
-        assert_eq!(c.edge_count(), g.edge_count());
-        assert!((c.total_weight() - g.total_weight()).abs() < 1e-9);
-        for (u, &id) in g.node_ids().iter().enumerate() {
-            assert_eq!(c.degree(u), g.degree(u), "degree of station {id}");
-            assert!((c.strength(u) - g.strength(u)).abs() < 1e-9);
-        }
+    // The frozen directed/undirected trip graphs the pipeline built
+    // columnar must equal the legacy projections of the property store.
+    let legacy_directed = aggregate::project_directed(&selected.store, TRIP_LABEL).freeze();
+    let legacy_undirected = aggregate::project_undirected(&selected.store, TRIP_LABEL).freeze();
+    assert_eq!(selected.directed, legacy_directed, "directed trip graph");
+    assert_eq!(
+        selected.undirected, legacy_undirected,
+        "undirected trip graph"
+    );
+
+    // Each granularity's frozen graph — and the detection on it — must be
+    // bitwise identical between the two construction paths.
+    let old_ids = selected.fixed_ids();
+    let columnar = build_all_from_trips(&selected.trips, Some(&selected.undirected), None);
+    let stored = [
+        &outcome.communities.basic,
+        &outcome.communities.day,
+        &outcome.communities.hour,
+    ];
+    for (temporal, stored_detection) in columnar.iter().zip(stored) {
+        let granularity = temporal.granularity;
+        let legacy = build_temporal_graph(&selected.store, granularity);
+        assert_eq!(
+            temporal.csr, legacy.csr,
+            "{granularity:?}: columnar CSR diverged from store projection"
+        );
+        assert_eq!(temporal.layer_map, legacy.layer_map, "{granularity:?} map");
+
+        let legacy_detection = detect_communities(
+            &legacy,
+            &legacy_directed,
+            &old_ids,
+            &DetectConfig::default(),
+        );
+        assert_eq!(
+            stored_detection.station_partition, legacy_detection.station_partition,
+            "{granularity:?}: partitions diverged between construction paths"
+        );
+        assert_eq!(
+            stored_detection.modularity.to_bits(),
+            legacy_detection.modularity.to_bits(),
+            "{granularity:?}: modularity diverged between construction paths"
+        );
+    }
+}
+
+#[test]
+fn frozen_graph_agrees_with_trip_table_on_the_selected_network() {
+    let raw = generate(&SynthConfig::small_test());
+    let outcome = ExpansionPipeline::new(PipelineConfig::default())
+        .run(&raw)
+        .expect("pipeline runs");
+    let selected = &outcome.selected;
+
+    // The trip table conserves every rental and the frozen graphs carry
+    // exactly its weight.
+    assert_eq!(selected.trips.len(), outcome.dataset.rentals.len());
+    let total: f64 = selected.trips.weights().iter().sum();
+    assert_eq!(selected.directed.total_weight(), total);
+    assert_eq!(selected.undirected.total_weight(), total);
+    assert_eq!(
+        selected.directed.node_count(),
+        selected.trips.station_count()
+    );
+    // Every trip endpoint is a station of the frozen graphs.
+    for (src, dst, w) in selected.trips.station_edges() {
+        assert!(selected.directed.contains(src));
+        assert!(selected.directed.contains(dst));
+        assert!(w > 0.0);
     }
 }

@@ -9,6 +9,10 @@
 //! * times **graph construction** both ways — the legacy hash-map
 //!   builder-freeze path against the columnar sort-merge build, at 1 and
 //!   N threads — verifying the two paths produce identical frozen graphs;
+//! * times **incremental ingestion** — applying a small trip batch as a
+//!   `CsrDelta` against rebuilding the graphs from the concatenated
+//!   table, *verifying the delta output is bit-identical to the rebuild*
+//!   (the PR 4 equivalence contract — any divergence panics, failing CI);
 //!
 //! and writes the timings to a `BENCH_*.json` file that the `bench-smoke`
 //! CI job uploads as a workflow artifact. This is where the repo's perf
@@ -16,15 +20,18 @@
 //!
 //! ```text
 //! cargo run --release -p moby-bench --bin bench_smoke -- \
-//!     [--scale small|medium|paper] [--threads N] [--out BENCH_pr3.json]
+//!     [--scale small|medium|paper] [--threads N] [--out BENCH_pr4.json]
 //! ```
 
 use moby_bench::{run_pipeline, Scale};
 use moby_community::{louvain_csr, modularity_csr_threads, LouvainConfig};
 use moby_core::candidate::TRIP_LABEL;
-use moby_core::temporal::{build_all_from_trips, build_temporal_graph, TemporalGranularity};
+use moby_core::temporal::{
+    apply_batch_all, build_all_from_trips, build_temporal_graph, TemporalGranularity,
+};
+use moby_data::trips::{TripBatch, TripTable};
 use moby_graph::metrics::{pagerank_csr, PageRankConfig};
-use moby_graph::{aggregate, build_dense_csr, par, CsrGraph};
+use moby_graph::{aggregate, build_dense_csr, par, CsrDelta, CsrGraph};
 use std::time::Instant;
 
 /// Timing repetitions per measurement; the minimum is reported.
@@ -181,6 +188,168 @@ fn smoke_directed_construction(
     }
 }
 
+/// Timings for incremental ingestion: applying a small trip batch as a
+/// delta against rebuilding from the concatenated table.
+struct DeltaResult {
+    name: String,
+    base_rows: usize,
+    batch_rows: usize,
+    nodes: usize,
+    edges: usize,
+    apply_ms: f64,
+    rebuild_ms: f64,
+}
+
+impl DeltaResult {
+    fn speedup_vs_rebuild(&self) -> f64 {
+        if self.apply_ms > 0.0 {
+            self.rebuild_ms / self.apply_ms
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Split the pipeline's trip table into a base and a small trailing
+/// batch, then time delta-apply against full rebuild for the directed
+/// trip graph and for all three temporal graphs — panicking unless every
+/// delta output is **bit-identical** to the one-shot rebuild (the PR 4
+/// equivalence contract).
+fn smoke_delta(
+    outcome: &moby_core::pipeline::ExpansionOutcome,
+    threads: usize,
+) -> Vec<DeltaResult> {
+    let full = &outcome.selected.trips;
+    let m = full.len();
+    let batch_rows = (m / 64).max(1).min(m);
+    let base_rows = m - batch_rows;
+    let mut base = TripTable::new(full.station_ids().to_vec());
+    for k in 0..base_rows {
+        base.push_keyed(
+            full.src()[k],
+            full.dst()[k],
+            full.day()[k],
+            full.hour()[k],
+            full.weights()[k],
+        );
+    }
+    let mut batch = TripBatch::new();
+    for k in base_rows..m {
+        batch.push_keyed(
+            full.station_id(full.src()[k]),
+            full.station_id(full.dst()[k]),
+            full.day()[k],
+            full.hour()[k],
+            full.weights()[k],
+        );
+    }
+
+    // The appended table must reproduce the pipeline's table exactly.
+    let mut appended = base.clone();
+    let append_outcome = appended.append_batch(&batch);
+    assert_eq!(
+        &appended, full,
+        "incremental append diverged from the one-pass trip table"
+    );
+
+    // --- Directed trip graph: delta vs rebuild. ---
+    let build_directed = |t: &TripTable, threads: usize| {
+        build_dense_csr(
+            true,
+            t.station_ids().to_vec(),
+            t.src(),
+            t.dst(),
+            t.weights(),
+            Some(threads),
+        )
+    };
+    let base_directed = build_directed(&base, threads);
+    let bs = append_outcome.batch_start;
+    let apply_directed = || {
+        let delta = CsrDelta::from_dense(
+            true,
+            appended.station_ids().to_vec(),
+            append_outcome.old_to_new.clone(),
+            &appended.src()[bs..],
+            &appended.dst()[bs..],
+            &appended.weights()[bs..],
+        );
+        base_directed.apply_delta(&delta, Some(threads))
+    };
+    let rebuilt = build_directed(&appended, threads);
+    let applied = apply_directed();
+    assert_eq!(
+        applied, rebuilt,
+        "directed trip graph: delta apply diverged from full rebuild"
+    );
+    assert_eq!(
+        applied.total_weight().to_bits(),
+        rebuilt.total_weight().to_bits(),
+        "directed trip graph: total weight bits diverged"
+    );
+    let mut results = vec![DeltaResult {
+        name: "delta/directed_trips".into(),
+        base_rows,
+        batch_rows,
+        nodes: rebuilt.node_count(),
+        edges: rebuilt.edge_count(),
+        apply_ms: time_min(|| {
+            std::hint::black_box(apply_directed());
+        }),
+        rebuild_ms: time_min(|| {
+            std::hint::black_box(build_directed(&appended, threads));
+        }),
+    }];
+
+    // --- All three temporal graphs: one batch pass vs one-shot build. ---
+    // `apply_batch_all` consumes its inputs (layer maps move instead of
+    // cloning), so each timed invocation draws a pre-made clone from a
+    // pool — the clone cost stays outside the measurement.
+    let base_temporals = build_all_from_trips(&base, None, Some(threads));
+    let advanced = apply_batch_all(
+        base_temporals.clone(),
+        &appended,
+        &append_outcome,
+        None,
+        Some(threads),
+    );
+    let rebuilt_temporals = build_all_from_trips(&appended, None, Some(threads));
+    for (got, want) in advanced.iter().zip(&rebuilt_temporals) {
+        assert_eq!(
+            got.csr, want.csr,
+            "{:?}: temporal delta diverged from full rebuild",
+            got.granularity
+        );
+        assert_eq!(
+            got.layer_map, want.layer_map,
+            "{:?}: temporal layer map diverged",
+            got.granularity
+        );
+    }
+    let mut pool: Vec<_> = (0..REPS).map(|_| base_temporals.clone()).collect();
+    results.push(DeltaResult {
+        name: "delta/temporal_all".into(),
+        base_rows,
+        batch_rows,
+        nodes: rebuilt_temporals.iter().map(|t| t.csr.node_count()).sum(),
+        edges: rebuilt_temporals.iter().map(|t| t.csr.edge_count()).sum(),
+        apply_ms: time_min(|| {
+            let input = pool.pop().expect("one pre-made clone per rep");
+            std::hint::black_box(apply_batch_all(
+                input,
+                &appended,
+                &append_outcome,
+                None,
+                Some(threads),
+            ));
+        }),
+        rebuild_ms: time_min(|| {
+            std::hint::black_box(build_all_from_trips(&appended, None, Some(threads)));
+        }),
+    });
+    results
+}
+
 /// Time Louvain serially and in parallel on one frozen graph, panicking if
 /// the partitions or modularity scores are not identical.
 fn smoke_louvain(name: &str, graph: &CsrGraph, threads: usize) -> SmokeResult {
@@ -259,7 +428,7 @@ fn smoke_pagerank(name: &str, graph: &CsrGraph, threads: usize) -> SmokeResult {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut scale = Scale::Medium;
-    let mut out = String::from("BENCH_pr3.json");
+    let mut out = String::from("BENCH_pr4.json");
     let mut threads = par::thread_count(None).max(2);
     let mut i = 0;
     while i < args.len() {
@@ -331,6 +500,9 @@ fn main() {
         smoke_temporal_construction(&outcome, threads),
     ];
 
+    println!("\ntiming incremental ingestion (delta apply vs full rebuild) ...");
+    let deltas = smoke_delta(&outcome, threads);
+
     println!(
         "\n{:<22} {:>8} {:>9} {:>12} {:>12} {:>9}",
         "bench", "nodes", "edges", "serial(ms)", "parallel(ms)", "speedup"
@@ -363,7 +535,25 @@ fn main() {
         );
     }
 
-    let json = render_json(scale, threads, &results, &construction);
+    println!(
+        "\n{:<22} {:>9} {:>7} {:>8} {:>9} {:>10} {:>11} {:>11}",
+        "delta", "base", "batch", "nodes", "edges", "apply(ms)", "rebuild(ms)", "vs rebuild"
+    );
+    for r in &deltas {
+        println!(
+            "{:<22} {:>9} {:>7} {:>8} {:>9} {:>10.2} {:>11.2} {:>10.2}x",
+            r.name,
+            r.base_rows,
+            r.batch_rows,
+            r.nodes,
+            r.edges,
+            r.apply_ms,
+            r.rebuild_ms,
+            r.speedup_vs_rebuild()
+        );
+    }
+
+    let json = render_json(scale, threads, &results, &construction, &deltas);
     match std::fs::write(&out, &json) {
         Ok(()) => println!("\nwrote {out} ({} bytes)", json.len()),
         Err(e) => {
@@ -384,19 +574,21 @@ fn render_json(
     threads: usize,
     results: &[SmokeResult],
     construction: &[ConstructionResult],
+    deltas: &[DeltaResult],
 ) -> String {
     let host = std::thread::available_parallelism()
         .map(|p| p.get())
         .unwrap_or(1);
     let mut s = String::new();
     s.push_str("{\n");
-    s.push_str("  \"schema\": \"moby-bench-smoke/v2\",\n");
+    s.push_str("  \"schema\": \"moby-bench-smoke/v3\",\n");
     s.push_str(&format!("  \"scale\": \"{}\",\n", scale.name()));
     s.push_str(&format!("  \"parallel_threads\": {threads},\n"));
     s.push_str(&format!("  \"host_parallelism\": {host},\n"));
     s.push_str(
-        "  \"determinism\": \"bit-identical serial vs parallel and \
-         hashmap-freeze vs sort-merge (verified)\",\n",
+        "  \"determinism\": \"bit-identical serial vs parallel, \
+         hashmap-freeze vs sort-merge, and delta-apply vs full rebuild \
+         (verified)\",\n",
     );
     s.push_str("  \"benches\": [\n");
     for (i, r) in results.iter().enumerate() {
@@ -427,6 +619,24 @@ fn render_json(
             r.sortmerge_nt_ms,
             r.speedup_vs_hashmap(),
             if i + 1 < construction.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ],\n");
+    s.push_str("  \"delta\": [\n");
+    for (i, r) in deltas.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"name\": \"{}\", \"base_rows\": {}, \"batch_rows\": {}, \
+             \"nodes\": {}, \"edges\": {}, \"apply_ms\": {:.3}, \
+             \"rebuild_ms\": {:.3}, \"speedup_vs_rebuild\": {:.3}}}{}\n",
+            r.name,
+            r.base_rows,
+            r.batch_rows,
+            r.nodes,
+            r.edges,
+            r.apply_ms,
+            r.rebuild_ms,
+            r.speedup_vs_rebuild(),
+            if i + 1 < deltas.len() { "," } else { "" }
         ));
     }
     s.push_str("  ]\n}\n");

@@ -63,6 +63,9 @@ pub enum CoreError {
     NoRentals,
     /// A configuration threshold was invalid.
     InvalidConfig(String),
+    /// An ingested trip batch referenced a station the selected network
+    /// does not contain.
+    UnknownStation(u64),
     /// An internal invariant was violated (bug); the message describes it.
     Internal(String),
 }
@@ -73,6 +76,9 @@ impl fmt::Display for CoreError {
             CoreError::NoStations => write!(f, "dataset contains no usable fixed stations"),
             CoreError::NoRentals => write!(f, "dataset contains no rentals"),
             CoreError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            CoreError::UnknownStation(id) => {
+                write!(f, "trip batch references unknown station {id}")
+            }
             CoreError::Internal(msg) => write!(f, "internal error: {msg}"),
         }
     }
@@ -95,5 +101,6 @@ mod tests {
             .contains('x'));
         assert!(CoreError::Internal("y".into()).to_string().contains('y'));
         assert!(!CoreError::NoRentals.to_string().is_empty());
+        assert!(CoreError::UnknownStation(42).to_string().contains("42"));
     }
 }

@@ -12,9 +12,9 @@ use crate::selection::SelectionOutcome;
 use crate::{CoreError, Result};
 use moby_cluster::assign::StationAssigner;
 use moby_data::schema::{CleanDataset, LocationId};
-use moby_data::trips::TripTable;
+use moby_data::trips::{AppendOutcome, TripBatch, TripTable};
 use moby_geo::GeoPoint;
-use moby_graph::{build_dense_csr, props, CsrGraph, GraphStore, NodeId, PropValue};
+use moby_graph::{build_dense_csr, props, CsrDelta, CsrGraph, GraphStore, NodeId, PropValue};
 use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, HashSet};
 
@@ -114,6 +114,106 @@ impl SelectedNetwork {
     /// Look up a station by id.
     pub fn station(&self, id: NodeId) -> Option<&FinalStation> {
         self.stations.iter().find(|s| s.id == id)
+    }
+
+    /// Ingest a batch of new trips — the streaming entry point of the
+    /// construction layer.
+    ///
+    /// Appends the batch to the columnar [`trips`](SelectedNetwork::trips)
+    /// table, advances the frozen
+    /// [`directed`](SelectedNetwork::directed) /
+    /// [`undirected`](SelectedNetwork::undirected) graphs by
+    /// [`CsrGraph::apply_delta`] (bit-identical to rebuilding them from
+    /// the concatenated table, untouched rows copied rather than
+    /// re-merged), records the trips in the property store for the
+    /// reporting layer, and updates Table III — trip counters
+    /// incrementally from the batch, edge counters from the merged rows.
+    /// Feed the returned [`AppendOutcome`] to
+    /// [`temporal::apply_batch_all`](crate::temporal::apply_batch_all) to
+    /// advance the `GBasic`/`GDay`/`GHour` graphs from the same batch.
+    ///
+    /// The station set of a selected network is fixed by the expansion
+    /// run, so every batch endpoint must be a known station.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::UnknownStation`] when a batch endpoint is not a
+    /// station of this network — in the trip table *or* in the property
+    /// store. Validation happens before any mutation, so a failed ingest
+    /// leaves the network untouched.
+    pub fn ingest_batch(
+        &mut self,
+        batch: &TripBatch,
+        threads: Option<usize>,
+    ) -> Result<AppendOutcome> {
+        // Validate every endpoint against both stateful sinks up front:
+        // everything after this loop is infallible, so the network never
+        // ends up with a half-applied batch.
+        for (src, dst, ..) in batch.iter() {
+            for id in [src, dst] {
+                if self.trips.station_index(id).is_none() || !self.store.contains_node(id) {
+                    return Err(CoreError::UnknownStation(id));
+                }
+            }
+        }
+        let outcome = self.trips.append_batch(batch);
+        debug_assert!(
+            outcome.old_to_new.is_none(),
+            "validated batches never intern new stations"
+        );
+
+        // Advance the frozen trip graphs row-by-row from the batch columns.
+        let bs = outcome.batch_start;
+        let (src, dst, w) = (
+            &self.trips.src()[bs..],
+            &self.trips.dst()[bs..],
+            &self.trips.weights()[bs..],
+        );
+        let station_ids = self.trips.station_ids().to_vec();
+        let delta = CsrDelta::from_dense(true, station_ids.clone(), None, src, dst, w);
+        self.directed = self.directed.apply_delta(&delta, threads);
+        let delta = CsrDelta::from_dense(false, station_ids, None, src, dst, w);
+        self.undirected = self.undirected.apply_delta(&delta, threads);
+
+        // Full-fidelity record for the reporting layer's profiles. Both
+        // endpoints were validated against the store above, so adding the
+        // edge cannot fail.
+        for (src, dst, day, hour, _) in batch.iter() {
+            self.store
+                .add_edge(
+                    src,
+                    dst,
+                    TRIP_LABEL,
+                    props([
+                        ("day", PropValue::from(i64::from(day))),
+                        ("hour", PropValue::from(i64::from(hour))),
+                    ]),
+                )
+                .expect("endpoints validated against the store");
+        }
+
+        // Table III: trip counters advance from the batch rows alone;
+        // edge counters re-tally from the merged directed rows (distinct
+        // edges can only be counted there).
+        let fixed_dense = fixed_flags(&self.stations, &self.trips);
+        for k in bs..self.trips.len() {
+            tally_trip(
+                &fixed_dense,
+                self.trips.src()[k],
+                self.trips.dst()[k],
+                &mut self.table.pre_existing,
+                &mut self.table.selected,
+            );
+        }
+        self.table.total_trips = self.trips.len();
+        self.table.total_edges = tally_edges(
+            &fixed_dense,
+            &self.trips,
+            &self.directed,
+            &mut self.table.pre_existing,
+            &mut self.table.selected,
+        );
+        Ok(outcome)
     }
 }
 
@@ -273,44 +373,46 @@ pub fn build_selected_network(
     })
 }
 
-fn build_table(
-    stations: &[FinalStation],
-    trips: &TripTable,
-    directed: &CsrGraph,
-) -> SelectedGraphTable {
-    // Dense per-station fixed flags (trip table order), so the per-trip
-    // tally below is an array index, not a set probe.
+/// Dense per-station fixed flags (trip table order), so the per-trip
+/// tallies are an array index, not a set probe.
+fn fixed_flags(stations: &[FinalStation], trips: &TripTable) -> Vec<bool> {
     let mut fixed_dense = vec![false; trips.station_count()];
-    let mut fixed_count = 0usize;
     for s in stations {
         if s.is_fixed {
             fixed_dense[trips.station_index(s.id).expect("final station interned") as usize] = true;
-            fixed_count += 1;
         }
     }
-    let mut pre = GroupRow {
-        stations: fixed_count,
-        ..Default::default()
-    };
-    let mut sel = GroupRow {
-        stations: stations.len() - fixed_count,
-        ..Default::default()
-    };
+    fixed_dense
+}
 
-    // Trips per group (every rental counted once per endpoint role).
-    for (&src, &dst) in trips.src().iter().zip(trips.dst()) {
-        if fixed_dense[src as usize] {
-            pre.trips_from += 1;
-        } else {
-            sel.trips_from += 1;
-        }
-        if fixed_dense[dst as usize] {
-            pre.trips_to += 1;
-        } else {
-            sel.trips_to += 1;
-        }
+/// Count one trip into the per-group from/to counters.
+#[inline]
+fn tally_trip(fixed_dense: &[bool], src: u32, dst: u32, pre: &mut GroupRow, sel: &mut GroupRow) {
+    if fixed_dense[src as usize] {
+        pre.trips_from += 1;
+    } else {
+        sel.trips_from += 1;
     }
-    // Distinct directed edges per group, straight off the frozen rows.
+    if fixed_dense[dst as usize] {
+        pre.trips_to += 1;
+    } else {
+        sel.trips_to += 1;
+    }
+}
+
+/// Re-tally the distinct directed edges per group straight off the frozen
+/// rows (resetting the groups' edge counters) and return the total.
+fn tally_edges(
+    fixed_dense: &[bool],
+    trips: &TripTable,
+    directed: &CsrGraph,
+    pre: &mut GroupRow,
+    sel: &mut GroupRow,
+) -> usize {
+    pre.edges_from = 0;
+    pre.edges_to = 0;
+    sel.edges_from = 0;
+    sel.edges_to = 0;
     let mut total_edges = 0usize;
     let fixed_of_id = |id: NodeId| {
         trips
@@ -331,6 +433,30 @@ fn build_table(
             sel.edges_to += 1;
         }
     }
+    total_edges
+}
+
+fn build_table(
+    stations: &[FinalStation],
+    trips: &TripTable,
+    directed: &CsrGraph,
+) -> SelectedGraphTable {
+    let fixed_dense = fixed_flags(stations, trips);
+    let fixed_count = fixed_dense.iter().filter(|&&f| f).count();
+    let mut pre = GroupRow {
+        stations: fixed_count,
+        ..Default::default()
+    };
+    let mut sel = GroupRow {
+        stations: stations.len() - fixed_count,
+        ..Default::default()
+    };
+
+    // Trips per group (every rental counted once per endpoint role).
+    for (&src, &dst) in trips.src().iter().zip(trips.dst()) {
+        tally_trip(&fixed_dense, src, dst, &mut pre, &mut sel);
+    }
+    let total_edges = tally_edges(&fixed_dense, trips, directed, &mut pre, &mut sel);
     SelectedGraphTable {
         total_stations: stations.len(),
         total_trips: trips.len(),
@@ -430,6 +556,76 @@ mod tests {
         let out = build_selected_network(&ds, &net, &sel).unwrap();
         let share = out.table.pre_existing.trips_from as f64 / ds.rentals.len() as f64;
         assert!(share > 0.5, "pre-existing share {share}");
+    }
+
+    #[test]
+    fn ingest_batch_matches_rebuild_from_concatenated_table() {
+        let (ds, net, sel) = setup();
+        let mut out = build_selected_network(&ds, &net, &sel).unwrap();
+        let before_trips = out.trips.len();
+        // Replay the first rentals as a fresh batch (their endpoints are
+        // guaranteed to be known stations).
+        let mut batch = TripBatch::new();
+        for k in 0..25.min(before_trips) {
+            batch.push(
+                out.trips.station_id(out.trips.src()[k]),
+                out.trips.station_id(out.trips.dst()[k]),
+                ds.rentals[k].start_time,
+            );
+        }
+        let outcome = out.ingest_batch(&batch, Some(2)).unwrap();
+        assert_eq!(outcome.batch_start, before_trips);
+        assert!(outcome.old_to_new.is_none());
+        assert_eq!(out.trips.len(), before_trips + batch.len());
+        assert_eq!(out.store.edge_count(), out.trips.len());
+
+        // Both frozen graphs and Table III equal a from-scratch rebuild
+        // over the appended table.
+        let want_directed = build_dense_csr(
+            true,
+            out.trips.station_ids().to_vec(),
+            out.trips.src(),
+            out.trips.dst(),
+            out.trips.weights(),
+            Some(1),
+        );
+        assert_eq!(out.directed, want_directed);
+        assert_eq!(
+            out.directed.total_weight().to_bits(),
+            want_directed.total_weight().to_bits()
+        );
+        let want_undirected = build_dense_csr(
+            false,
+            out.trips.station_ids().to_vec(),
+            out.trips.src(),
+            out.trips.dst(),
+            out.trips.weights(),
+            Some(1),
+        );
+        assert_eq!(out.undirected, want_undirected);
+        assert_eq!(
+            out.table,
+            build_table(&out.stations, &out.trips, &out.directed)
+        );
+    }
+
+    #[test]
+    fn ingest_batch_rejects_unknown_stations() {
+        let (ds, net, sel) = setup();
+        let mut out = build_selected_network(&ds, &net, &sel).unwrap();
+        let before = out.trips.clone();
+        let mut batch = TripBatch::new();
+        batch.push(
+            u64::MAX - 1, // no such station
+            out.trips.station_id(0),
+            ds.rentals[0].start_time,
+        );
+        assert_eq!(
+            out.ingest_batch(&batch, None),
+            Err(CoreError::UnknownStation(u64::MAX - 1))
+        );
+        // The failed ingest left the table untouched.
+        assert_eq!(out.trips, before);
     }
 
     #[test]

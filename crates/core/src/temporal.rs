@@ -36,9 +36,9 @@
 //!   the columnar path buys.
 
 use crate::candidate::TRIP_LABEL;
-use moby_data::trips::TripTable;
+use moby_data::trips::{AppendOutcome, TripTable};
 use moby_graph::aggregate;
-use moby_graph::{CsrBuilder, CsrGraph, GraphStore, NodeId, WeightedGraph};
+use moby_graph::{CsrBuilder, CsrDelta, CsrGraph, GraphStore, NodeId, WeightedGraph};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
@@ -208,6 +208,23 @@ fn decode_layer_map(csr: &CsrGraph, stride: u64) -> HashMap<NodeId, (NodeId, u32
         .collect()
 }
 
+/// Extend a layer map (taken by value — the delta path moves it out of
+/// the consumed [`TemporalGraph`]) with only the layered nodes a delta
+/// appended (dense indices `n_old..`) — the incremental counterpart of
+/// [`decode_layer_map`], with an identical result at O(batch) cost.
+fn extend_layer_map(
+    old: Option<HashMap<NodeId, (NodeId, u32)>>,
+    csr: &CsrGraph,
+    stride: u64,
+    n_old: usize,
+) -> HashMap<NodeId, (NodeId, u32)> {
+    let mut map = old.unwrap_or_default();
+    for &id in &csr.node_ids()[n_old..] {
+        map.insert(id, (id / stride, (id % stride) as u32));
+    }
+    map
+}
+
 /// Build all three temporal graphs from the columnar [`TripTable`] — the
 /// hot construction path.
 ///
@@ -287,9 +304,116 @@ pub fn build_all_from_trips(
     ]
 }
 
+/// Advance all three temporal graphs by one ingested trip batch — the
+/// incremental counterpart of [`build_all_from_trips`].
+///
+/// `trips` is the table **after**
+/// [`TripTable::append_batch`](moby_data::trips::TripTable::append_batch)
+/// and `outcome` is what that append returned; **one pass** over the
+/// appended rows (`outcome.batch_start..`) emits the per-granularity edge
+/// deltas (layer keys folded into node ids inline, as in the full build),
+/// which merge into the existing frozen graphs via
+/// [`CsrGraph::apply_delta`] — untouched rows are copied, never re-merged
+/// from trips.
+///
+/// The three graphs are **consumed**: their frozen CSRs seed the deltas
+/// and the layered maps move into the results (no per-batch clone of
+/// state the batch didn't touch) — call as
+/// `temporals = apply_batch_all(temporals, ..)`. `basic` optionally
+/// supplies the already-delta-updated station-level undirected CSR (the
+/// pipeline clones
+/// [`SelectedNetwork::undirected`](crate::reassign::SelectedNetwork::undirected)
+/// in after [`ingest_batch`](crate::reassign::SelectedNetwork::ingest_batch),
+/// so `GBasic` is advanced exactly once); pass `None` to delta `GBasic`
+/// from the batch here.
+///
+/// **Equivalence contract:** the returned graphs (and layer maps) are
+/// bit-identical to [`build_all_from_trips`] over the full appended
+/// table, at any thread count — new layered nodes intern exactly where a
+/// full rebuild would place them (first batch appearance, after all
+/// existing nodes) and new stations shift the `GBasic` node table through
+/// `outcome.old_to_new`. The differential proptest suite
+/// (`crates/core/tests/proptest_delta.rs`) asserts this for random batch
+/// chains at 1/2/4 threads.
+///
+/// # Panics
+///
+/// If `temporals` is not the three-granularity slice the build functions
+/// produce, in granularity order.
+pub fn apply_batch_all(
+    temporals: Vec<TemporalGraph>,
+    trips: &TripTable,
+    outcome: &AppendOutcome,
+    basic: Option<CsrGraph>,
+    threads: Option<usize>,
+) -> Vec<TemporalGraph> {
+    assert_eq!(temporals.len(), 3, "expected GBasic/GDay/GHour");
+    for (t, g) in temporals.iter().zip(TemporalGranularity::ALL) {
+        assert_eq!(t.granularity, g, "temporal graphs out of order");
+    }
+    let day_stride = TemporalGranularity::TDay.stride();
+    let hour_stride = TemporalGranularity::THour.stride();
+
+    // One pass over the appended rows: layered edge lists per granularity.
+    let rows = outcome.batch_start..trips.len();
+    let (src, dst) = (trips.src(), trips.dst());
+    let (day, hour, weight) = (trips.day(), trips.hour(), trips.weights());
+    let mut day_edges = Vec::with_capacity(rows.len());
+    let mut hour_edges = Vec::with_capacity(rows.len());
+    for k in rows {
+        let s = trips.station_id(src[k]);
+        let d = trips.station_id(dst[k]);
+        let w = weight[k];
+        let dk = day[k] as u64;
+        day_edges.push((s * day_stride + dk, d * day_stride + dk, w));
+        let hk = hour[k] as u64;
+        hour_edges.push((s * hour_stride + hk, d * hour_stride + hk, w));
+    }
+
+    let mut temporals = temporals;
+    let hour_t = temporals.pop().expect("three granularities");
+    let day_t = temporals.pop().expect("three granularities");
+    let basic_t = temporals.pop().expect("three granularities");
+
+    let basic_csr = match basic {
+        Some(csr) => csr,
+        None => {
+            // Station-level delta over the (possibly extended) sorted
+            // intern table, dense columns straight from the appended rows.
+            let bs = outcome.batch_start;
+            let delta = CsrDelta::from_dense(
+                false,
+                trips.station_ids().to_vec(),
+                outcome.old_to_new.clone(),
+                &trips.src()[bs..],
+                &trips.dst()[bs..],
+                &trips.weights()[bs..],
+            );
+            basic_t.csr.apply_delta(&delta, threads)
+        }
+    };
+    let (day_old_n, hour_old_n) = (day_t.csr.node_count(), hour_t.csr.node_count());
+    let day_delta = CsrDelta::extend_by_id(&day_t.csr, day_edges);
+    let day_csr = day_t.csr.apply_delta(&day_delta, threads);
+    let hour_delta = CsrDelta::extend_by_id(&hour_t.csr, hour_edges);
+    let hour_csr = hour_t.csr.apply_delta(&hour_delta, threads);
+
+    // Layer maps are moved out of the consumed graphs and extended with
+    // only the layered nodes the deltas appended — O(batch) hash inserts
+    // and no re-decode of the full node table.
+    let day_map = extend_layer_map(day_t.layer_map, &day_csr, day_stride, day_old_n);
+    let hour_map = extend_layer_map(hour_t.layer_map, &hour_csr, hour_stride, hour_old_n);
+    vec![
+        TemporalGraph::from_csr(TemporalGranularity::TNull, basic_csr, None),
+        TemporalGraph::from_csr(TemporalGranularity::TDay, day_csr, Some(day_map)),
+        TemporalGraph::from_csr(TemporalGranularity::THour, hour_csr, Some(hour_map)),
+    ]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use moby_data::trips::TripBatch;
     use moby_graph::{props, PropMap, PropValue};
 
     fn store() -> GraphStore {
@@ -447,6 +571,44 @@ mod tests {
                 assert_eq!(temporal.layer_map, legacy.layer_map, "{granularity:?} map");
             }
         }
+    }
+
+    #[test]
+    fn apply_batch_all_matches_full_rebuild() {
+        let mut trips = trip_table();
+        let base = build_all_from_trips(&trips, None, Some(1));
+        let mut batch = TripBatch::new();
+        // Existing stations at new times, a repeated edge, and a brand-new
+        // station (id 2, which sorts between 1 and 3).
+        let t = |day: u32, hour: u32| {
+            moby_data::timeparse::Timestamp::from_ymd_hms(2020, 6, 1 + day, hour, 0, 0).unwrap()
+        };
+        batch.push(1, 0, t(0, 8)); // station 0 is new and sorts first,
+                                   // shifting every old dense index
+        batch.push(1, 0, t(0, 8)); // duplicate layered edge
+        batch.push(3, 1, t(3, 21));
+        let outcome = trips.append_batch(&batch);
+        assert_eq!(outcome.new_stations, vec![0]);
+        for threads in [Some(1), Some(2), Some(4)] {
+            let got = apply_batch_all(base.clone(), &trips, &outcome, None, threads);
+            let want = build_all_from_trips(&trips, None, threads);
+            for (g, w) in got.iter().zip(&want) {
+                assert_eq!(g.granularity, w.granularity);
+                assert_eq!(g.csr, w.csr, "{:?} diverged from rebuild", g.granularity);
+                assert_eq!(g.layer_map, w.layer_map, "{:?} map", g.granularity);
+            }
+        }
+        // Sharing an already-updated GBasic skips the station-level delta.
+        let updated = build_all_from_trips(&trips, None, Some(1));
+        let shared = apply_batch_all(
+            base,
+            &trips,
+            &outcome,
+            Some(updated[0].csr.clone()),
+            Some(1),
+        );
+        assert_eq!(shared[0].csr, updated[0].csr);
+        assert_eq!(shared[1].csr, updated[1].csr);
     }
 
     #[test]

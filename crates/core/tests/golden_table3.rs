@@ -1,0 +1,87 @@
+//! Golden snapshot of the paper's Table III on the seeded synthetic
+//! dataset.
+//!
+//! The `small_test` synthetic config is fully seeded and the construction
+//! path is deterministic at any thread count, so the rendered table is a
+//! fixed artefact. Ingest/construction refactors that silently shift the
+//! reported metrics — trip conservation, group breakdowns, distinct edge
+//! counts — fail this test instead of slipping through; update the
+//! snapshot only when a change to the *pipeline semantics* is intended.
+
+use moby_core::candidate::build_candidate_network;
+use moby_core::reassign::build_selected_network;
+use moby_core::report::render_table3;
+use moby_core::selection::select_stations;
+use moby_core::ExpansionConfig;
+use moby_data::clean::clean_dataset;
+use moby_data::synth::{generate, SynthConfig};
+use moby_data::trips::TripBatch;
+
+/// The exact rendering (modulo line-trailing padding, which depends only
+/// on the column widths, not the data).
+const GOLDEN: &str = "\
+TABLE III — SELECTED GRAPH
+Stations           Count   Trips From     Trips To  Edges From    Edges To
+Pre-existing          92         1471         1450        1137        1127
+Selected              83          529          550         488         498
+Total                175         2000                     1625
+";
+
+#[test]
+fn table3_matches_golden_snapshot() {
+    let ds = clean_dataset(&generate(&SynthConfig::small_test())).dataset;
+    let cfg = ExpansionConfig::default();
+    let net = build_candidate_network(&ds, &cfg).unwrap();
+    let sel = select_stations(&net, &cfg).unwrap();
+    let out = build_selected_network(&ds, &net, &sel).unwrap();
+    let rendered = render_table3(&out.table);
+    let got: Vec<&str> = rendered.lines().map(str::trim_end).collect();
+    let want: Vec<&str> = GOLDEN.lines().collect();
+    assert_eq!(
+        got, want,
+        "Table III drifted from the golden snapshot — if the pipeline \
+         semantics changed intentionally, update GOLDEN"
+    );
+}
+
+#[test]
+fn table3_after_ingest_matches_full_rebuild_rendering() {
+    // Ingesting a batch and re-rendering must agree with the table a
+    // from-scratch network over the same rentals would report: replaying
+    // every rental once more exactly doubles the trip counters and keeps
+    // the distinct-edge counts fixed.
+    let ds = clean_dataset(&generate(&SynthConfig::small_test())).dataset;
+    let cfg = ExpansionConfig::default();
+    let net = build_candidate_network(&ds, &cfg).unwrap();
+    let sel = select_stations(&net, &cfg).unwrap();
+    let mut out = build_selected_network(&ds, &net, &sel).unwrap();
+    let before = out.table.clone();
+
+    let mut batch = TripBatch::new();
+    for k in 0..out.trips.len() {
+        batch.push_keyed(
+            out.trips.station_id(out.trips.src()[k]),
+            out.trips.station_id(out.trips.dst()[k]),
+            out.trips.day()[k],
+            out.trips.hour()[k],
+            out.trips.weights()[k],
+        );
+    }
+    out.ingest_batch(&batch, Some(2)).unwrap();
+
+    assert_eq!(out.table.total_trips, 2 * before.total_trips);
+    assert_eq!(out.table.total_edges, before.total_edges);
+    assert_eq!(
+        out.table.pre_existing.trips_from,
+        2 * before.pre_existing.trips_from
+    );
+    assert_eq!(out.table.selected.trips_to, 2 * before.selected.trips_to);
+    assert_eq!(
+        out.table.pre_existing.edges_from,
+        before.pre_existing.edges_from
+    );
+    assert_eq!(out.table.selected.edges_to, before.selected.edges_to);
+    let rendered = render_table3(&out.table);
+    assert!(rendered.contains("4000"));
+    assert!(rendered.contains("1625"));
+}

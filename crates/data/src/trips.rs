@@ -25,6 +25,146 @@ use crate::timeparse::Timestamp;
 /// External station identifier (matches the graph layer's `NodeId`).
 pub type StationNodeId = u64;
 
+/// Whether a weight satisfies the columnar build path's validated-weights
+/// contract (finite and non-negative) — the single predicate every trip
+/// push path shares.
+#[inline]
+fn valid_weight(weight: f64) -> bool {
+    weight.is_finite() && weight >= 0.0
+}
+
+/// Derive a trip's temporal keys (weekday 0–6 Monday-first, hour 0–23)
+/// from its start time. Shared by [`TripTable`] and [`TripBatch`] pushes,
+/// so an appended table is indistinguishable from one built in a single
+/// pass — the delta path's equivalence contract leans on this.
+#[inline]
+fn temporal_keys(start: Timestamp) -> (u8, u8) {
+    (start.weekday().index() as u8, start.hour() as u8)
+}
+
+/// A batch of not-yet-interned trips, addressed by **external** station
+/// ids — the unit of streaming ingestion. Collect incoming trips here,
+/// then extend a [`TripTable`] with [`TripTable::append_batch`]; the
+/// temporal keys are derived once at push time, exactly like the table's
+/// own push path, so an appended table is indistinguishable from one
+/// built in a single pass.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TripBatch {
+    src: Vec<StationNodeId>,
+    dst: Vec<StationNodeId>,
+    day: Vec<u8>,
+    hour: Vec<u8>,
+    weight: Vec<f64>,
+}
+
+impl TripBatch {
+    /// An empty batch.
+    pub fn new() -> TripBatch {
+        TripBatch::default()
+    }
+
+    /// Number of trips in the batch.
+    pub fn len(&self) -> usize {
+        self.src.len()
+    }
+
+    /// Whether the batch holds no trips.
+    pub fn is_empty(&self) -> bool {
+        self.src.is_empty()
+    }
+
+    /// Append a unit-weight trip between two external station ids.
+    #[inline]
+    pub fn push(&mut self, src: StationNodeId, dst: StationNodeId, start: Timestamp) {
+        self.push_weighted(src, dst, start, 1.0);
+    }
+
+    /// Append a weighted trip between two external station ids.
+    ///
+    /// Non-finite or negative weights are silently dropped — the batch is
+    /// the external ingestion boundary, so it enforces the validated
+    /// -weights contract the columnar build path relies on (the same
+    /// convention as `CsrBuilder::push` in the graph layer).
+    pub fn push_weighted(
+        &mut self,
+        src: StationNodeId,
+        dst: StationNodeId,
+        start: Timestamp,
+        weight: f64,
+    ) {
+        let (day, hour) = temporal_keys(start);
+        self.push_keyed(src, dst, day, hour, weight);
+    }
+
+    /// Append a trip whose temporal keys are **already derived** — the
+    /// replay entry for sources that carry `(day, hour)` columns rather
+    /// than timestamps (trip-table replays, sharded ingest feeds,
+    /// benchmarks). `day` is the Monday-first weekday index (0–6),
+    /// `hour` the start hour (0–23); weights follow the same
+    /// validated-weights convention as [`TripBatch::push_weighted`].
+    ///
+    /// # Panics
+    ///
+    /// If a key is out of range.
+    pub fn push_keyed(
+        &mut self,
+        src: StationNodeId,
+        dst: StationNodeId,
+        day: u8,
+        hour: u8,
+        weight: f64,
+    ) {
+        assert!(day < 7 && hour < 24, "temporal keys out of range");
+        if !valid_weight(weight) {
+            return;
+        }
+        self.src.push(src);
+        self.dst.push(dst);
+        self.day.push(day);
+        self.hour.push(hour);
+        self.weight.push(weight);
+    }
+
+    /// Iterate over the batch as
+    /// `(src_station_id, dst_station_id, day, hour, weight)` rows in
+    /// insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (StationNodeId, StationNodeId, u8, u8, f64)> + '_ {
+        (0..self.len()).map(move |k| {
+            (
+                self.src[k],
+                self.dst[k],
+                self.day[k],
+                self.hour[k],
+                self.weight[k],
+            )
+        })
+    }
+
+    /// The distinct station ids the batch references, sorted.
+    pub fn station_ids(&self) -> Vec<StationNodeId> {
+        let mut ids: Vec<StationNodeId> = self.src.iter().chain(&self.dst).copied().collect();
+        ids.sort_unstable();
+        ids.dedup();
+        ids
+    }
+}
+
+/// What [`TripTable::append_batch`] did to the table — everything a
+/// downstream incremental consumer (the graph layer's `CsrDelta`) needs
+/// to mirror the update without re-reading untouched rows.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AppendOutcome {
+    /// Row index where the appended batch begins (the table's length
+    /// before the append); the batch occupies `batch_start..table.len()`.
+    pub batch_start: usize,
+    /// For each **old** dense station index, its index in the extended
+    /// table — strictly increasing. `None` when the batch introduced no
+    /// new stations (old indices are unchanged).
+    pub old_to_new: Option<Vec<u32>>,
+    /// External ids of the stations this batch newly interned, sorted.
+    pub new_stations: Vec<StationNodeId>,
+}
+
 /// A struct-of-arrays table of station-to-station trips. See the
 /// [module docs](self).
 #[derive(Debug, Clone, PartialEq, Default)]
@@ -101,19 +241,30 @@ impl TripTable {
     /// always satisfies the columnar build path's validated-weights
     /// contract.
     pub fn push_weighted(&mut self, src: u32, dst: u32, start: Timestamp, weight: f64) {
+        debug_assert!(valid_weight(weight), "invalid weight {weight}");
+        let (day, hour) = temporal_keys(start);
+        self.push_keyed(src, dst, day, hour, weight);
+    }
+
+    /// Append a trip whose temporal keys are **already derived**
+    /// (Monday-first weekday 0–6, hour 0–23) — the replay entry for
+    /// columnar sources; [`TripTable::push_weighted`] is this plus the
+    /// key derivation. Invalid weights are ignored, as there.
+    ///
+    /// # Panics
+    ///
+    /// If a key is out of range.
+    pub fn push_keyed(&mut self, src: u32, dst: u32, day: u8, hour: u8, weight: f64) {
         debug_assert!((src as usize) < self.station_ids.len());
         debug_assert!((dst as usize) < self.station_ids.len());
-        debug_assert!(
-            weight.is_finite() && weight >= 0.0,
-            "invalid weight {weight}"
-        );
-        if !weight.is_finite() || weight < 0.0 {
+        assert!(day < 7 && hour < 24, "temporal keys out of range");
+        if !valid_weight(weight) {
             return;
         }
         self.src.push(src);
         self.dst.push(dst);
-        self.day.push(start.weekday().index() as u8);
-        self.hour.push(start.hour() as u8);
+        self.day.push(day);
+        self.hour.push(hour);
         self.weight.push(weight);
     }
 
@@ -153,6 +304,95 @@ impl TripTable {
                 self.weight[k],
             )
         })
+    }
+
+    /// Append a [`TripBatch`], extending the sorted station-intern table
+    /// in place — the streaming-ingestion entry point.
+    ///
+    /// Station ids the table has never seen are merged into the sorted
+    /// intern table; because the table is sorted, new ids can land
+    /// *between* old ones, shifting old dense indices. The shift is a
+    /// **monotone remap** applied to the existing `src`/`dst` columns in
+    /// one linear pass (an array lookup per endpoint — old endpoints are
+    /// never re-interned by search). Batch endpoints then intern by
+    /// binary search over the extended table and the rows are appended.
+    ///
+    /// The resulting table is **identical** to one built from scratch
+    /// over the union station set with all rows pushed in order — the
+    /// delta machinery's differential suite asserts this per batch.
+    /// Returns the [`AppendOutcome`] describing the append (row offset,
+    /// index remap, newly interned stations).
+    pub fn append_batch(&mut self, batch: &TripBatch) -> AppendOutcome {
+        // --- New station ids: everything not in the sorted table. ---
+        let mut new_stations: Vec<StationNodeId> = batch
+            .src
+            .iter()
+            .chain(&batch.dst)
+            .copied()
+            .filter(|&id| self.station_index(id).is_none())
+            .collect();
+        new_stations.sort_unstable();
+        new_stations.dedup();
+
+        let old_to_new = if new_stations.is_empty() {
+            None
+        } else {
+            // Merge the two sorted id lists, recording where each old
+            // dense index lands in the merged table.
+            let merged_len = self.station_ids.len() + new_stations.len();
+            assert!(
+                merged_len <= u32::MAX as usize,
+                "station index space is u32"
+            );
+            let mut merged = Vec::with_capacity(merged_len);
+            let mut map = Vec::with_capacity(self.station_ids.len());
+            let (mut i, mut j) = (0usize, 0usize);
+            while i < self.station_ids.len() || j < new_stations.len() {
+                if j >= new_stations.len()
+                    || (i < self.station_ids.len() && self.station_ids[i] < new_stations[j])
+                {
+                    map.push(merged.len() as u32);
+                    merged.push(self.station_ids[i]);
+                    i += 1;
+                } else {
+                    merged.push(new_stations[j]);
+                    j += 1;
+                }
+            }
+            self.station_ids = merged;
+            // Shift the existing endpoint columns through the remap: one
+            // linear pass, no per-endpoint search.
+            for v in &mut self.src {
+                *v = map[*v as usize];
+            }
+            for v in &mut self.dst {
+                *v = map[*v as usize];
+            }
+            Some(map)
+        };
+
+        // --- Append the batch rows over the extended table. ---
+        let batch_start = self.len();
+        self.src.reserve(batch.len());
+        self.dst.reserve(batch.len());
+        for k in 0..batch.len() {
+            let s = self
+                .station_index(batch.src[k])
+                .expect("batch endpoint interned");
+            let d = self
+                .station_index(batch.dst[k])
+                .expect("batch endpoint interned");
+            self.src.push(s);
+            self.dst.push(d);
+            self.day.push(batch.day[k]);
+            self.hour.push(batch.hour[k]);
+            self.weight.push(batch.weight[k]);
+        }
+        AppendOutcome {
+            batch_start,
+            old_to_new,
+            new_stations,
+        }
     }
 
     /// Build a station-level trip table straight from a cleaned dataset,
@@ -235,6 +475,101 @@ mod tests {
         t.push(1, 1, ts(2, 9));
         let edges: Vec<_> = t.station_edges().collect();
         assert_eq!(edges, vec![(10, 20, 1.0), (20, 20, 1.0)]);
+    }
+
+    #[test]
+    fn keyed_push_matches_timestamp_push() {
+        // ts(6, 17) is Saturday 17:00 → weekday index 5.
+        let mut a = TripTable::new(vec![1, 2]);
+        a.push(0, 1, ts(6, 17));
+        let mut b = TripTable::new(vec![1, 2]);
+        b.push_keyed(0, 1, 5, 17, 1.0);
+        assert_eq!(a, b);
+        let mut ba = TripBatch::new();
+        ba.push(1, 2, ts(6, 17));
+        let mut bb = TripBatch::new();
+        bb.push_keyed(1, 2, 5, 17, 1.0);
+        assert_eq!(ba, bb);
+        bb.push_keyed(1, 2, 0, 0, f64::NAN); // invalid weight: dropped
+        assert_eq!(ba, bb);
+    }
+
+    #[test]
+    fn append_batch_without_new_stations_keeps_indices() {
+        let mut t = TripTable::new(vec![10, 20, 30]);
+        t.push(0, 1, ts(1, 8));
+        let mut b = TripBatch::new();
+        b.push(20, 30, ts(2, 9));
+        b.push_weighted(30, 10, ts(3, 10), 2.0);
+        assert_eq!(b.len(), 2);
+        assert!(!b.is_empty());
+        assert_eq!(b.station_ids(), vec![10, 20, 30]);
+        let out = t.append_batch(&b);
+        assert_eq!(out.batch_start, 1);
+        assert_eq!(out.old_to_new, None);
+        assert!(out.new_stations.is_empty());
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.src(), &[0, 1, 2]);
+        assert_eq!(t.dst(), &[1, 2, 0]);
+        assert_eq!(t.day(), &[0, 1, 2]);
+        assert_eq!(t.weights(), &[1.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn append_batch_interleaves_new_stations_and_remaps_old_rows() {
+        let mut t = TripTable::new(vec![10, 30]);
+        t.push(0, 1, ts(1, 8)); // 10 -> 30
+        let mut b = TripBatch::new();
+        b.push(20, 30, ts(2, 9)); // 20 is new, sorts between 10 and 30
+        b.push(40, 10, ts(2, 10)); // 40 is new, sorts last
+        let out = t.append_batch(&b);
+        assert_eq!(out.batch_start, 1);
+        assert_eq!(out.new_stations, vec![20, 40]);
+        assert_eq!(out.old_to_new, Some(vec![0, 2]));
+        assert_eq!(t.station_ids(), &[10, 20, 30, 40]);
+        // The old row's endpoints were shifted through the remap.
+        assert_eq!(t.src(), &[0, 1, 3]);
+        assert_eq!(t.dst(), &[2, 2, 0]);
+    }
+
+    #[test]
+    fn appended_table_equals_one_built_from_scratch() {
+        let mut t = TripTable::new(vec![10, 30]);
+        t.push(0, 1, ts(1, 8));
+        t.push_weighted(1, 1, ts(4, 20), 0.5);
+        let mut b = TripBatch::new();
+        b.push(20, 10, ts(2, 9));
+        b.push(30, 20, ts(6, 23));
+        t.append_batch(&b);
+        // From scratch: union station set, same rows in the same order.
+        let mut want = TripTable::new(vec![10, 20, 30]);
+        // Dense indices over the sorted union table: 10 -> 0, 20 -> 1, 30 -> 2.
+        want.push(0, 2, ts(1, 8));
+        want.push_weighted(2, 2, ts(4, 20), 0.5);
+        want.push(1, 0, ts(2, 9));
+        want.push(2, 1, ts(6, 23));
+        assert_eq!(t, want);
+    }
+
+    #[test]
+    fn empty_batch_is_a_no_op() {
+        let mut t = TripTable::new(vec![1, 2]);
+        t.push(0, 1, ts(1, 8));
+        let before = t.clone();
+        let out = t.append_batch(&TripBatch::new());
+        assert_eq!(out.batch_start, 1);
+        assert_eq!(out.old_to_new, None);
+        assert!(out.new_stations.is_empty());
+        assert_eq!(t, before);
+    }
+
+    #[test]
+    fn batch_rejects_invalid_weights() {
+        let mut b = TripBatch::new();
+        b.push_weighted(1, 2, ts(1, 8), f64::INFINITY);
+        b.push_weighted(1, 2, ts(1, 8), -3.0);
+        assert!(b.is_empty());
+        assert!(b.iter().next().is_none());
     }
 
     #[test]

@@ -1,0 +1,117 @@
+//! Property-based tests for `moby_data::timeparse` — the civil-time
+//! surface the streaming ingestion path leans on (every `TripBatch` row
+//! derives its temporal keys from a parsed timestamp).
+//!
+//! Covers the parse → format → parse identity on the full valid domain,
+//! component round-trips, and the rejection (not panic) of malformed
+//! input.
+
+use moby_data::timeparse::{Timestamp, Weekday};
+use proptest::prelude::*;
+
+/// Days in a month, mirroring the crate's validation rules.
+fn days_in_month(year: i32, month: u32) -> u32 {
+    match month {
+        1 | 3 | 5 | 7 | 8 | 10 | 12 => 31,
+        4 | 6 | 9 | 11 => 30,
+        _ => {
+            if (year % 4 == 0 && year % 100 != 0) || year % 400 == 0 {
+                29
+            } else {
+                28
+            }
+        }
+    }
+}
+
+/// Strategy for valid civil date-time components (1900–2199, every month
+/// length and leap rule exercised).
+fn civil() -> impl Strategy<Value = (i32, u32, u32, u32, u32, u32)> {
+    (
+        1900i32..2200,
+        1u32..13,
+        0u32..31,
+        0u32..24,
+        0u32..60,
+        0u32..60,
+    )
+        .prop_map(|(y, mo, d_raw, h, mi, s)| (y, mo, 1 + d_raw % days_in_month(y, mo), h, mi, s))
+}
+
+/// Characters malformed-input strings are drawn from: digits, the ISO
+/// separators, and assorted junk.
+const CHARSET: &[u8] = b"0123456789-T: /.Zabz+";
+
+proptest! {
+    #[test]
+    fn components_round_trip_through_timestamp(c in civil()) {
+        let (y, mo, d, h, mi, s) = c;
+        let t = Timestamp::from_ymd_hms(y, mo, d, h, mi, s).expect("valid components");
+        prop_assert_eq!(t.ymd(), (y, mo, d));
+        prop_assert_eq!(t.hour(), h);
+        prop_assert_eq!(t.minute(), mi);
+    }
+
+    #[test]
+    fn parse_format_parse_is_identity(c in civil()) {
+        let (y, mo, d, h, mi, s) = c;
+        let t = Timestamp::from_ymd_hms(y, mo, d, h, mi, s).unwrap();
+        let rendered = t.to_iso();
+        let reparsed = Timestamp::parse_iso(&rendered).expect("own rendering parses");
+        prop_assert_eq!(reparsed, t);
+        // And the rendering is a fixed point.
+        prop_assert_eq!(reparsed.to_iso(), rendered);
+        // The space-separated variant parses to the same instant.
+        let spaced = rendered.replace('T', " ");
+        prop_assert_eq!(Timestamp::parse_iso(&spaced).unwrap(), t);
+    }
+
+    #[test]
+    fn raw_seconds_round_trip(secs in -3_000_000_000i64..5_000_000_000) {
+        // Arbitrary epoch seconds (≈1875–2128) survive render + parse of
+        // the whole-second component.
+        let t = Timestamp(secs);
+        let (y, mo, d) = t.ymd();
+        let back = Timestamp::from_ymd_hms(y, mo, d, t.hour(), t.minute(), 0).unwrap();
+        prop_assert_eq!(back.unix_seconds(), secs - secs.rem_euclid(60));
+        prop_assert_eq!(Timestamp::parse_iso(&t.to_iso()).unwrap(), t);
+    }
+
+    #[test]
+    fn weekday_advances_daily(c in civil(), offset in 0i64..4000) {
+        let (y, mo, d, h, mi, s) = c;
+        let t = Timestamp::from_ymd_hms(y, mo, d, h, mi, s).unwrap();
+        let later = t.plus_seconds(offset * 86_400);
+        let want = (t.weekday().index() as i64 + offset).rem_euclid(7) as u32;
+        prop_assert_eq!(later.weekday(), Weekday::from_index(want).unwrap());
+    }
+
+    #[test]
+    fn malformed_input_is_rejected_not_panicking(
+        bytes in prop::collection::vec(0usize..CHARSET.len(), 0..40),
+    ) {
+        let s: String = bytes.iter().map(|&i| CHARSET[i] as char).collect();
+        // Must never panic; when it parses, the value must round-trip
+        // through the canonical rendering.
+        if let Ok(t) = Timestamp::parse_iso(&s) {
+            prop_assert_eq!(Timestamp::parse_iso(&t.to_iso()).unwrap(), t);
+        }
+    }
+
+    #[test]
+    fn out_of_range_components_are_rejected(c in civil()) {
+        let (y, mo, d, h, mi, s) = c;
+        let iso = |y: i32, mo: u32, d: u32, h: u32, mi: u32, s: u32| {
+            format!("{y:04}-{mo:02}-{d:02}T{h:02}:{mi:02}:{s:02}")
+        };
+        prop_assert!(Timestamp::parse_iso(&iso(y, 13 + mo % 80, d, h, mi, s)).is_err());
+        prop_assert!(Timestamp::parse_iso(&iso(y, 0, d, h, mi, s)).is_err());
+        prop_assert!(Timestamp::parse_iso(&iso(y, mo, 32 + d % 60, h, mi, s)).is_err());
+        prop_assert!(Timestamp::parse_iso(&iso(y, mo, 0, h, mi, s)).is_err());
+        prop_assert!(Timestamp::parse_iso(&iso(y, mo, d, 24 + h % 70, mi, s)).is_err());
+        prop_assert!(Timestamp::parse_iso(&iso(y, mo, d, h, 60 + mi % 30, s)).is_err());
+        prop_assert!(Timestamp::parse_iso(&iso(y, mo, d, h, mi, 60 + s % 30)).is_err());
+        // A date with no time-of-day is not a timestamp.
+        prop_assert!(Timestamp::parse_iso(&format!("{y:04}-{mo:02}-{d:02}")).is_err());
+    }
+}

@@ -139,4 +139,92 @@ proptest! {
             prop_assert!(w[0].2 <= w[1].2);
         }
     }
+
+    #[test]
+    fn kdtree_k_nearest_distances_equal_brute_force(
+        points in prop::collection::vec(dublin_point(), 1..100),
+        query in dublin_point(),
+        k in 1usize..12,
+    ) {
+        // Full top-k agreement, not just sortedness: the k-th nearest
+        // distance must match a brute-force scan (the pruning bound must
+        // never drop a true neighbour).
+        let items: Vec<(GeoPoint, usize)> =
+            points.iter().copied().enumerate().map(|(i, p)| (p, i)).collect();
+        let tree = KdTree::build(items);
+        let got = tree.k_nearest(query, k).unwrap();
+        let mut want: Vec<f64> = points.iter().map(|p| haversine_m(query, *p)).collect();
+        want.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        prop_assert_eq!(got.len(), k.min(points.len()));
+        for (i, (_, _, d)) in got.iter().enumerate() {
+            prop_assert!(
+                (d - want[i]).abs() < 1e-6,
+                "rank {} distance {} vs brute force {}", i, d, want[i]
+            );
+        }
+    }
+
+    #[test]
+    fn kdtree_within_radius_equals_brute_force(
+        points in prop::collection::vec(dublin_point(), 1..100),
+        query in dublin_point(),
+        radius in 10.0f64..8_000.0,
+    ) {
+        let items: Vec<(GeoPoint, usize)> =
+            points.iter().copied().enumerate().map(|(i, p)| (p, i)).collect();
+        let tree = KdTree::build(items);
+        let mut got: Vec<usize> = tree
+            .within_radius(query, radius)
+            .unwrap()
+            .iter()
+            .map(|(_, i, _)| **i)
+            .collect();
+        got.sort_unstable();
+        let mut want: Vec<usize> = points
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| haversine_m(query, **p) <= radius)
+            .map(|(i, _)| i)
+            .collect();
+        want.sort_unstable();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn kdtree_survives_degenerate_point_sets(
+        cells in prop::collection::vec((0u32..4, 0u32..4), 1..60),
+        query_cell in (0u32..4, 0u32..4),
+        k in 1usize..8,
+    ) {
+        // Adversarial geometry: every point snapped to a tiny 4×4 lattice,
+        // so duplicates, collinear runs and ties on the split axes are the
+        // norm rather than the exception.
+        let snap = |(i, j): (u32, u32)| {
+            GeoPoint::new(53.30 + f64::from(i) * 0.01, -6.30 + f64::from(j) * 0.01).unwrap()
+        };
+        let points: Vec<GeoPoint> = cells.iter().map(|&c| snap(c)).collect();
+        let query = snap(query_cell);
+        let items: Vec<(GeoPoint, usize)> =
+            points.iter().copied().enumerate().map(|(i, p)| (p, i)).collect();
+        let tree = KdTree::build(items);
+        // Nearest agrees with brute force even with exact ties.
+        let (_, _, got) = tree.nearest(query).unwrap();
+        let want = points
+            .iter()
+            .map(|p| haversine_m(query, *p))
+            .fold(f64::INFINITY, f64::min);
+        prop_assert!((got - want).abs() < 1e-6);
+        // k-nearest distances agree rank by rank.
+        let knn = tree.k_nearest(query, k).unwrap();
+        let mut all: Vec<f64> = points.iter().map(|p| haversine_m(query, *p)).collect();
+        all.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        prop_assert_eq!(knn.len(), k.min(points.len()));
+        for (i, (_, _, d)) in knn.iter().enumerate() {
+            prop_assert!((d - all[i]).abs() < 1e-6);
+        }
+        // Zero-radius query returns exactly the duplicates of the query cell.
+        let zero = tree.within_radius(query, 0.5).unwrap();
+        let dups = points.iter().filter(|p| haversine_m(query, **p) <= 0.5).count();
+        prop_assert_eq!(zero.len(), dups);
+    }
 }

@@ -337,17 +337,19 @@ fn assemble(
 }
 
 /// Half-edge columns: one `(row, col, weight)` record per adjacency entry,
-/// in insertion order.
-struct HalfEdges {
-    row: Vec<u32>,
-    col: Vec<u32>,
-    weight: Vec<f64>,
+/// in insertion order. Shared with the delta-merge path
+/// ([`crate::delta`]), which must expand batch edges exactly the way a
+/// full rebuild would.
+pub(crate) struct HalfEdges {
+    pub(crate) row: Vec<u32>,
+    pub(crate) col: Vec<u32>,
+    pub(crate) weight: Vec<f64>,
 }
 
 /// Expand edges into half-edges. Directed graphs emit one record per edge
 /// (`rows`/`cols` swapped by the caller for the in-adjacency); an
 /// undirected edge emits both orientations, self-loops once.
-fn half_edges(rows: &[u32], cols: &[u32], weights: &[f64], directed: bool) -> HalfEdges {
+pub(crate) fn half_edges(rows: &[u32], cols: &[u32], weights: &[f64], directed: bool) -> HalfEdges {
     let m = rows.len();
     let mut half = HalfEdges {
         row: Vec::with_capacity(if directed { m } else { 2 * m }),

@@ -21,6 +21,11 @@
 //!   merge, parallelised on [`par`]), producing bit-for-bit the graph
 //!   [`WeightedGraph::freeze`] would have built — with zero per-edge hash
 //!   operations;
+//! * [`CsrDelta`] / [`CsrGraph::apply_delta`] — **incremental updates**:
+//!   an edge batch merges into an existing frozen graph row by row,
+//!   producing a graph bit-identical to rebuilding from the concatenated
+//!   edge list (see [`delta`] for the contract) — the streaming-ingestion
+//!   path;
 //! * [`aggregate`] — the multi-edge → weighted-edge aggregation used to
 //!   build `GBasic`, `GDay` and `GHour` from raw trip relationships;
 //! * [`par`] — the deterministic parallel scheduler: edge-balanced
@@ -53,6 +58,7 @@
 pub mod aggregate;
 pub mod build;
 pub mod csr;
+pub mod delta;
 pub mod export;
 mod graph;
 pub mod metrics;
@@ -62,6 +68,7 @@ mod value;
 
 pub use build::{build_dense_csr, CsrBuilder, EdgeList};
 pub use csr::CsrGraph;
+pub use delta::CsrDelta;
 pub use graph::{NodeId, WeightedGraph};
 pub use store::{EdgeRecord, GraphStore, NodeRecord};
 pub use value::{props, PropMap, PropValue};

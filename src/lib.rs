@@ -16,9 +16,10 @@
 //! * [`core`] — the paper's pipeline: candidate generation, station
 //!   selection (Algorithm 1), temporal graphs and community validation.
 //!
-//! ## Architecture: columnar build → frozen graph lifecycle
+//! ## Architecture: columnar build → freeze → apply_delta lifecycle
 //!
-//! The analytical core follows a **two-phase graph lifecycle**:
+//! The analytical core follows a **build → freeze → apply_delta** graph
+//! lifecycle:
 //!
 //! 1. **Build (columnar).** Cleaning emits a struct-of-arrays
 //!    [`data::trips::TripTable`] — dense `u32` station endpoints over one
@@ -38,6 +39,27 @@
 //!    label propagation, modularity, PageRank, centrality, clustering,
 //!    components, path metrics — walks the frozen CSR rows; the `*_csr`
 //!    entry points consume an already-frozen graph.
+//! 3. **Apply deltas (streaming ingestion).** New trips arrive as a
+//!    [`data::trips::TripBatch`];
+//!    [`data::trips::TripTable::append_batch`] extends the sorted
+//!    station-intern table in place (old endpoints shift through a
+//!    monotone remap — they are never re-interned), and a
+//!    [`graph::CsrDelta`] merges the batch into each existing frozen
+//!    graph via [`graph::CsrGraph::apply_delta`] — untouched rows are
+//!    copied, rows with batch entries continue the rebuild's weight fold
+//!    from the stored merged weights. The result is **bit-identical to
+//!    rebuilding from the concatenated table**, at any thread count (see
+//!    [`graph::delta`] for why the fold-prefix argument makes this
+//!    exact).
+//!    [`core::reassign::SelectedNetwork::ingest_batch`] wires this
+//!    through the pipeline state (trip table, frozen directed/undirected
+//!    trip graphs, property store, Table III) and
+//!    [`core::temporal::apply_batch_all`] advances `GBasic`/`GDay`/
+//!    `GHour` from one pass over the batch — so a live deployment pays
+//!    per batch for what the batch touches, not for a full rebuild. The
+//!    differential suite (`crates/core/tests/proptest_delta.rs`) asserts
+//!    the delta chain equals the one-shot rebuild bitwise at 1/2/4
+//!    threads.
 //!
 //! **Which layer owns freezing:** the selected-network/temporal layer.
 //! [`core::reassign::build_selected_network`] freezes the directed and

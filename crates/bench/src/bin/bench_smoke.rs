@@ -13,25 +13,41 @@
 //!   `CsrDelta` against rebuilding the graphs from the concatenated
 //!   table, *verifying the delta output is bit-identical to the rebuild*
 //!   (the PR 4 equivalence contract — any divergence panics, failing CI);
+//! * at `--scale large`, runs the **city tier**: streams ≥1 M synthetic
+//!   trips over ≥10 k stations through the streaming cleaner, then builds
+//!   the station and temporal graphs **sharded and unsharded**, verifying
+//!   the two are bit-identical and reporting wall time per stage plus
+//!   peak RSS (the pipeline sections drop to `medium` — the expansion
+//!   algorithms are sized for the paper's data, not city scale);
 //!
-//! and writes the timings to a `BENCH_*.json` file that the `bench-smoke`
+//! and writes the timings to a `BENCH_*.json` file
+//! (`moby-bench-smoke/v4`: every section row carries the `scale` it ran
+//! at and the process peak RSS when it finished) that the `bench-smoke`
 //! CI job uploads as a workflow artifact. This is where the repo's perf
 //! trajectory accumulates from PR 2 onward.
 //!
 //! ```text
 //! cargo run --release -p moby-bench --bin bench_smoke -- \
-//!     [--scale small|medium|paper] [--threads N] [--out BENCH_pr4.json]
+//!     [--scale small|medium|paper|large] [--threads N] [--shards S] \
+//!     [--out BENCH_pr6.json]
 //! ```
+//!
+//! `--scale` defaults to the `MOBY_BENCH_SCALE` environment variable and
+//! then to `medium`; the large tier's trip count scales with
+//! `MOBY_CITY_TRIPS` (up to 10 M).
 
-use moby_bench::{run_pipeline, Scale};
+use moby_bench::{city_config, peak_rss_kb, run_pipeline, Scale};
 use moby_community::{louvain_csr, modularity_csr_threads, LouvainConfig};
 use moby_core::candidate::TRIP_LABEL;
 use moby_core::temporal::{
-    apply_batch_all, build_all_from_trips, build_temporal_graph, TemporalGranularity,
+    apply_batch_all, build_all_from_trips, build_all_from_trips_sharded, build_temporal_graph,
+    TemporalGranularity,
 };
+use moby_data::clean::clean_trip_stream;
+use moby_data::synth::city_trip_stream;
 use moby_data::trips::{TripBatch, TripTable};
 use moby_graph::metrics::{pagerank_csr, PageRankConfig};
-use moby_graph::{aggregate, build_dense_csr, par, CsrDelta, CsrGraph};
+use moby_graph::{aggregate, build_dense_csr, build_dense_csr_sharded, par, CsrDelta, CsrGraph};
 use std::time::Instant;
 
 /// Timing repetitions per measurement; the minimum is reported.
@@ -350,6 +366,117 @@ fn smoke_delta(
     results
 }
 
+/// One timed stage of the city-scale (`large`) tier.
+struct LargeStage {
+    name: String,
+    /// Rows flowing through the stage (trips for generation/cleaning,
+    /// 0 where the stage consumes an already-built table).
+    rows: usize,
+    nodes: usize,
+    edges: usize,
+    wall_ms: f64,
+    /// Process peak RSS (kB) sampled when the stage finished; 0 means
+    /// "not measured" (non-Linux hosts).
+    peak_rss_kb: u64,
+    /// Graph heap footprint the stage produced, in bytes (0 for
+    /// non-graph stages).
+    graph_bytes: usize,
+}
+
+/// Run the city tier: stream-generate and clean ≥1 M trips over ≥10 k
+/// stations, then build the station graph **unsharded and sharded**
+/// (panicking unless the two frozen graphs are bit-identical — the shard
+/// independence contract) and the three temporal graphs through the
+/// sharded path. Stages run once, not `REPS` times — at 1 M+ rows a
+/// single pass is already well above timer noise, and the tier's point
+/// is the memory/scale story, not microsecond-stable medians.
+fn smoke_large(threads: usize, shards: usize) -> Vec<LargeStage> {
+    let cfg = city_config();
+    let mut stages = Vec::new();
+
+    println!(
+        "city tier: {} stations, {} zones, {} trips, {shards} shards ...",
+        cfg.stations, cfg.zones, cfg.trips
+    );
+    let start = Instant::now();
+    let stations = cfg.station_ids();
+    let (table, report) = clean_trip_stream(stations, cfg.trips as usize, city_trip_stream(&cfg));
+    stages.push(LargeStage {
+        name: "large/generate_clean".into(),
+        rows: report.rows_seen,
+        nodes: table.station_ids().len(),
+        edges: 0,
+        wall_ms: start.elapsed().as_secs_f64() * 1e3,
+        peak_rss_kb: peak_rss_kb(),
+        graph_bytes: 0,
+    });
+    println!(
+        "  cleaned {} rows ({} dropped: unknown endpoint) in {:.1?}",
+        report.rows_kept,
+        report.unknown_endpoint,
+        start.elapsed()
+    );
+
+    let build_station = |shards: Option<usize>| {
+        build_dense_csr_sharded(
+            false,
+            table.station_ids().to_vec(),
+            table.src(),
+            table.dst(),
+            table.weights(),
+            shards,
+            Some(threads),
+        )
+    };
+    let start = Instant::now();
+    let unsharded = build_station(Some(1));
+    stages.push(LargeStage {
+        name: "large/build_unsharded".into(),
+        rows: table.len(),
+        nodes: unsharded.node_count(),
+        edges: unsharded.edge_count(),
+        wall_ms: start.elapsed().as_secs_f64() * 1e3,
+        peak_rss_kb: peak_rss_kb(),
+        graph_bytes: unsharded.heap_bytes(),
+    });
+
+    let start = Instant::now();
+    let sharded = build_station(Some(shards));
+    stages.push(LargeStage {
+        name: format!("large/build_sharded_{shards}"),
+        rows: table.len(),
+        nodes: sharded.node_count(),
+        edges: sharded.edge_count(),
+        wall_ms: start.elapsed().as_secs_f64() * 1e3,
+        peak_rss_kb: peak_rss_kb(),
+        graph_bytes: sharded.heap_bytes(),
+    });
+    assert_eq!(
+        sharded, unsharded,
+        "city tier: sharded station build diverged from unsharded — \
+         shard independence contract broken"
+    );
+    assert_eq!(
+        sharded.total_weight().to_bits(),
+        unsharded.total_weight().to_bits(),
+        "city tier: total weight bits diverged between shard counts"
+    );
+
+    let start = Instant::now();
+    let temporals =
+        build_all_from_trips_sharded(&table, Some(&sharded), Some(shards), Some(threads));
+    stages.push(LargeStage {
+        name: "large/temporal_sharded".into(),
+        rows: table.len(),
+        nodes: temporals.iter().map(|t| t.csr.node_count()).sum(),
+        edges: temporals.iter().map(|t| t.csr.edge_count()).sum(),
+        wall_ms: start.elapsed().as_secs_f64() * 1e3,
+        peak_rss_kb: peak_rss_kb(),
+        graph_bytes: temporals.iter().map(|t| t.csr.heap_bytes()).sum(),
+    });
+    stages
+}
+
 /// Time Louvain serially and in parallel on one frozen graph, panicking if
 /// the partitions or modularity scores are not identical.
 fn smoke_louvain(name: &str, graph: &CsrGraph, threads: usize) -> SmokeResult {
@@ -427,9 +554,13 @@ fn smoke_pagerank(name: &str, graph: &CsrGraph, threads: usize) -> SmokeResult {
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut scale = Scale::Medium;
-    let mut out = String::from("BENCH_pr4.json");
+    let mut scale = std::env::var("MOBY_BENCH_SCALE")
+        .ok()
+        .and_then(|s| Scale::parse(&s))
+        .unwrap_or(Scale::Medium);
+    let mut out = String::from("BENCH_pr6.json");
     let mut threads = par::thread_count(None).max(2);
+    let mut shards: Option<usize> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -437,7 +568,7 @@ fn main() {
                 match args.get(i + 1).and_then(|s| Scale::parse(s)) {
                     Some(s) => scale = s,
                     None => {
-                        eprintln!("unknown scale; expected small|medium|paper");
+                        eprintln!("unknown scale; expected small|medium|paper|large");
                         std::process::exit(2);
                     }
                 }
@@ -463,25 +594,56 @@ fn main() {
                 }
                 i += 2;
             }
+            "--shards" => {
+                match args.get(i + 1).and_then(|s| s.parse::<usize>().ok()) {
+                    Some(s) if s > 0 => shards = Some(s),
+                    _ => {
+                        eprintln!("--shards requires a positive integer");
+                        std::process::exit(2);
+                    }
+                }
+                i += 2;
+            }
             other => {
                 eprintln!("unknown argument '{other}'");
                 std::process::exit(2);
             }
         }
     }
+    // Enough shards that, at city scale, per-shard scatter buffers are
+    // meaningfully smaller than the whole edge list even with every
+    // worker busy.
+    let shards = shards.unwrap_or_else(|| (threads * 2).max(4));
+
+    let host = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
+    // The expansion algorithms (HAC candidate clustering in particular)
+    // are sized for the paper's data; the city tier exercises the
+    // construction path, so pipeline sections drop to medium.
+    let pipeline_scale = match scale {
+        Scale::Large => Scale::Medium,
+        other => other,
+    };
 
     println!("== moby-expansion bench smoke ==");
     println!(
-        "scale: {}, parallel threads: {threads} (host parallelism: {})",
+        "scale: {}, parallel threads: {threads} (host parallelism: {host})",
         scale.name(),
-        std::thread::available_parallelism()
-            .map(|p| p.get())
-            .unwrap_or(1)
     );
+    if host == 1 {
+        println!(
+            "WARNING: single-core host — parallel timings equal serial \
+             scheduling overhead; speedup columns suppressed"
+        );
+    }
 
     let started = Instant::now();
-    println!("running expansion pipeline ...");
-    let outcome = run_pipeline(scale);
+    println!(
+        "running expansion pipeline (scale: {}) ...",
+        pipeline_scale.name()
+    );
+    let outcome = run_pipeline(pipeline_scale);
     println!("pipeline finished in {:.1?}", started.elapsed());
 
     let mut results: Vec<SmokeResult> = Vec::new();
@@ -503,20 +665,47 @@ fn main() {
     println!("\ntiming incremental ingestion (delta apply vs full rebuild) ...");
     let deltas = smoke_delta(&outcome, threads);
 
-    println!(
-        "\n{:<22} {:>8} {:>9} {:>12} {:>12} {:>9}",
-        "bench", "nodes", "edges", "serial(ms)", "parallel(ms)", "speedup"
-    );
-    for r in &results {
+    let large = if scale == Scale::Large {
+        println!("\nrunning the city tier (streaming generation + sharded builds) ...");
+        smoke_large(threads, shards)
+    } else {
+        Vec::new()
+    };
+
+    if host == 1 {
         println!(
-            "{:<22} {:>8} {:>9} {:>12.2} {:>12.2} {:>8.2}x",
-            r.name,
-            r.nodes,
-            r.edges,
-            r.serial_ms,
-            r.parallel_ms,
-            r.speedup()
+            "\nWARNING: single-core host — speedup columns suppressed \
+             (parallel numbers measure scheduling overhead, not speedup)"
         );
+    }
+    if host > 1 {
+        println!(
+            "\n{:<22} {:>8} {:>9} {:>12} {:>12} {:>9}",
+            "bench", "nodes", "edges", "serial(ms)", "parallel(ms)", "speedup"
+        );
+    } else {
+        println!(
+            "\n{:<22} {:>8} {:>9} {:>12} {:>12}",
+            "bench", "nodes", "edges", "serial(ms)", "parallel(ms)"
+        );
+    }
+    for r in &results {
+        if host > 1 {
+            println!(
+                "{:<22} {:>8} {:>9} {:>12.2} {:>12.2} {:>8.2}x",
+                r.name,
+                r.nodes,
+                r.edges,
+                r.serial_ms,
+                r.parallel_ms,
+                r.speedup()
+            );
+        } else {
+            println!(
+                "{:<22} {:>8} {:>9} {:>12.2} {:>12.2}",
+                r.name, r.nodes, r.edges, r.serial_ms, r.parallel_ms
+            );
+        }
     }
     println!(
         "\n{:<26} {:>8} {:>9} {:>12} {:>13} {:>13} {:>12}",
@@ -553,7 +742,35 @@ fn main() {
         );
     }
 
-    let json = render_json(scale, threads, &results, &construction, &deltas);
+    if !large.is_empty() {
+        println!(
+            "\n{:<26} {:>9} {:>9} {:>10} {:>10} {:>11} {:>12}",
+            "city tier", "rows", "nodes", "edges", "wall(ms)", "rss(MB)", "graph(MB)"
+        );
+        for r in &large {
+            println!(
+                "{:<26} {:>9} {:>9} {:>10} {:>10.1} {:>11.1} {:>12.1}",
+                r.name,
+                r.rows,
+                r.nodes,
+                r.edges,
+                r.wall_ms,
+                r.peak_rss_kb as f64 / 1024.0,
+                r.graph_bytes as f64 / (1024.0 * 1024.0)
+            );
+        }
+    }
+
+    let json = render_json(
+        scale,
+        pipeline_scale,
+        threads,
+        shards,
+        &results,
+        &construction,
+        &deltas,
+        &large,
+    );
     match std::fs::write(&out, &json) {
         Ok(()) => println!("\nwrote {out} ({} bytes)", json.len()),
         Err(e) => {
@@ -569,32 +786,52 @@ fn main() {
 
 /// Hand-rolled JSON (the workspace has no serde_json; every value below is
 /// a number or a plain ASCII identifier, so no string escaping is needed).
+///
+/// Schema `moby-bench-smoke/v4`: every section row carries the `scale` it
+/// ran at (pipeline sections may run at `medium` while the `large`
+/// section runs at city scale in the same artifact) and a `peak_rss_kb`
+/// process high-water mark (0 = not measured).
+#[allow(clippy::too_many_arguments)]
 fn render_json(
     scale: Scale,
+    pipeline_scale: Scale,
     threads: usize,
+    shards: usize,
     results: &[SmokeResult],
     construction: &[ConstructionResult],
     deltas: &[DeltaResult],
+    large: &[LargeStage],
 ) -> String {
     let host = std::thread::available_parallelism()
         .map(|p| p.get())
         .unwrap_or(1);
+    let ps = pipeline_scale.name();
+    let rss = peak_rss_kb();
     let mut s = String::new();
     s.push_str("{\n");
-    s.push_str("  \"schema\": \"moby-bench-smoke/v3\",\n");
+    s.push_str("  \"schema\": \"moby-bench-smoke/v4\",\n");
     s.push_str(&format!("  \"scale\": \"{}\",\n", scale.name()));
     s.push_str(&format!("  \"parallel_threads\": {threads},\n"));
+    s.push_str(&format!("  \"shards\": {shards},\n"));
     s.push_str(&format!("  \"host_parallelism\": {host},\n"));
+    s.push_str(&format!("  \"peak_rss_kb\": {rss},\n"));
+    if host == 1 {
+        s.push_str(
+            "  \"warning\": \"single-core host: parallel timings measure \
+             scheduling overhead, not speedup\",\n",
+        );
+    }
     s.push_str(
         "  \"determinism\": \"bit-identical serial vs parallel, \
-         hashmap-freeze vs sort-merge, and delta-apply vs full rebuild \
-         (verified)\",\n",
+         hashmap-freeze vs sort-merge, delta-apply vs full rebuild, \
+         and sharded vs unsharded construction (verified)\",\n",
     );
     s.push_str("  \"benches\": [\n");
     for (i, r) in results.iter().enumerate() {
         s.push_str(&format!(
-            "    {{\"name\": \"{}\", \"nodes\": {}, \"edges\": {}, \
-             \"serial_ms\": {:.3}, \"parallel_ms\": {:.3}, \"speedup\": {:.3}}}{}\n",
+            "    {{\"name\": \"{}\", \"scale\": \"{ps}\", \"nodes\": {}, \"edges\": {}, \
+             \"serial_ms\": {:.3}, \"parallel_ms\": {:.3}, \"speedup\": {:.3}, \
+             \"peak_rss_kb\": {rss}}}{}\n",
             r.name,
             r.nodes,
             r.edges,
@@ -608,9 +845,10 @@ fn render_json(
     s.push_str("  \"construction\": [\n");
     for (i, r) in construction.iter().enumerate() {
         s.push_str(&format!(
-            "    {{\"name\": \"{}\", \"nodes\": {}, \"edges\": {}, \
+            "    {{\"name\": \"{}\", \"scale\": \"{ps}\", \"nodes\": {}, \"edges\": {}, \
              \"hashmap_freeze_ms\": {:.3}, \"sortmerge_1t_ms\": {:.3}, \
-             \"sortmerge_nt_ms\": {:.3}, \"speedup_vs_hashmap\": {:.3}}}{}\n",
+             \"sortmerge_nt_ms\": {:.3}, \"speedup_vs_hashmap\": {:.3}, \
+             \"peak_rss_kb\": {rss}}}{}\n",
             r.name,
             r.nodes,
             r.edges,
@@ -625,9 +863,10 @@ fn render_json(
     s.push_str("  \"delta\": [\n");
     for (i, r) in deltas.iter().enumerate() {
         s.push_str(&format!(
-            "    {{\"name\": \"{}\", \"base_rows\": {}, \"batch_rows\": {}, \
+            "    {{\"name\": \"{}\", \"scale\": \"{ps}\", \"base_rows\": {}, \"batch_rows\": {}, \
              \"nodes\": {}, \"edges\": {}, \"apply_ms\": {:.3}, \
-             \"rebuild_ms\": {:.3}, \"speedup_vs_rebuild\": {:.3}}}{}\n",
+             \"rebuild_ms\": {:.3}, \"speedup_vs_rebuild\": {:.3}, \
+             \"peak_rss_kb\": {rss}}}{}\n",
             r.name,
             r.base_rows,
             r.batch_rows,
@@ -637,6 +876,23 @@ fn render_json(
             r.rebuild_ms,
             r.speedup_vs_rebuild(),
             if i + 1 < deltas.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ],\n");
+    s.push_str("  \"large\": [\n");
+    for (i, r) in large.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"name\": \"{}\", \"scale\": \"large\", \"rows\": {}, \
+             \"nodes\": {}, \"edges\": {}, \"wall_ms\": {:.3}, \
+             \"peak_rss_kb\": {}, \"graph_bytes\": {}}}{}\n",
+            r.name,
+            r.rows,
+            r.nodes,
+            r.edges,
+            r.wall_ms,
+            r.peak_rss_kb,
+            r.graph_bytes,
+            if i + 1 < large.len() { "," } else { "" }
         ));
     }
     s.push_str("  ]\n}\n");

@@ -333,6 +333,7 @@ fn ablate_secondary(scale: Scale) {
                 ..ExpansionConfig::default()
             },
             detect: DetectConfig::default(),
+            build_shards: None,
         };
         let outcome = ExpansionPipeline::new(cfg)
             .run(&raw)

@@ -6,7 +6,7 @@
 
 use moby_core::pipeline::{ExpansionOutcome, ExpansionPipeline, PipelineConfig};
 use moby_data::schema::RawDataset;
-use moby_data::synth::{generate, SynthConfig};
+use moby_data::synth::{generate, CityConfig, SynthConfig};
 use moby_data::timeparse::Timestamp;
 
 /// Workload scale used by benches and the reproduction harness.
@@ -18,15 +18,20 @@ pub enum Scale {
     Medium,
     /// The paper's full scale: ≈62 k rentals, ≈14 k locations, 21 months.
     Paper,
+    /// City scale: ≥10 k stations, ≥1 M trips through the streaming
+    /// generator and sharded construction — exercises graph building,
+    /// not the expansion pipeline (which is sized for the paper's data).
+    Large,
 }
 
 impl Scale {
-    /// Parse a scale name (`small` / `medium` / `paper`).
+    /// Parse a scale name (`small` / `medium` / `paper` / `large`).
     pub fn parse(name: &str) -> Option<Scale> {
         match name.to_ascii_lowercase().as_str() {
             "small" => Some(Scale::Small),
             "medium" => Some(Scale::Medium),
             "paper" | "full" => Some(Scale::Paper),
+            "large" | "city" => Some(Scale::Large),
             _ => None,
         }
     }
@@ -37,11 +42,53 @@ impl Scale {
             Scale::Small => "small",
             Scale::Medium => "medium",
             Scale::Paper => "paper",
+            Scale::Large => "large",
         }
     }
 }
 
+/// The city-tier generator configuration for [`Scale::Large`], with the
+/// trip count optionally scaled by the `MOBY_CITY_TRIPS` environment
+/// knob (clamped to [`CityConfig::MAX_TRIPS`]).
+pub fn city_config() -> CityConfig {
+    SynthConfig::city().trips_from_env()
+}
+
+/// Peak resident-set size of this process in kilobytes, from
+/// `VmHWM` in `/proc/self/status`. Returns 0 where the proc
+/// filesystem is unavailable (non-Linux hosts) — callers should treat
+/// 0 as "not measured", never as "no memory used".
+pub fn peak_rss_kb() -> u64 {
+    #[cfg(target_os = "linux")]
+    {
+        if let Ok(status) = std::fs::read_to_string("/proc/self/status") {
+            for line in status.lines() {
+                if let Some(rest) = line.strip_prefix("VmHWM:") {
+                    return rest
+                        .trim()
+                        .trim_end_matches("kB")
+                        .trim()
+                        .parse()
+                        .unwrap_or(0);
+                }
+            }
+        }
+        0
+    }
+    #[cfg(not(target_os = "linux"))]
+    {
+        0
+    }
+}
+
 /// The synthetic-generator configuration for a scale.
+///
+/// # Panics
+///
+/// For [`Scale::Large`]: the city tier streams trips through
+/// [`city_config`]/[`moby_data::synth::city_trip_stream`] and never
+/// materialises a [`RawDataset`] — a row-of-structs dataset at 1 M+
+/// rows would defeat the tier's bounded-memory purpose.
 pub fn synth_config(scale: Scale) -> SynthConfig {
     match scale {
         Scale::Small => SynthConfig::small_test(),
@@ -55,6 +102,7 @@ pub fn synth_config(scale: Scale) -> SynthConfig {
             ..SynthConfig::paper_scale()
         },
         Scale::Paper => SynthConfig::paper_scale(),
+        Scale::Large => panic!("the large tier is streaming-only; use city_config()"),
     }
 }
 
@@ -81,8 +129,26 @@ mod tests {
         assert_eq!(Scale::parse("PAPER"), Some(Scale::Paper));
         assert_eq!(Scale::parse("full"), Some(Scale::Paper));
         assert_eq!(Scale::parse("medium"), Some(Scale::Medium));
+        assert_eq!(Scale::parse("large"), Some(Scale::Large));
+        assert_eq!(Scale::parse("city"), Some(Scale::Large));
         assert_eq!(Scale::parse("nope"), None);
         assert_eq!(Scale::Medium.name(), "medium");
+        assert_eq!(Scale::Large.name(), "large");
+    }
+
+    #[test]
+    fn city_config_meets_tier_floor() {
+        let cfg = city_config();
+        assert!(cfg.stations >= 10_000);
+        assert!(cfg.trips >= 1_000_000);
+    }
+
+    #[test]
+    fn peak_rss_is_measured_on_linux() {
+        let kb = peak_rss_kb();
+        if cfg!(target_os = "linux") {
+            assert!(kb > 0, "VmHWM should be readable on linux");
+        }
     }
 
     #[test]

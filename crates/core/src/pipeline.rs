@@ -10,7 +10,7 @@ use crate::candidate::{build_candidate_network, CandidateNetwork};
 use crate::detect::{detect_communities, CommunityDetection, DetectConfig};
 use crate::reassign::{build_selected_network, SelectedNetwork};
 use crate::selection::{select_stations, SelectionOutcome};
-use crate::temporal::build_all_from_trips;
+use crate::temporal::build_all_from_trips_sharded;
 use crate::{ExpansionConfig, Result};
 use moby_data::clean::{clean_dataset, CleaningReport};
 use moby_data::schema::{CleanDataset, RawDataset};
@@ -23,6 +23,11 @@ pub struct PipelineConfig {
     pub expansion: ExpansionConfig,
     /// Community-detection settings (§IV-C).
     pub detect: DetectConfig,
+    /// Number of construction shards for the temporal graph builds
+    /// (`None` defers to the `MOBY_SHARDS` environment knob, then 1).
+    /// Sharding changes peak construction memory, never the result —
+    /// frozen graphs are bit-identical at any shard count.
+    pub build_shards: Option<usize>,
 }
 
 /// Community detection results at the three temporal granularities.
@@ -113,9 +118,10 @@ impl ExpansionPipeline {
         // undirected CSR and the directed trip graph was frozen once at
         // network build — nothing on this path touches a hash-map builder
         // or re-derives adjacency.
-        let temporals = build_all_from_trips(
+        let temporals = build_all_from_trips_sharded(
             &selected.trips,
             Some(&selected.undirected),
+            self.config.build_shards,
             self.config.detect.threads,
         );
         let mut detections = Vec::with_capacity(3);
@@ -232,6 +238,25 @@ mod tests {
             b.communities.basic.station_partition
         );
         assert_eq!(a.communities.hour.modularity, b.communities.hour.modularity);
+    }
+
+    #[test]
+    fn pipeline_result_is_shard_count_independent() {
+        let raw = generate(&SynthConfig::small_test());
+        let base = ExpansionPipeline::new(PipelineConfig::default())
+            .run(&raw)
+            .unwrap();
+        let sharded = ExpansionPipeline::new(PipelineConfig {
+            build_shards: Some(4),
+            ..PipelineConfig::default()
+        })
+        .run(&raw)
+        .unwrap();
+        assert_eq!(base.selection.selected, sharded.selection.selected);
+        for (a, b) in base.communities.all().iter().zip(sharded.communities.all()) {
+            assert_eq!(a.station_partition, b.station_partition);
+            assert_eq!(a.modularity, b.modularity);
+        }
     }
 
     #[test]

@@ -258,9 +258,34 @@ pub fn build_all_from_trips(
     basic: Option<&CsrGraph>,
     threads: Option<usize>,
 ) -> Vec<TemporalGraph> {
+    build_all_from_trips_sharded(trips, basic, None, threads)
+}
+
+/// [`build_all_from_trips`] with explicit control over the number of
+/// construction shards — the city-scale entry point.
+///
+/// Every frozen graph routes through the sharded sort-merge assembly
+/// (`GBasic` via
+/// [`build_dense_csr_sharded`](moby_graph::build_dense_csr_sharded),
+/// `GDay`/`GHour` via [`CsrBuilder::shards`]), so the per-shard scatter
+/// buffers bound peak construction memory to roughly a shard's worth of
+/// half-edges per worker instead of the full edge list. Results are
+/// **bit-identical** to [`build_all_from_trips`] at any `(shards,
+/// threads)` combination — shard boundaries are a pure function of the
+/// row structure and the shard count, never of scheduling (see
+/// `DESIGN.md`, "Sharded construction"). `shards: None` defers to the
+/// `MOBY_SHARDS` environment knob and then to 1.
+pub fn build_all_from_trips_sharded(
+    trips: &TripTable,
+    basic: Option<&CsrGraph>,
+    shards: Option<usize>,
+    threads: Option<usize>,
+) -> Vec<TemporalGraph> {
     let m = trips.len();
-    let mut day_builder = CsrBuilder::undirected().threads(threads);
-    let mut hour_builder = CsrBuilder::undirected().threads(threads);
+    let mut day_builder = CsrBuilder::undirected().threads(threads).shards(shards);
+    let mut hour_builder = CsrBuilder::undirected().threads(threads).shards(shards);
+    day_builder.reserve(m);
+    hour_builder.reserve(m);
     let day_stride = TemporalGranularity::TDay.stride();
     let hour_stride = TemporalGranularity::THour.stride();
 
@@ -282,12 +307,13 @@ pub fn build_all_from_trips(
             // The station-level graph builds straight from the dense trip
             // columns; seeding the full sorted node table keeps every
             // station visible, like the legacy store projection.
-            moby_graph::build_dense_csr(
+            moby_graph::build_dense_csr_sharded(
                 false,
                 trips.station_ids().to_vec(),
                 trips.src(),
                 trips.dst(),
                 trips.weights(),
+                shards,
                 threads,
             )
         }
@@ -609,6 +635,21 @@ mod tests {
         );
         assert_eq!(shared[0].csr, updated[0].csr);
         assert_eq!(shared[1].csr, updated[1].csr);
+    }
+
+    #[test]
+    fn sharded_columnar_build_matches_unsharded() {
+        let trips = trip_table();
+        let baseline = build_all_from_trips(&trips, None, Some(1));
+        for shards in [Some(1), Some(2), Some(4)] {
+            for threads in [Some(1), Some(2), Some(4)] {
+                let sharded = build_all_from_trips_sharded(&trips, None, shards, threads);
+                for (g, b) in sharded.iter().zip(&baseline) {
+                    assert_eq!(g.csr, b.csr, "{:?} @ {shards:?} shards", g.granularity);
+                    assert_eq!(g.layer_map, b.layer_map);
+                }
+            }
+        }
     }
 
     #[test]

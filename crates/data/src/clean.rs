@@ -16,6 +16,8 @@
 //! (original vs cleaned counts) can be reproduced and audited.
 
 use crate::schema::{CleanDataset, Location, LocationId, RawDataset, Rental, Station};
+use crate::synth::CityTrip;
+use crate::trips::{StationNodeId, TripTable};
 use moby_geo::{dublin_land_mask, GeoPoint};
 use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, HashSet};
@@ -222,6 +224,55 @@ pub fn clean_dataset(raw: &RawDataset) -> CleaningOutcome {
     }
 }
 
+/// Audit counts of the streaming trip cleaner
+/// ([`clean_trip_stream`]) — the city-scale analogue of
+/// [`CleaningReport`].
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct StreamCleanReport {
+    /// Rows the stream yielded.
+    pub rows_seen: usize,
+    /// Rows that survived into the trip table.
+    pub rows_kept: usize,
+    /// Rows dropped because an endpoint was not in the station table
+    /// (the streaming counterpart of rule 5, *dangling reference*).
+    pub unknown_endpoint: usize,
+}
+
+/// Clean a stream of raw city trips straight into a columnar
+/// [`TripTable`] — the streaming counterpart of [`clean_dataset`] for
+/// city-scale feeds.
+///
+/// Each row is validated as it arrives (both endpoints must intern
+/// against the sorted station table — a binary search, no hash map) and
+/// either pushed into the table or counted as dropped; no row-of-structs
+/// record ever materialises outside the iterator, so peak memory is the
+/// columnar table itself (pre-reserved from `rows_hint`, the generator's
+/// row-count hint) plus O(1) per row. Temporal keys derive at push time
+/// exactly like every other table build path, keeping the result
+/// indistinguishable from a batch-built table over the same survivors.
+pub fn clean_trip_stream<I>(
+    station_ids: Vec<StationNodeId>,
+    rows_hint: usize,
+    stream: I,
+) -> (TripTable, StreamCleanReport)
+where
+    I: IntoIterator<Item = CityTrip>,
+{
+    let mut table = TripTable::with_capacity(station_ids, rows_hint);
+    let mut report = StreamCleanReport::default();
+    for trip in stream {
+        report.rows_seen += 1;
+        let (Some(src), Some(dst)) = (table.station_index(trip.src), table.station_index(trip.dst))
+        else {
+            report.unknown_endpoint += 1;
+            continue;
+        };
+        table.push(src, dst, trip.start);
+        report.rows_kept += 1;
+    }
+    (table, report)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -401,5 +452,67 @@ mod tests {
         assert_eq!(out.dataset.rentals.len(), 0);
         assert_eq!(out.dataset.locations.len(), 0);
         assert_eq!(out.report.total_rentals_removed(), 0);
+    }
+
+    #[test]
+    fn stream_cleaner_drops_exactly_the_unknown_endpoints() {
+        let t = |h| Timestamp::from_ymd_hms(2021, 6, 1, h, 0, 0).unwrap();
+        let rows = vec![
+            CityTrip {
+                src: 1,
+                dst: 2,
+                start: t(8),
+            },
+            CityTrip {
+                src: 0,
+                dst: 2,
+                start: t(9),
+            }, // below id space
+            CityTrip {
+                src: 2,
+                dst: 99,
+                start: t(10),
+            }, // above id space
+            CityTrip {
+                src: 3,
+                dst: 1,
+                start: t(11),
+            },
+        ];
+        let (table, report) = clean_trip_stream(vec![1, 2, 3], rows.len(), rows);
+        assert_eq!(report.rows_seen, 4);
+        assert_eq!(report.rows_kept, 2);
+        assert_eq!(report.unknown_endpoint, 2);
+        assert_eq!(table.len(), 2);
+        let edges: Vec<_> = table.station_edges().collect();
+        assert_eq!(edges, vec![(1, 2, 1.0), (3, 1, 1.0)]);
+    }
+
+    #[test]
+    fn stream_cleaner_matches_city_dirty_count() {
+        let cfg = crate::synth::CityConfig {
+            seed: 11,
+            stations: 256,
+            zones: 8,
+            trips: 5_000,
+            dirty_per_10k: 300,
+            within_zone_prob: 0.6,
+            days: 7,
+        };
+        let stations = cfg.station_ids();
+        let (table, report) = clean_trip_stream(
+            stations,
+            cfg.trips as usize,
+            crate::synth::city_trip_stream(&cfg),
+        );
+        assert_eq!(report.rows_seen, cfg.trips as usize);
+        assert_eq!(report.rows_kept + report.unknown_endpoint, report.rows_seen);
+        assert!(report.unknown_endpoint > 0, "dirty rows should appear");
+        assert_eq!(table.len(), report.rows_kept);
+        // Every surviving endpoint interns against the station table.
+        for (s, d, _) in table.station_edges() {
+            assert!((1..=u64::from(cfg.stations)).contains(&s));
+            assert!((1..=u64::from(cfg.stations)).contains(&d));
+        }
     }
 }

@@ -63,6 +63,24 @@ impl TripBatch {
         TripBatch::default()
     }
 
+    /// An empty batch with capacity pre-reserved for `rows` trips — the
+    /// row-count-hint entry for feeds that know their batch size.
+    pub fn with_capacity(rows: usize) -> TripBatch {
+        let mut b = TripBatch::new();
+        b.reserve(rows);
+        b
+    }
+
+    /// Reserve capacity for at least `additional` more trips across all
+    /// five columns.
+    pub fn reserve(&mut self, additional: usize) {
+        self.src.reserve(additional);
+        self.dst.reserve(additional);
+        self.day.reserve(additional);
+        self.hour.reserve(additional);
+        self.weight.reserve(additional);
+    }
+
     /// Number of trips in the batch.
     pub fn len(&self) -> usize {
         self.src.len()
@@ -192,6 +210,26 @@ impl TripTable {
             station_ids,
             ..TripTable::default()
         }
+    }
+
+    /// An empty table over the given station set with capacity
+    /// pre-reserved for `rows` trips — the row-count-hint entry loaders
+    /// and generators use so multi-million-row ingests never pay realloc
+    /// churn on the five trip columns.
+    pub fn with_capacity(station_ids: Vec<StationNodeId>, rows: usize) -> TripTable {
+        let mut t = TripTable::new(station_ids);
+        t.reserve(rows);
+        t
+    }
+
+    /// Reserve capacity for at least `additional` more trips across all
+    /// five columns.
+    pub fn reserve(&mut self, additional: usize) {
+        self.src.reserve(additional);
+        self.dst.reserve(additional);
+        self.day.reserve(additional);
+        self.hour.reserve(additional);
+        self.weight.reserve(additional);
     }
 
     /// Number of trips.
@@ -373,8 +411,7 @@ impl TripTable {
 
         // --- Append the batch rows over the extended table. ---
         let batch_start = self.len();
-        self.src.reserve(batch.len());
-        self.dst.reserve(batch.len());
+        self.reserve(batch.len());
         for k in 0..batch.len() {
             let s = self
                 .station_index(batch.src[k])
@@ -402,7 +439,12 @@ impl TripTable {
     /// expansion pipeline instead builds its table against the expanded
     /// station set after reassignment, in `moby_core`).
     pub fn from_clean_dataset(dataset: &CleanDataset) -> TripTable {
-        let mut table = TripTable::new(dataset.stations.iter().map(|s| s.id).collect());
+        // Rentals are an upper bound on rows (dockless-endpoint trips are
+        // skipped below) — close enough for one-shot reservation.
+        let mut table = TripTable::with_capacity(
+            dataset.stations.iter().map(|s| s.id).collect(),
+            dataset.rentals.len(),
+        );
         // Sorted (location id, station dense index) pairs: per-trip lookup
         // is a binary search, never a hash probe.
         let mut location_station: Vec<(u64, u32)> = dataset
@@ -451,6 +493,20 @@ mod tests {
         assert_eq!(t.station_index(20), Some(1));
         assert_eq!(t.station_index(99), None);
         assert_eq!(t.station_id(2), 30);
+    }
+
+    #[test]
+    fn with_capacity_changes_nothing_observable() {
+        let mut a = TripTable::new(vec![1, 2]);
+        let mut b = TripTable::with_capacity(vec![1, 2], 128);
+        a.push(0, 1, ts(1, 8));
+        b.push(0, 1, ts(1, 8));
+        assert_eq!(a, b);
+        let mut ba = TripBatch::new();
+        let mut bb = TripBatch::with_capacity(64);
+        ba.push(1, 2, ts(2, 9));
+        bb.push(1, 2, ts(2, 9));
+        assert_eq!(ba, bb);
     }
 
     #[test]

@@ -22,6 +22,21 @@
 //! the thread count, and every merge folds per-chunk results in chunk
 //! order — the module contract of [`par`]).
 //!
+//! ## Sharded construction
+//!
+//! At city scale the serial stable-scatter pass of step 3 dominates the
+//! build, so the row packing can additionally be **sharded**: the dense
+//! row space is partitioned into contiguous station ranges (balanced by
+//! half-edge count — a pure function of the row structure and the shard
+//! count, never the thread count), each shard scatters and sort-merges
+//! its own rows in parallel, and the shard outputs concatenate in shard
+//! order. Because a merged row is a pure function of that row's bucketed
+//! entries *in insertion order* — and a shard-local forward scan
+//! preserves exactly that order — the sharded build is **bit-identical
+//! to the unsharded one at any shard count and any thread count**, the
+//! third independence axis after the thread-count and builder/freeze
+//! contracts. See [`build_dense_csr_sharded`] and `DESIGN.md`.
+//!
 //! The output is *exactly* the graph `WeightedGraph::freeze()` would have
 //! produced from the same inserts — same dense node table, same sorted
 //! rows, same bit pattern in every merged weight and cached degree — which
@@ -53,6 +68,15 @@ impl EdgeList {
             dst: Vec::with_capacity(n),
             weight: Vec::with_capacity(n),
         }
+    }
+
+    /// Reserve capacity for at least `additional` more edges — the
+    /// row-count-hint plumbing loaders and generators use so
+    /// multi-million-row builds never pay realloc churn.
+    pub fn reserve(&mut self, additional: usize) {
+        self.src.reserve(additional);
+        self.dst.reserve(additional);
+        self.weight.reserve(additional);
     }
 
     /// Append one edge.
@@ -123,6 +147,7 @@ pub struct CsrBuilder {
     seeds: Vec<NodeId>,
     edges: EdgeList,
     threads: Option<usize>,
+    shards: Option<usize>,
 }
 
 impl CsrBuilder {
@@ -148,6 +173,24 @@ impl CsrBuilder {
     /// thread count; this only tunes speed.
     pub fn threads(mut self, threads: Option<usize>) -> CsrBuilder {
         self.threads = threads;
+        self
+    }
+
+    /// Override the construction shard count for [`CsrBuilder::build`].
+    /// `None` (the default) resolves `MOBY_SHARDS` via
+    /// [`par::shard_count`] (default 1, unsharded). The built graph is
+    /// bit-identical at any shard count; sharding only parallelises the
+    /// row-scatter pass and bounds per-shard scatter memory — see the
+    /// [module docs](self).
+    pub fn shards(mut self, shards: Option<usize>) -> CsrBuilder {
+        self.shards = shards;
+        self
+    }
+
+    /// Reserve capacity for at least `additional` more edges (the
+    /// row-count hint of [`EdgeList::reserve`]).
+    pub fn reserve(&mut self, additional: usize) -> &mut CsrBuilder {
+        self.edges.reserve(additional);
         self
     }
 
@@ -249,6 +292,7 @@ impl CsrBuilder {
             &srcs,
             &dsts,
             &self.edges.weight,
+            par::shard_count(self.shards),
             threads,
         )
     }
@@ -275,6 +319,38 @@ pub fn build_dense_csr(
     weight: &[f64],
     threads: Option<usize>,
 ) -> CsrGraph {
+    build_dense_csr_sharded(directed, node_ids, src, dst, weight, None, threads)
+}
+
+/// [`build_dense_csr`] with an explicit construction shard count — the
+/// city-scale entry point.
+///
+/// The dense row space is partitioned into at most `shards` contiguous
+/// station ranges balanced by half-edge count; each shard scatters its
+/// own rows from the half-edge columns (a shard-local forward scan, so
+/// every row's bucket keeps global insertion order) and sort-merges them
+/// with the same per-row machinery as the unsharded path, then the shard
+/// outputs concatenate in shard order. The result is **bit-identical to
+/// the unsharded build at any shard count and any thread count** — the
+/// shard-independence proptests assert this bitwise over
+/// {1, 2, 4} shards × {1, 2, 4} threads — so downstream consumers
+/// (including [`CsrGraph::apply_delta`](crate::CsrGraph::apply_delta),
+/// which accepts sharded bases unchanged) cannot observe the knob.
+///
+/// `shards = None` resolves the `MOBY_SHARDS` environment variable via
+/// [`par::shard_count`] (default 1). Shards bound the parallelism of the
+/// scatter/merge stages, so pick `shards >= threads` when sharding for
+/// speed; per-shard scatter buffers hold only that shard's half-edges,
+/// which is what keeps peak memory bounded on 10M-trip builds.
+pub fn build_dense_csr_sharded(
+    directed: bool,
+    node_ids: Vec<NodeId>,
+    src: &[u32],
+    dst: &[u32],
+    weight: &[f64],
+    shards: Option<usize>,
+    threads: Option<usize>,
+) -> CsrGraph {
     assert_eq!(src.len(), dst.len(), "dense edge columns must align");
     assert_eq!(src.len(), weight.len(), "dense edge columns must align");
     assert!(
@@ -282,7 +358,8 @@ pub fn build_dense_csr(
         "edge list exceeds the u32 CSR index space"
     );
     let threads = par::thread_count(threads);
-    assemble(directed, node_ids, src, dst, weight, threads)
+    let shards = par::shard_count(shards);
+    assemble(directed, node_ids, src, dst, weight, shards, threads)
 }
 
 /// The shared tail of both construction entries: pack the dense edge
@@ -293,6 +370,7 @@ fn assemble(
     srcs: &[u32],
     dsts: &[u32],
     weights_in: &[f64],
+    shards: usize,
     threads: usize,
 ) -> CsrGraph {
     let n = node_ids.len();
@@ -309,10 +387,10 @@ fn assemble(
     // insertion order, exactly as the builder's symmetric adjacency
     // update does.
     let out_half = half_edges(srcs, dsts, weights_in, directed);
-    let (offsets, targets, weights, pairs_once) = pack_rows(n, &out_half, threads);
+    let (offsets, targets, weights, pairs_once) = pack_rows(n, &out_half, shards, threads);
     let (in_offsets, in_targets, in_weights) = if directed {
         let in_half = half_edges(dsts, srcs, weights_in, true);
-        let (io, it, iw, _) = pack_rows(n, &in_half, threads);
+        let (io, it, iw, _) = pack_rows(n, &in_half, shards, threads);
         (io, it, iw)
     } else {
         (Vec::new(), Vec::new(), Vec::new())
@@ -369,12 +447,78 @@ pub(crate) fn half_edges(rows: &[u32], cols: &[u32], weights: &[f64], directed: 
     half
 }
 
+/// Sort-merge a contiguous range of rows whose bucketed entries live in
+/// `bucket_col`/`bucket_w` at positions `offsets[u] - base ..
+/// offsets[u + 1] - base`. Returns the merged
+/// `(targets, weights, per-row lens, pairs_once)` segment for the range,
+/// where `pairs_once` counts merged entries with `row <= col` (the
+/// undirected edge-count convention).
+///
+/// This is a pure function of each row's bucket *in insertion order* —
+/// the invariant that makes thread-chunk and shard decompositions of the
+/// row space interchangeable bit for bit.
+fn sort_merge_rows(
+    rows: std::ops::Range<usize>,
+    offsets: &[u32],
+    base: u32,
+    bucket_col: &[u32],
+    bucket_w: &[f64],
+) -> (Vec<u32>, Vec<f64>, Vec<u32>, usize) {
+    let mut targets = Vec::new();
+    let mut weights = Vec::new();
+    let mut lens = Vec::with_capacity(rows.len());
+    let mut pairs_once = 0usize;
+    let mut scratch: Vec<(u32, f64)> = Vec::new();
+    for u in rows {
+        let lo = (offsets[u] - base) as usize;
+        let hi = (offsets[u + 1] - base) as usize;
+        scratch.clear();
+        scratch.extend(
+            bucket_col[lo..hi]
+                .iter()
+                .copied()
+                .zip(bucket_w[lo..hi].iter().copied()),
+        );
+        // Stable: equal targets keep insertion order for the merge.
+        scratch.sort_by_key(|&(col, _)| col);
+        let before = targets.len();
+        let mut i = 0usize;
+        while i < scratch.len() {
+            let col = scratch[i].0;
+            let mut acc = 0.0f64;
+            while i < scratch.len() && scratch[i].0 == col {
+                acc += scratch[i].1;
+                i += 1;
+            }
+            targets.push(col);
+            weights.push(acc);
+            if u as u32 <= col {
+                pairs_once += 1;
+            }
+        }
+        lens.push((targets.len() - before) as u32);
+    }
+    (targets, weights, lens, pairs_once)
+}
+
 /// Bucket half-edges by row (stable counting pass), then sort each row by
 /// target and merge adjacent duplicates — weights summed in insertion
 /// order. Returns `(offsets, targets, weights, pairs_once)` where
 /// `pairs_once` counts merged entries with `row <= col` (the undirected
 /// edge-count convention).
-fn pack_rows(n: usize, half: &HalfEdges, threads: usize) -> (Vec<u32>, Vec<u32>, Vec<f64>, usize) {
+///
+/// With `shards > 1` the scatter itself is sharded: the row space splits
+/// into contiguous ranges balanced by half-edge count (a pure function of
+/// the provisional offsets and the shard count), each shard scatters and
+/// merges its own rows, and the shard outputs concatenate in shard
+/// order — bit-identical to the unsharded pass at any shard count (see
+/// the [module docs](self)).
+fn pack_rows(
+    n: usize,
+    half: &HalfEdges,
+    shards: usize,
+    threads: usize,
+) -> (Vec<u32>, Vec<u32>, Vec<f64>, usize) {
     let h = half.row.len();
     assert!(h <= u32::MAX as usize, "half-edge space exceeds u32");
 
@@ -398,60 +542,54 @@ fn pack_rows(n: usize, half: &HalfEdges, threads: usize) -> (Vec<u32>, Vec<u32>,
         offsets[u + 1] += offsets[u];
     }
 
-    // Stable scatter: a single linear pass in insertion order, so every
-    // row's bucket lists its entries oldest-first (the merge below relies
-    // on this to reproduce the builder's accumulation order).
-    let mut bucket_col = vec![0u32; h];
-    let mut bucket_w = vec![0.0f64; h];
-    let mut cursor: Vec<u32> = offsets[..n].to_vec();
-    for i in 0..h {
-        let r = half.row[i] as usize;
-        let p = cursor[r] as usize;
-        cursor[r] += 1;
-        bucket_col[p] = half.col[i];
-        bucket_w[p] = half.weight[i];
-    }
-
-    // Per-row sort + adjacent merge, parallel over edge-balanced row
-    // chunks; per-chunk outputs concatenate in chunk order.
-    let row_chunks = par::RowChunks::balanced(&offsets, 64, 4096);
-    let merged = par::par_map(&row_chunks, threads, |_, range| {
-        let mut targets = Vec::new();
-        let mut weights = Vec::new();
-        let mut lens = Vec::with_capacity(range.len());
-        let mut pairs_once = 0usize;
-        let mut scratch: Vec<(u32, f64)> = Vec::new();
-        for u in range {
-            let lo = offsets[u] as usize;
-            let hi = offsets[u + 1] as usize;
-            scratch.clear();
-            scratch.extend(
-                bucket_col[lo..hi]
-                    .iter()
-                    .copied()
-                    .zip(bucket_w[lo..hi].iter().copied()),
-            );
-            // Stable: equal targets keep insertion order for the merge.
-            scratch.sort_by_key(|&(col, _)| col);
-            let before = targets.len();
-            let mut i = 0usize;
-            while i < scratch.len() {
-                let col = scratch[i].0;
-                let mut acc = 0.0f64;
-                while i < scratch.len() && scratch[i].0 == col {
-                    acc += scratch[i].1;
-                    i += 1;
-                }
-                targets.push(col);
-                weights.push(acc);
-                if u as u32 <= col {
-                    pairs_once += 1;
-                }
-            }
-            lens.push((targets.len() - before) as u32);
+    let merged = if shards <= 1 {
+        // Stable scatter: a single linear pass in insertion order, so
+        // every row's bucket lists its entries oldest-first (the merge
+        // relies on this to reproduce the builder's accumulation order).
+        let mut bucket_col = vec![0u32; h];
+        let mut bucket_w = vec![0.0f64; h];
+        let mut cursor: Vec<u32> = offsets[..n].to_vec();
+        for i in 0..h {
+            let r = half.row[i] as usize;
+            let p = cursor[r] as usize;
+            cursor[r] += 1;
+            bucket_col[p] = half.col[i];
+            bucket_w[p] = half.weight[i];
         }
-        (targets, weights, lens, pairs_once)
-    });
+
+        // Per-row sort + adjacent merge, parallel over edge-balanced row
+        // chunks; per-chunk outputs concatenate in chunk order.
+        let row_chunks = par::RowChunks::balanced(&offsets, 64, 4096);
+        par::par_map(&row_chunks, threads, |_, range| {
+            sort_merge_rows(range, &offsets, 0, &bucket_col, &bucket_w)
+        })
+    } else {
+        // Shard boundaries: contiguous row ranges balanced by half-edge
+        // count — a pure function of the offsets and the shard count.
+        let shard_chunks = par::RowChunks::balanced(&offsets, shards, 1);
+        par::par_map(&shard_chunks, threads, |_, rows| {
+            // Shard-local stable scatter: one forward pass over the full
+            // half-edge columns keeps each of this shard's rows in
+            // global insertion order, so the per-row buckets are
+            // byte-equal to the slices the unsharded scatter produces.
+            let base = offsets[rows.start];
+            let len = (offsets[rows.end] - base) as usize;
+            let mut bucket_col = vec![0u32; len];
+            let mut bucket_w = vec![0.0f64; len];
+            let mut cursor: Vec<u32> = offsets[rows.clone()].to_vec();
+            for i in 0..h {
+                let r = half.row[i] as usize;
+                if r < rows.start || r >= rows.end {
+                    continue;
+                }
+                let p = (cursor[r - rows.start] - base) as usize;
+                cursor[r - rows.start] += 1;
+                bucket_col[p] = half.col[i];
+                bucket_w[p] = half.weight[i];
+            }
+            sort_merge_rows(rows, &offsets, base, &bucket_col, &bucket_w)
+        })
+    };
 
     let mut final_offsets = Vec::with_capacity(n + 1);
     final_offsets.push(0u32);
@@ -643,6 +781,73 @@ mod tests {
         let via_builder = g.subgraph(keep).freeze();
         let via_csr = g.freeze().subgraph(keep);
         assert_identical(&via_csr, &via_builder);
+    }
+
+    #[test]
+    fn sharded_dense_build_matches_unsharded() {
+        // Small-shard smoke case: every shard count must reproduce the
+        // unsharded build bit for bit (the full differential suite lives
+        // in tests/proptest_sharded.rs).
+        let node_ids: Vec<NodeId> = (0..40).map(|i| i * 3 + 1).collect();
+        let mut x = 99u64;
+        let (mut src, mut dst, mut w) = (Vec::new(), Vec::new(), Vec::new());
+        for _ in 0..600 {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            src.push(((x >> 33) % 40) as u32);
+            dst.push(((x >> 17) % 40) as u32);
+            w.push(((x >> 3) % 100) as f64 / 16.0 + 0.5);
+        }
+        for directed in [false, true] {
+            let base = build_dense_csr(directed, node_ids.clone(), &src, &dst, &w, Some(2));
+            for shards in [1usize, 2, 3, 4, 7] {
+                for threads in [1usize, 2, 4] {
+                    let sharded = build_dense_csr_sharded(
+                        directed,
+                        node_ids.clone(),
+                        &src,
+                        &dst,
+                        &w,
+                        Some(shards),
+                        Some(threads),
+                    );
+                    assert_identical(&sharded, &base);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_builder_matches_unsharded_builder() {
+        let base = {
+            let mut b = CsrBuilder::undirected();
+            b.extend_edges(&sample_edges().into_iter().collect());
+            b.build()
+        };
+        for shards in [1usize, 2, 4] {
+            let mut b = CsrBuilder::undirected().shards(Some(shards));
+            b.reserve(sample_edges().len());
+            b.extend_edges(&sample_edges().into_iter().collect());
+            assert_identical(&b.build(), &base);
+        }
+    }
+
+    #[test]
+    fn sharded_build_handles_empty_and_single_row_spaces() {
+        let empty = build_dense_csr_sharded(false, Vec::new(), &[], &[], &[], Some(4), Some(2));
+        assert!(empty.is_empty());
+        let one = build_dense_csr_sharded(
+            true,
+            vec![7],
+            &[0, 0],
+            &[0, 0],
+            &[1.0, 2.0],
+            Some(4),
+            Some(2),
+        );
+        assert_eq!(one.node_count(), 1);
+        assert_eq!(one.row(0), (&[0u32][..], &[3.0][..]));
     }
 
     #[test]

@@ -37,6 +37,14 @@
 //! bit-identical at any parallelism, like every other pass in this crate.
 //! The differential proptest suite (`crates/core/tests/proptest_delta.rs`)
 //! and the `bench_smoke` CI job enforce the contract end to end.
+//!
+//! **Sharded bases.** A base graph built through the sharded path
+//! ([`build_dense_csr_sharded`](crate::build_dense_csr_sharded)) is
+//! bit-identical to the unsharded build, so `apply_delta` accepts it
+//! unchanged and the equivalence contract carries over verbatim: delta on
+//! a sharded base equals the unsharded rebuild of the concatenated list.
+//! The shard-independence suite (`crates/graph/tests/proptest_sharded.rs`)
+//! chains deltas onto sharded bases to pin this down.
 
 use crate::build::{half_edges, HalfEdges};
 use crate::csr::CsrParts;

@@ -66,7 +66,7 @@ pub mod par;
 mod store;
 mod value;
 
-pub use build::{build_dense_csr, CsrBuilder, EdgeList};
+pub use build::{build_dense_csr, build_dense_csr_sharded, CsrBuilder, EdgeList};
 pub use csr::CsrGraph;
 pub use delta::CsrDelta;
 pub use graph::{NodeId, WeightedGraph};

@@ -1,0 +1,77 @@
+//! CI perf-regression gate over `bench_smoke` artifacts.
+//!
+//! ```text
+//! bench_check <fresh.json> [baseline.json]
+//! ```
+//!
+//! Parses the freshly produced artifact (and, when given, the committed
+//! baseline from a previous PR) and applies the policy in
+//! [`moby_bench::artifact::gate`]:
+//!
+//! - every expected section (`benches`, `construction`, `delta`,
+//!   `window`, and `large` for large-scale runs) must be present and
+//!   non-empty;
+//! - the `determinism` field must assert every bit-identity contract;
+//! - wall times matched by section + row name must stay within
+//!   [`moby_bench::artifact::FAIL_RATIO`] of the baseline — soft
+//!   regressions past [`moby_bench::artifact::WARN_RATIO`] warn, and
+//!   all ratio findings degrade to warnings when either run happened
+//!   on a single-core host.
+//!
+//! Exit status 0 when the gate passes (warnings allowed), 1 on any
+//! hard failure, 2 on unreadable or unparseable input.
+
+use moby_bench::artifact::{gate, Json};
+use std::process::ExitCode;
+
+fn load(path: &str) -> Result<Json, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    Json::parse(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (fresh_path, baseline_path) = match args.as_slice() {
+        [fresh] => (fresh.as_str(), None),
+        [fresh, baseline] => (fresh.as_str(), Some(baseline.as_str())),
+        _ => {
+            eprintln!("usage: bench_check <fresh.json> [baseline.json]");
+            return ExitCode::from(2);
+        }
+    };
+
+    let fresh = match load(fresh_path) {
+        Ok(doc) => doc,
+        Err(e) => {
+            eprintln!("bench_check: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let baseline = match baseline_path.map(load) {
+        None => None,
+        Some(Ok(doc)) => Some(doc),
+        Some(Err(e)) => {
+            eprintln!("bench_check: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let report = gate(&fresh, baseline.as_ref());
+    for warning in &report.warnings {
+        println!("warning: {warning}");
+    }
+    for error in &report.errors {
+        println!("error: {error}");
+    }
+    if report.passed() {
+        println!(
+            "bench_check: OK — {fresh_path} vs {} ({} warnings)",
+            baseline_path.unwrap_or("<no baseline>"),
+            report.warnings.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        println!("bench_check: FAILED with {} error(s)", report.errors.len());
+        ExitCode::FAILURE
+    }
+}

@@ -13,6 +13,12 @@
 //!   `CsrDelta` against rebuilding the graphs from the concatenated
 //!   table, *verifying the delta output is bit-identical to the rebuild*
 //!   (the PR 4 equivalence contract — any divergence panics, failing CI);
+//! * times the **windowed lifecycle** — `advance_window` (evict + ingest)
+//!   and `apply_window_all` against one-shot rebuilds over the surviving
+//!   rows, *verifying the windowed state is bit-identical to the rebuild*
+//!   (the PR 7 equivalence contract), plus seeded vs cold Louvain on the
+//!   post-window `GHour` graph (seeded modularity must not fall below
+//!   cold — any loss panics, failing CI);
 //! * at `--scale large`, runs the **city tier**: streams ≥1 M synthetic
 //!   trips over ≥10 k stations through the streaming cleaner, then builds
 //!   the station and temporal graphs **sharded and unsharded**, verifying
@@ -21,15 +27,15 @@
 //!   algorithms are sized for the paper's data, not city scale);
 //!
 //! and writes the timings to a `BENCH_*.json` file
-//! (`moby-bench-smoke/v4`: every section row carries the `scale` it ran
+//! (`moby-bench-smoke/v5`: every section row carries the `scale` it ran
 //! at and the process peak RSS when it finished) that the `bench-smoke`
-//! CI job uploads as a workflow artifact. This is where the repo's perf
-//! trajectory accumulates from PR 2 onward.
+//! CI job uploads as a workflow artifact and gates with `bench_check`.
+//! This is where the repo's perf trajectory accumulates from PR 2 onward.
 //!
 //! ```text
 //! cargo run --release -p moby-bench --bin bench_smoke -- \
 //!     [--scale small|medium|paper|large] [--threads N] [--shards S] \
-//!     [--out BENCH_pr6.json]
+//!     [--out BENCH_latest.json]
 //! ```
 //!
 //! `--scale` defaults to the `MOBY_BENCH_SCALE` environment variable and
@@ -37,17 +43,21 @@
 //! `MOBY_CITY_TRIPS` (up to 10 M).
 
 use moby_bench::{city_config, peak_rss_kb, run_pipeline, Scale};
-use moby_community::{louvain_csr, modularity_csr_threads, LouvainConfig};
+use moby_community::{louvain_csr, louvain_seeded, modularity_csr_threads, LouvainConfig};
 use moby_core::candidate::TRIP_LABEL;
 use moby_core::temporal::{
-    apply_batch_all, build_all_from_trips, build_all_from_trips_sharded, build_temporal_graph,
-    TemporalGranularity,
+    apply_batch_all, apply_window_all, build_all_from_trips, build_all_from_trips_sharded,
+    build_temporal_graph, TemporalGranularity,
 };
 use moby_data::clean::clean_trip_stream;
 use moby_data::synth::city_trip_stream;
+use moby_data::trips::WindowStart;
 use moby_data::trips::{TripBatch, TripTable};
 use moby_graph::metrics::{pagerank_csr, PageRankConfig};
-use moby_graph::{aggregate, build_dense_csr, build_dense_csr_sharded, par, CsrDelta, CsrGraph};
+use moby_graph::{
+    aggregate, build_dense_csr, build_dense_csr_sharded, par, props, CsrDelta, CsrGraph,
+    GraphStore, PropValue,
+};
 use std::time::Instant;
 
 /// Timing repetitions per measurement; the minimum is reported.
@@ -366,6 +376,270 @@ fn smoke_delta(
     results
 }
 
+/// Timings for one windowed-lifecycle stage: incremental advance against
+/// a one-shot rebuild over the surviving rows.
+struct WindowResult {
+    name: String,
+    evicted_rows: usize,
+    batch_rows: usize,
+    nodes: usize,
+    edges: usize,
+    apply_ms: f64,
+    rebuild_ms: f64,
+}
+
+impl WindowResult {
+    fn speedup_vs_rebuild(&self) -> f64 {
+        if self.apply_ms > 0.0 {
+            self.rebuild_ms / self.apply_ms
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Seeded vs cold Louvain on the post-window `GHour` graph.
+struct WindowLouvain {
+    nodes: usize,
+    edges: usize,
+    seeded_ms: f64,
+    cold_ms: f64,
+    q_seeded: f64,
+    q_cold: f64,
+}
+
+impl WindowLouvain {
+    fn speedup_vs_cold(&self) -> f64 {
+        if self.seeded_ms > 0.0 {
+            self.cold_ms / self.seeded_ms
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Run the windowed-lifecycle section: slide the selected network's trip
+/// window (evicting the first two weekdays while a small replayed batch
+/// rides along), timing `advance_window` and `apply_window_all` against
+/// one-shot rebuilds over the surviving table — panicking unless the
+/// windowed state is **bit-identical** to the rebuilds (the PR 7
+/// equivalence contract) — then seeded vs cold Louvain on the post-window
+/// `GHour` graph, panicking if seeding loses modularity to the cold run.
+fn smoke_window(
+    outcome: &moby_core::pipeline::ExpansionOutcome,
+    threads: usize,
+) -> (Vec<WindowResult>, WindowLouvain) {
+    let selected = &outcome.selected;
+    let pre_trips = &selected.trips;
+    let pre_temporals = build_all_from_trips(pre_trips, None, Some(threads));
+
+    // The window slides by one hour — the live-deployment cadence this
+    // path exists for (gentle shifts evict a sliver of the table and
+    // keep the previous partition a good seed); the batch replays the
+    // table's trailing rows (station set unchanged, like the delta
+    // section). Heavier evictions are exercised by the differential
+    // proptest suite, not timed here.
+    let window = WindowStart::new(0, 1);
+    let m = pre_trips.len();
+    let batch_rows = (m / 64).max(1).min(m);
+    let mut batch = TripBatch::new();
+    for k in (m - batch_rows)..m {
+        batch.push_keyed(
+            pre_trips.station_id(pre_trips.src()[k]),
+            pre_trips.station_id(pre_trips.dst()[k]),
+            pre_trips.day()[k],
+            pre_trips.hour()[k],
+            pre_trips.weights()[k],
+        );
+    }
+
+    let mut net = selected.clone();
+    let wo = net
+        .advance_window(&batch, window, Some(threads))
+        .expect("batch endpoints come from the network itself");
+    let evicted_rows = wo.evicted.evicted_rows();
+    assert!(evicted_rows > 0, "window section: nothing expired");
+
+    // --- Station graphs: advance_window vs rebuild over survivors. ---
+    let rebuild_station = |dir: bool| {
+        build_dense_csr(
+            dir,
+            net.trips.station_ids().to_vec(),
+            net.trips.src(),
+            net.trips.dst(),
+            net.trips.weights(),
+            Some(threads),
+        )
+    };
+    for (dir, got) in [(true, &net.directed), (false, &net.undirected)] {
+        let want = rebuild_station(dir);
+        assert_eq!(
+            got, &want,
+            "window: advance_window diverged from a rebuild over the surviving rows"
+        );
+        assert_eq!(
+            got.total_weight().to_bits(),
+            want.total_weight().to_bits(),
+            "window: total weight bits diverged from the rebuild"
+        );
+    }
+    // The rebuild baseline reconstructs every piece of state the advance
+    // maintained in place: the surviving trip table, both frozen trip
+    // graphs, and the full-fidelity store relationships with their
+    // temporal props. (Table III is excluded — the advance pays that
+    // extra cost on top.)
+    let rebuild_station_state = || {
+        let mut t = TripTable::new(net.trips.station_ids().to_vec());
+        for k in 0..net.trips.len() {
+            t.push_keyed(
+                net.trips.src()[k],
+                net.trips.dst()[k],
+                net.trips.day()[k],
+                net.trips.hour()[k],
+                net.trips.weights()[k],
+            );
+        }
+        let d = build_dense_csr(
+            true,
+            t.station_ids().to_vec(),
+            t.src(),
+            t.dst(),
+            t.weights(),
+            Some(threads),
+        );
+        let u = build_dense_csr(
+            false,
+            t.station_ids().to_vec(),
+            t.src(),
+            t.dst(),
+            t.weights(),
+            Some(threads),
+        );
+        let mut store = GraphStore::new();
+        for &id in t.station_ids() {
+            store.add_node(id, "Station", props::<[(&str, PropValue); 0], &str>([]));
+        }
+        for k in 0..t.len() {
+            store
+                .add_edge(
+                    t.station_id(t.src()[k]),
+                    t.station_id(t.dst()[k]),
+                    TRIP_LABEL,
+                    props([
+                        ("day", PropValue::from(i64::from(t.day()[k]))),
+                        ("hour", PropValue::from(i64::from(t.hour()[k]))),
+                    ]),
+                )
+                .expect("stations added above");
+        }
+        (t, d, u, store)
+    };
+    let mut pool: Vec<_> = (0..REPS).map(|_| selected.clone()).collect();
+    let mut results = vec![WindowResult {
+        name: "window/advance_window".into(),
+        evicted_rows,
+        batch_rows,
+        nodes: net.directed.node_count(),
+        edges: net.directed.edge_count() + net.undirected.edge_count(),
+        apply_ms: time_min(|| {
+            let mut n = pool.pop().expect("one pre-made clone per rep");
+            std::hint::black_box(n.advance_window(&batch, window, Some(threads)).unwrap());
+        }),
+        rebuild_ms: time_min(|| {
+            std::hint::black_box(rebuild_station_state());
+        }),
+    }];
+
+    // --- Temporal graphs: apply_window_all vs rebuild over survivors. ---
+    let advanced = apply_window_all(pre_temporals.clone(), &net.trips, &wo, None, Some(threads));
+    let rebuilt = build_all_from_trips(&net.trips, None, Some(threads));
+    for (got, want) in advanced.iter().zip(&rebuilt) {
+        assert_eq!(
+            got.csr, want.csr,
+            "{:?}: windowed temporal advance diverged from full rebuild",
+            got.granularity
+        );
+        assert_eq!(
+            got.layer_map, want.layer_map,
+            "{:?}: windowed temporal layer map diverged",
+            got.granularity
+        );
+    }
+    let mut pool: Vec<_> = (0..REPS).map(|_| pre_temporals.clone()).collect();
+    results.push(WindowResult {
+        name: "window/temporal_all".into(),
+        evicted_rows,
+        batch_rows,
+        nodes: rebuilt.iter().map(|t| t.csr.node_count()).sum(),
+        edges: rebuilt.iter().map(|t| t.csr.edge_count()).sum(),
+        apply_ms: time_min(|| {
+            let input = pool.pop().expect("one pre-made clone per rep");
+            std::hint::black_box(apply_window_all(
+                input,
+                &net.trips,
+                &wo,
+                None,
+                Some(threads),
+            ));
+        }),
+        rebuild_ms: time_min(|| {
+            std::hint::black_box(build_all_from_trips(&net.trips, None, Some(threads)));
+        }),
+    });
+
+    // --- Seeded vs cold Louvain on the post-window GHour graph. ---
+    let cfg = LouvainConfig {
+        threads: Some(threads),
+        ..Default::default()
+    };
+    let pre_ghour = &pre_temporals[2].csr;
+    let post_ghour = &rebuilt[2].csr;
+    let seed = louvain_csr(pre_ghour, &cfg);
+    let seeded = louvain_seeded(post_ghour, &seed, &cfg);
+    let cold = louvain_csr(post_ghour, &cfg);
+    let q_seeded = modularity_csr_threads(post_ghour, &seeded, Some(threads));
+    let q_cold = modularity_csr_threads(post_ghour, &cold, Some(threads));
+    // Two gates. Hard: the seeded run must reach the cold run's quality
+    // to within 0.1% relative — greedy local moving from different starts
+    // can settle in marginally different basins, so exact dominance over
+    // cold is not a theorem, but anything beyond basin noise means the
+    // seeding collapsed. (The guaranteed floor — seeded Q never below the
+    // seed partition's Q on the new graph — is enforced by the
+    // `moby-community` and `moby-core` test suites.)
+    assert!(
+        q_seeded >= q_cold - 1e-3 * q_cold.abs().max(1e-3),
+        "window: seeded Louvain collapsed below the cold run \
+         ({q_seeded} vs {q_cold})"
+    );
+    let louvain = WindowLouvain {
+        nodes: post_ghour.node_count(),
+        edges: post_ghour.edge_count(),
+        seeded_ms: time_min(|| {
+            std::hint::black_box(louvain_seeded(post_ghour, &seed, &cfg));
+        }),
+        cold_ms: time_min(|| {
+            std::hint::black_box(louvain_csr(post_ghour, &cfg));
+        }),
+        q_seeded,
+        q_cold,
+    };
+
+    // --- The end-to-end comparison the window exists for: advancing all
+    // state incrementally vs rebuilding everything and re-detecting cold.
+    let apply_total = results[0].apply_ms + results[1].apply_ms + louvain.seeded_ms;
+    let rebuild_total = results[0].rebuild_ms + results[1].rebuild_ms + louvain.cold_ms;
+    results.push(WindowResult {
+        name: "window/total".into(),
+        evicted_rows,
+        batch_rows,
+        nodes: net.directed.node_count(),
+        edges: net.directed.edge_count(),
+        apply_ms: apply_total,
+        rebuild_ms: rebuild_total,
+    });
+    (results, louvain)
+}
+
 /// One timed stage of the city-scale (`large`) tier.
 struct LargeStage {
     name: String,
@@ -558,7 +832,7 @@ fn main() {
         .ok()
         .and_then(|s| Scale::parse(&s))
         .unwrap_or(Scale::Medium);
-    let mut out = String::from("BENCH_pr6.json");
+    let mut out = String::from("BENCH_latest.json");
     let mut threads = par::thread_count(None).max(2);
     let mut shards: Option<usize> = None;
     let mut i = 0;
@@ -665,6 +939,11 @@ fn main() {
     println!("\ntiming incremental ingestion (delta apply vs full rebuild) ...");
     let deltas = smoke_delta(&outcome, threads);
 
+    println!(
+        "\ntiming the windowed lifecycle (advance_window vs rebuild, seeded vs cold Louvain) ..."
+    );
+    let (window, window_louvain) = smoke_window(&outcome, threads);
+
     let large = if scale == Scale::Large {
         println!("\nrunning the city tier (streaming generation + sharded builds) ...");
         smoke_large(threads, shards)
@@ -742,6 +1021,37 @@ fn main() {
         );
     }
 
+    println!(
+        "\n{:<24} {:>8} {:>7} {:>8} {:>9} {:>10} {:>11} {:>11}",
+        "window", "evicted", "batch", "nodes", "edges", "apply(ms)", "rebuild(ms)", "vs rebuild"
+    );
+    for r in &window {
+        println!(
+            "{:<24} {:>8} {:>7} {:>8} {:>9} {:>10.2} {:>11.2} {:>10.2}x",
+            r.name,
+            r.evicted_rows,
+            r.batch_rows,
+            r.nodes,
+            r.edges,
+            r.apply_ms,
+            r.rebuild_ms,
+            r.speedup_vs_rebuild()
+        );
+    }
+    println!(
+        "{:<24} {:>8} {:>7} {:>8} {:>9} {:>10.2} {:>11.2} {:>10.2}x  (Q {:.4} vs {:.4})",
+        "window/louvain_ghour",
+        "-",
+        "-",
+        window_louvain.nodes,
+        window_louvain.edges,
+        window_louvain.seeded_ms,
+        window_louvain.cold_ms,
+        window_louvain.speedup_vs_cold(),
+        window_louvain.q_seeded,
+        window_louvain.q_cold,
+    );
+
     if !large.is_empty() {
         println!(
             "\n{:<26} {:>9} {:>9} {:>10} {:>10} {:>11} {:>12}",
@@ -769,6 +1079,8 @@ fn main() {
         &results,
         &construction,
         &deltas,
+        &window,
+        &window_louvain,
         &large,
     );
     match std::fs::write(&out, &json) {
@@ -787,10 +1099,12 @@ fn main() {
 /// Hand-rolled JSON (the workspace has no serde_json; every value below is
 /// a number or a plain ASCII identifier, so no string escaping is needed).
 ///
-/// Schema `moby-bench-smoke/v4`: every section row carries the `scale` it
-/// ran at (pipeline sections may run at `medium` while the `large`
-/// section runs at city scale in the same artifact) and a `peak_rss_kb`
-/// process high-water mark (0 = not measured).
+/// Schema `moby-bench-smoke/v5`: `v4` plus a `window` section (windowed
+/// eviction vs rebuild-from-window, seeded vs cold Louvain). Every
+/// section row carries the `scale` it ran at (pipeline sections may run
+/// at `medium` while the `large` section runs at city scale in the same
+/// artifact) and a `peak_rss_kb` process high-water mark (0 = not
+/// measured).
 #[allow(clippy::too_many_arguments)]
 fn render_json(
     scale: Scale,
@@ -800,6 +1114,8 @@ fn render_json(
     results: &[SmokeResult],
     construction: &[ConstructionResult],
     deltas: &[DeltaResult],
+    window: &[WindowResult],
+    window_louvain: &WindowLouvain,
     large: &[LargeStage],
 ) -> String {
     let host = std::thread::available_parallelism()
@@ -809,7 +1125,7 @@ fn render_json(
     let rss = peak_rss_kb();
     let mut s = String::new();
     s.push_str("{\n");
-    s.push_str("  \"schema\": \"moby-bench-smoke/v4\",\n");
+    s.push_str("  \"schema\": \"moby-bench-smoke/v5\",\n");
     s.push_str(&format!("  \"scale\": \"{}\",\n", scale.name()));
     s.push_str(&format!("  \"parallel_threads\": {threads},\n"));
     s.push_str(&format!("  \"shards\": {shards},\n"));
@@ -824,6 +1140,7 @@ fn render_json(
     s.push_str(
         "  \"determinism\": \"bit-identical serial vs parallel, \
          hashmap-freeze vs sort-merge, delta-apply vs full rebuild, \
+         windowed evict vs rebuild over surviving rows, \
          and sharded vs unsharded construction (verified)\",\n",
     );
     s.push_str("  \"benches\": [\n");
@@ -878,6 +1195,37 @@ fn render_json(
             if i + 1 < deltas.len() { "," } else { "" }
         ));
     }
+    s.push_str("  ],\n");
+    s.push_str("  \"window\": [\n");
+    for r in window {
+        s.push_str(&format!(
+            "    {{\"name\": \"{}\", \"scale\": \"{ps}\", \"evicted_rows\": {}, \
+             \"batch_rows\": {}, \"nodes\": {}, \"edges\": {}, \"apply_ms\": {:.3}, \
+             \"rebuild_ms\": {:.3}, \"speedup_vs_rebuild\": {:.3}, \
+             \"peak_rss_kb\": {rss}}},\n",
+            r.name,
+            r.evicted_rows,
+            r.batch_rows,
+            r.nodes,
+            r.edges,
+            r.apply_ms,
+            r.rebuild_ms,
+            r.speedup_vs_rebuild(),
+        ));
+    }
+    s.push_str(&format!(
+        "    {{\"name\": \"window/louvain_seeded_ghour\", \"scale\": \"{ps}\", \
+         \"nodes\": {}, \"edges\": {}, \"seeded_ms\": {:.3}, \"cold_ms\": {:.3}, \
+         \"speedup_vs_cold\": {:.3}, \"q_seeded\": {:.6}, \"q_cold\": {:.6}, \
+         \"peak_rss_kb\": {rss}}}\n",
+        window_louvain.nodes,
+        window_louvain.edges,
+        window_louvain.seeded_ms,
+        window_louvain.cold_ms,
+        window_louvain.speedup_vs_cold(),
+        window_louvain.q_seeded,
+        window_louvain.q_cold,
+    ));
     s.push_str("  ],\n");
     s.push_str("  \"large\": [\n");
     for (i, r) in large.iter().enumerate() {

@@ -334,6 +334,7 @@ fn ablate_secondary(scale: Scale) {
             },
             detect: DetectConfig::default(),
             build_shards: None,
+            ..PipelineConfig::default()
         };
         let outcome = ExpansionPipeline::new(cfg)
             .run(&raw)

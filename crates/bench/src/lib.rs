@@ -4,6 +4,8 @@
 //! Everything is deterministic: the same scale always produces the same
 //! dataset, candidate network and pipeline outcome.
 
+pub mod artifact;
+
 use moby_core::pipeline::{ExpansionOutcome, ExpansionPipeline, PipelineConfig};
 use moby_data::schema::RawDataset;
 use moby_data::synth::{generate, CityConfig, SynthConfig};

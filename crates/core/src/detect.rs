@@ -8,7 +8,7 @@
 
 use crate::temporal::{TemporalGranularity, TemporalGraph};
 use moby_community::stats::{community_table, CommunityTable};
-use moby_community::{label_propagation_csr, louvain_csr, modularity_csr_threads};
+use moby_community::{label_propagation_csr, louvain_csr, louvain_seeded, modularity_csr_threads};
 use moby_community::{LabelPropagationConfig, LouvainConfig, Partition};
 use moby_graph::{CsrGraph, NodeId};
 use serde::{Deserialize, Serialize};
@@ -165,6 +165,57 @@ pub fn detect_communities(
     }
 }
 
+/// Re-detect communities after a windowed update, **seeding** from the
+/// previous detection instead of starting cold — the incremental-refresh
+/// half of the windowed lifecycle.
+///
+/// For the Louvain detector the first local-moving phase starts from
+/// `previous.raw_partition` ([`louvain_seeded`]): nodes that entered with
+/// the latest batch begin as singletons, entries for evicted layered
+/// nodes are ignored, and only neighbourhoods the window actually changed
+/// move — O(touched rows) in practice instead of a full re-run. Label
+/// propagation has no usable seed state, so it re-runs cold.
+///
+/// The refreshed modularity is never below the seed partition's on the
+/// updated graph (local moving never commits a losing move); the windowed
+/// bench additionally gates it against a cold re-run.
+pub fn refresh_communities(
+    temporal: &TemporalGraph,
+    directed_trips: &CsrGraph,
+    old_stations: &HashSet<NodeId>,
+    previous: &CommunityDetection,
+    config: &DetectConfig,
+) -> CommunityDetection {
+    assert_eq!(
+        temporal.granularity, previous.granularity,
+        "seed detection is for a different granularity"
+    );
+    let raw_partition = match config.detector {
+        Detector::Louvain => louvain_seeded(
+            &temporal.csr,
+            &previous.raw_partition,
+            &LouvainConfig {
+                seed: config.seed,
+                threads: config.threads,
+                ..Default::default()
+            },
+        ),
+        Detector::LabelPropagation => {
+            return detect_communities(temporal, directed_trips, old_stations, config);
+        }
+    };
+    let q = modularity_csr_threads(&temporal.csr, &raw_partition, config.threads);
+    let station_partition = fold_to_stations(temporal, &raw_partition);
+    let table = community_table(directed_trips, &station_partition, old_stations, q);
+    CommunityDetection {
+        granularity: temporal.granularity,
+        modularity: q,
+        raw_partition,
+        station_partition,
+        table,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -294,6 +345,43 @@ mod tests {
         let b = detect_communities(&temporal, &directed, &old(), &DetectConfig::default());
         assert_eq!(a.station_partition, b.station_partition);
         assert_eq!(a.modularity, b.modularity);
+    }
+
+    #[test]
+    fn refresh_from_previous_detection_never_loses_modularity() {
+        let s = store();
+        let directed = aggregate::project_directed(&s, TRIP_LABEL).freeze();
+        for g in TemporalGranularity::ALL {
+            let temporal = build_temporal_graph(&s, g);
+            let cfg = DetectConfig::default();
+            let cold = detect_communities(&temporal, &directed, &old(), &cfg);
+            // Same graph, seeded from its own detection: a fixed point or
+            // better, never worse.
+            let refreshed = refresh_communities(&temporal, &directed, &old(), &cold, &cfg);
+            assert!(
+                refreshed.modularity >= cold.modularity - 1e-12,
+                "{g:?}: {} < {}",
+                refreshed.modularity,
+                cold.modularity
+            );
+            assert_eq!(refreshed.granularity, g);
+            assert_eq!(refreshed.station_partition.len(), 4);
+        }
+    }
+
+    #[test]
+    fn refresh_with_label_propagation_falls_back_to_cold() {
+        let s = store();
+        let temporal = build_temporal_graph(&s, TemporalGranularity::TNull);
+        let directed = aggregate::project_directed(&s, TRIP_LABEL).freeze();
+        let cfg = DetectConfig {
+            detector: Detector::LabelPropagation,
+            seed: Some(5),
+            threads: None,
+        };
+        let cold = detect_communities(&temporal, &directed, &old(), &cfg);
+        let refreshed = refresh_communities(&temporal, &directed, &old(), &cold, &cfg);
+        assert_eq!(refreshed.station_partition, cold.station_partition);
     }
 
     #[test]

@@ -50,7 +50,9 @@ pub mod temporal;
 pub mod validate;
 
 pub use config::ExpansionConfig;
-pub use pipeline::{ExpansionOutcome, ExpansionPipeline, PipelineConfig};
+pub use pipeline::{
+    ExpansionOutcome, ExpansionPipeline, PipelineConfig, WindowConfig, WindowedPipeline,
+};
 
 use std::fmt;
 

@@ -12,9 +12,11 @@ use crate::selection::SelectionOutcome;
 use crate::{CoreError, Result};
 use moby_cluster::assign::StationAssigner;
 use moby_data::schema::{CleanDataset, LocationId};
-use moby_data::trips::{AppendOutcome, TripBatch, TripTable};
+use moby_data::trips::{AppendOutcome, EvictOutcome, TripBatch, TripTable, WindowStart};
 use moby_geo::GeoPoint;
-use moby_graph::{build_dense_csr, props, CsrDelta, CsrGraph, GraphStore, NodeId, PropValue};
+use moby_graph::{
+    build_dense_csr, props, CsrDelta, CsrEvict, CsrGraph, GraphStore, NodeId, PropValue,
+};
 use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, HashSet};
 
@@ -59,6 +61,20 @@ pub struct SelectedGraphTable {
     pub total_trips: usize,
     /// Total number of distinct directed edges.
     pub total_edges: usize,
+}
+
+/// What one [`SelectedNetwork::advance_window`] call did: the eviction's
+/// remap (always `None` — the station table is pinned) and evicted rows,
+/// plus the append the new batch produced. Feed both to
+/// [`temporal::apply_evict_all`](crate::temporal::apply_evict_all) /
+/// [`temporal::apply_batch_all`](crate::temporal::apply_batch_all), in
+/// that order, to advance the temporal graphs through the same window.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WindowOutcome {
+    /// The expired rows dropped by the leading eviction.
+    pub evicted: EvictOutcome,
+    /// The append the trailing batch produced.
+    pub appended: AppendOutcome,
 }
 
 /// The final expanded network with its trip graph.
@@ -214,6 +230,125 @@ impl SelectedNetwork {
             &mut self.table.selected,
         );
         Ok(outcome)
+    }
+
+    /// Advance the network by one window step: **evict** every trip that
+    /// started before `window`, then **ingest** `batch` — the composed
+    /// sliding-window verb of the delta lifecycle.
+    ///
+    /// The station set of a selected network is fixed by the expansion
+    /// run, so the eviction is *pinned*
+    /// ([`TripTable::evict_before_pinned`]): a station whose last trip
+    /// expires stays in the intern table as an isolated row, dense
+    /// indices never shift, and the frozen
+    /// [`directed`](SelectedNetwork::directed) /
+    /// [`undirected`](SelectedNetwork::undirected) graphs retreat through
+    /// [`CsrGraph::apply_evict`] — bit-identical to rebuilding them from
+    /// the surviving table. Expired `TRIP` relationships leave the
+    /// property store, and Table III advances incrementally: evicted rows
+    /// decrement the per-group trip counters, the batch increments them,
+    /// and distinct-edge counts re-tally from the merged rows (inside
+    /// [`ingest_batch`](SelectedNetwork::ingest_batch)).
+    ///
+    /// The eviction runs **before** the ingest, so batch rows predating
+    /// `window` are accepted and survive until the *next* window step —
+    /// late-arriving trips are data, not errors; the caller chooses each
+    /// step's horizon.
+    ///
+    /// Feed the returned [`WindowOutcome`] halves to
+    /// [`temporal::apply_evict_all`](crate::temporal::apply_evict_all)
+    /// and
+    /// [`temporal::apply_batch_all`](crate::temporal::apply_batch_all)
+    /// (in that order) to carry `GBasic`/`GDay`/`GHour` through the same
+    /// step, or use
+    /// [`WindowedPipeline`](crate::pipeline::WindowedPipeline) which
+    /// composes all of it with a seeded community refresh.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::UnknownStation`] when a batch endpoint is not a
+    /// station of this network. Validation happens before the eviction,
+    /// so a failed call leaves the network *completely* untouched — no
+    /// half-applied window.
+    pub fn advance_window(
+        &mut self,
+        batch: &TripBatch,
+        window: WindowStart,
+        threads: Option<usize>,
+    ) -> Result<WindowOutcome> {
+        for (src, dst, ..) in batch.iter() {
+            for id in [src, dst] {
+                if self.trips.station_index(id).is_none() || !self.store.contains_node(id) {
+                    return Err(CoreError::UnknownStation(id));
+                }
+            }
+        }
+
+        let evicted = self.trips.evict_before_pinned(window);
+        if !evicted.is_noop() {
+            let touched = evicted.touched_stations();
+            let station_ids = self.trips.station_ids().to_vec();
+            let ev = CsrEvict::from_dense(
+                true,
+                station_ids.clone(),
+                None,
+                touched.clone(),
+                self.trips.src(),
+                self.trips.dst(),
+                self.trips.weights(),
+            );
+            self.directed = self.directed.apply_evict(&ev, threads);
+            let ev = CsrEvict::from_dense(
+                false,
+                station_ids,
+                None,
+                touched,
+                self.trips.src(),
+                self.trips.dst(),
+                self.trips.weights(),
+            );
+            self.undirected = self.undirected.apply_evict(&ev, threads);
+
+            // The full-fidelity store drops the same expired trips (nodes
+            // stay — a station with no surviving trips is still a station).
+            let removed = self.store.retain_edges(|e| {
+                if e.label != TRIP_LABEL {
+                    return true;
+                }
+                let day = e.props.get("day").and_then(|v| v.as_int()).unwrap_or(0) as u8;
+                let hour = e.props.get("hour").and_then(|v| v.as_int()).unwrap_or(0) as u8;
+                window.keeps(day, hour)
+            });
+            debug_assert_eq!(removed, evicted.evicted_rows(), "store/table drift");
+
+            // Table III: evicted rows decrement the per-group trip
+            // counters (the pinned table keeps dense indices stable, so
+            // the evicted endpoints still resolve).
+            let fixed_dense = fixed_flags(&self.stations, &self.trips);
+            for k in 0..evicted.evicted_rows() {
+                let src = self
+                    .trips
+                    .station_index(evicted.evicted_src[k])
+                    .expect("pinned table keeps every station");
+                let dst = self
+                    .trips
+                    .station_index(evicted.evicted_dst[k])
+                    .expect("pinned table keeps every station");
+                untally_trip(
+                    &fixed_dense,
+                    src,
+                    dst,
+                    &mut self.table.pre_existing,
+                    &mut self.table.selected,
+                );
+            }
+        }
+
+        // The trailing ingest refreshes total_trips and re-tallies the
+        // distinct-edge counters off the post-window merged rows, so the
+        // table is fully consistent on return even for an empty batch.
+        let appended = self.ingest_batch(batch, threads)?;
+        Ok(WindowOutcome { evicted, appended })
     }
 }
 
@@ -397,6 +532,22 @@ fn tally_trip(fixed_dense: &[bool], src: u32, dst: u32, pre: &mut GroupRow, sel:
         pre.trips_to += 1;
     } else {
         sel.trips_to += 1;
+    }
+}
+
+/// Remove one evicted trip from the per-group from/to counters — the
+/// inverse of [`tally_trip`], used by the windowed eviction.
+#[inline]
+fn untally_trip(fixed_dense: &[bool], src: u32, dst: u32, pre: &mut GroupRow, sel: &mut GroupRow) {
+    if fixed_dense[src as usize] {
+        pre.trips_from -= 1;
+    } else {
+        sel.trips_from -= 1;
+    }
+    if fixed_dense[dst as usize] {
+        pre.trips_to -= 1;
+    } else {
+        sel.trips_to -= 1;
     }
 }
 
@@ -626,6 +777,86 @@ mod tests {
         );
         // The failed ingest left the table untouched.
         assert_eq!(out.trips, before);
+    }
+
+    #[test]
+    fn advance_window_matches_rebuild_over_surviving_table() {
+        let (ds, net, sel) = setup();
+        let mut out = build_selected_network(&ds, &net, &sel).unwrap();
+        // A batch of replayed early rentals rides along with the eviction.
+        let mut batch = TripBatch::new();
+        for k in 0..20.min(out.trips.len()) {
+            batch.push(
+                out.trips.station_id(out.trips.src()[k]),
+                out.trips.station_id(out.trips.dst()[k]),
+                ds.rentals[k].start_time,
+            );
+        }
+        let window = WindowStart::new(3, 0);
+        let outcome = out.advance_window(&batch, window, Some(2)).unwrap();
+        assert!(
+            outcome.evicted.evicted_rows() > 0,
+            "window must expire rows"
+        );
+        assert!(outcome.evicted.new_to_old.is_none(), "pinned table");
+        assert_eq!(out.store.edge_count(), out.trips.len());
+
+        // Graphs and Table III equal a from-scratch rebuild over the
+        // post-window table (survivors + batch, in table order).
+        for (directed, got) in [(true, &out.directed), (false, &out.undirected)] {
+            let want = build_dense_csr(
+                directed,
+                out.trips.station_ids().to_vec(),
+                out.trips.src(),
+                out.trips.dst(),
+                out.trips.weights(),
+                Some(1),
+            );
+            assert_eq!(got, &want);
+            assert_eq!(got.total_weight().to_bits(), want.total_weight().to_bits());
+        }
+        assert_eq!(
+            out.table,
+            build_table(&out.stations, &out.trips, &out.directed)
+        );
+    }
+
+    #[test]
+    fn advance_window_with_empty_batch_only_evicts() {
+        let (ds, net, sel) = setup();
+        let mut out = build_selected_network(&ds, &net, &sel).unwrap();
+        let stations_before = out.trips.station_count();
+        let outcome = out
+            .advance_window(&TripBatch::new(), WindowStart::new(6, 0), Some(1))
+            .unwrap();
+        assert_eq!(outcome.appended.batch_start, out.trips.len());
+        assert_eq!(out.trips.station_count(), stations_before, "pinned");
+        assert_eq!(
+            out.table,
+            build_table(&out.stations, &out.trips, &out.directed)
+        );
+    }
+
+    #[test]
+    fn advance_window_rejects_unknown_stations_without_evicting() {
+        let (ds, net, sel) = setup();
+        let mut out = build_selected_network(&ds, &net, &sel).unwrap();
+        let before = out.trips.clone();
+        let table_before = out.table.clone();
+        let mut batch = TripBatch::new();
+        batch.push(
+            u64::MAX - 1,
+            out.trips.station_id(0),
+            ds.rentals[0].start_time,
+        );
+        // The window would evict rows, but validation runs first: the
+        // failed call leaves everything untouched.
+        assert_eq!(
+            out.advance_window(&batch, WindowStart::new(6, 23), None),
+            Err(CoreError::UnknownStation(u64::MAX - 1))
+        );
+        assert_eq!(out.trips, before);
+        assert_eq!(out.table, table_before);
     }
 
     #[test]

@@ -36,9 +36,9 @@
 //!   the columnar path buys.
 
 use crate::candidate::TRIP_LABEL;
-use moby_data::trips::{AppendOutcome, TripTable};
+use moby_data::trips::{AppendOutcome, EvictOutcome, TripTable};
 use moby_graph::aggregate;
-use moby_graph::{CsrBuilder, CsrDelta, CsrGraph, GraphStore, NodeId, WeightedGraph};
+use moby_graph::{CsrBuilder, CsrDelta, CsrEvict, CsrGraph, GraphStore, NodeId, WeightedGraph};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
@@ -436,6 +436,216 @@ pub fn apply_batch_all(
     ]
 }
 
+/// Retreat all three temporal graphs past an eviction — the removal
+/// counterpart of [`apply_batch_all`] and the other half of the windowed
+/// lifecycle.
+///
+/// `trips` is the table **after**
+/// [`TripTable::evict_before`](moby_data::trips::TripTable::evict_before)
+/// (or its pinned variant) and `outcome` is what that eviction returned.
+/// `GBasic` retreats through [`CsrEvict::from_dense`] over the surviving
+/// dense columns (the station intern stays sorted, so the compaction
+/// remap is monotone); `GDay`/`GHour` retreat through
+/// [`CsrEvict::retrench_by_id`] over the surviving layered edge lists —
+/// their first-appearance intern order is *not* stable under row removal
+/// (a layer first interned by an evicted trip moves to its next surviving
+/// appearance), so the retrench recomputes the builder's intern. Touched
+/// rows come straight from the evicted rows' endpoint columns; untouched
+/// rows copy bit-for-bit.
+///
+/// As with [`apply_batch_all`], the graphs are consumed and `basic` can
+/// supply an already-evicted station-level CSR so the pipeline advances
+/// `GBasic` exactly once.
+///
+/// **Equivalence contract:** the returned graphs and layer maps are
+/// bit-identical to [`build_all_from_trips`] over the surviving table, at
+/// any thread count (and against bases built at any shard count) — the
+/// windowed differential suite (`crates/core/tests/proptest_window.rs`)
+/// asserts this for interleaved ingest/evict chains.
+///
+/// # Panics
+///
+/// If `temporals` is not the three-granularity slice the build functions
+/// produce, in granularity order.
+pub fn apply_evict_all(
+    temporals: Vec<TemporalGraph>,
+    trips: &TripTable,
+    outcome: &EvictOutcome,
+    basic: Option<CsrGraph>,
+    threads: Option<usize>,
+) -> Vec<TemporalGraph> {
+    assert_eq!(temporals.len(), 3, "expected GBasic/GDay/GHour");
+    for (t, g) in temporals.iter().zip(TemporalGranularity::ALL) {
+        assert_eq!(t.granularity, g, "temporal graphs out of order");
+    }
+    if outcome.is_noop() {
+        // Nothing expired: the layered graphs are untouched; an
+        // already-shared `GBasic` still swaps in.
+        let mut temporals = temporals;
+        if let Some(csr) = basic {
+            temporals[0] = TemporalGraph::from_csr(TemporalGranularity::TNull, csr, None);
+        }
+        return temporals;
+    }
+    let mut temporals = temporals;
+    let hour_t = temporals.pop().expect("three granularities");
+    let day_t = temporals.pop().expect("three granularities");
+    let basic_t = temporals.pop().expect("three granularities");
+
+    let basic_csr = match basic {
+        Some(csr) => csr,
+        None => {
+            let evict = CsrEvict::from_dense(
+                false,
+                trips.station_ids().to_vec(),
+                outcome.new_to_old.clone(),
+                outcome.touched_stations(),
+                trips.src(),
+                trips.dst(),
+                trips.weights(),
+            );
+            basic_t.csr.apply_evict(&evict, threads)
+        }
+    };
+    let (day_t, hour_t) = evict_layered_pair(day_t, hour_t, trips, trips.len(), outcome, threads);
+    vec![
+        TemporalGraph::from_csr(TemporalGranularity::TNull, basic_csr, None),
+        day_t,
+        hour_t,
+    ]
+}
+
+/// The layered (`GDay`/`GHour`) half of an eviction: surviving layered
+/// edge lists come from one pass over the leading `rows_end` table rows
+/// (the surviving prefix — a trailing batch may already sit behind it),
+/// touched layered ids fold the evicted rows' temporal keys into their
+/// endpoints exactly as the build folded them in, and each graph retreats
+/// through [`CsrEvict::retrench_by_id`]. Layer maps re-decode from the
+/// new tables — eviction can permute a first-appearance intern (see
+/// [`apply_evict_all`]), and the decode is exactly what a full rebuild
+/// would produce.
+fn evict_layered_pair(
+    day_t: TemporalGraph,
+    hour_t: TemporalGraph,
+    trips: &TripTable,
+    rows_end: usize,
+    outcome: &EvictOutcome,
+    threads: Option<usize>,
+) -> (TemporalGraph, TemporalGraph) {
+    let day_stride = TemporalGranularity::TDay.stride();
+    let hour_stride = TemporalGranularity::THour.stride();
+
+    let (src, dst) = (trips.src(), trips.dst());
+    let (day, hour, weight) = (trips.day(), trips.hour(), trips.weights());
+    let mut day_edges = Vec::with_capacity(rows_end);
+    let mut hour_edges = Vec::with_capacity(rows_end);
+    for k in 0..rows_end {
+        let s = trips.station_id(src[k]);
+        let d = trips.station_id(dst[k]);
+        let w = weight[k];
+        let dk = day[k] as u64;
+        day_edges.push((s * day_stride + dk, d * day_stride + dk, w));
+        let hk = hour[k] as u64;
+        hour_edges.push((s * hour_stride + hk, d * hour_stride + hk, w));
+    }
+    let mut day_touched = Vec::with_capacity(2 * outcome.evicted_rows());
+    let mut hour_touched = Vec::with_capacity(2 * outcome.evicted_rows());
+    for k in 0..outcome.evicted_rows() {
+        let (s, d) = (outcome.evicted_src[k], outcome.evicted_dst[k]);
+        let dk = outcome.evicted_day[k] as u64;
+        let hk = outcome.evicted_hour[k] as u64;
+        day_touched.push(s * day_stride + dk);
+        day_touched.push(d * day_stride + dk);
+        hour_touched.push(s * hour_stride + hk);
+        hour_touched.push(d * hour_stride + hk);
+    }
+    day_touched.sort_unstable();
+    day_touched.dedup();
+    hour_touched.sort_unstable();
+    hour_touched.dedup();
+
+    let day_evict = CsrEvict::retrench_by_id(&day_t.csr, day_edges, day_touched);
+    let day_csr = day_t.csr.apply_evict(&day_evict, threads);
+    let hour_evict = CsrEvict::retrench_by_id(&hour_t.csr, hour_edges, hour_touched);
+    let hour_csr = hour_t.csr.apply_evict(&hour_evict, threads);
+
+    let day_map = decode_layer_map(&day_csr, day_stride);
+    let hour_map = decode_layer_map(&hour_csr, hour_stride);
+    (
+        TemporalGraph::from_csr(TemporalGranularity::TDay, day_csr, Some(day_map)),
+        TemporalGraph::from_csr(TemporalGranularity::THour, hour_csr, Some(hour_map)),
+    )
+}
+
+/// Carry all three temporal graphs through one **window step** — the
+/// eviction then the batch, matching what
+/// [`SelectedNetwork::advance_window`](crate::reassign::SelectedNetwork::advance_window)
+/// did to the station-level state.
+///
+/// `trips` is the table *after* `advance_window` (surviving rows first,
+/// then the appended batch — appends only ever extend, so the leading
+/// `outcome.appended.batch_start` rows are exactly the post-evict
+/// survivors the retreat must see). `basic` optionally supplies the
+/// network's already-advanced undirected graph, in which case `GBasic`
+/// skips both phases and swaps it in.
+///
+/// Composes the equivalence contracts of [`apply_evict_all`] and
+/// [`apply_batch_all`]: the result is bit-identical to
+/// [`build_all_from_trips`] over the post-window table at any thread
+/// count.
+pub fn apply_window_all(
+    temporals: Vec<TemporalGraph>,
+    trips: &TripTable,
+    outcome: &crate::reassign::WindowOutcome,
+    basic: Option<CsrGraph>,
+    threads: Option<usize>,
+) -> Vec<TemporalGraph> {
+    assert_eq!(temporals.len(), 3, "expected GBasic/GDay/GHour");
+    for (t, g) in temporals.iter().zip(TemporalGranularity::ALL) {
+        assert_eq!(t.granularity, g, "temporal graphs out of order");
+    }
+    let evicted = &outcome.evicted;
+    let bs = outcome.appended.batch_start;
+
+    let mut temporals = temporals;
+    let hour_t = temporals.pop().expect("three granularities");
+    let day_t = temporals.pop().expect("three granularities");
+    let mut basic_t = temporals.pop().expect("three granularities");
+
+    let (day_t, hour_t) = if evicted.is_noop() {
+        (day_t, hour_t)
+    } else {
+        evict_layered_pair(day_t, hour_t, trips, bs, evicted, threads)
+    };
+    // GBasic retreats over the surviving prefix unless the caller shares
+    // an already-advanced graph (then the ingest phase swaps it in and no
+    // station-level pass runs here at all). `advance_window` pins the
+    // station table, so the eviction's remap is always `None`.
+    if basic.is_none() && !evicted.is_noop() {
+        let evict = CsrEvict::from_dense(
+            false,
+            trips.station_ids().to_vec(),
+            evicted.new_to_old.clone(),
+            evicted.touched_stations(),
+            &trips.src()[..bs],
+            &trips.dst()[..bs],
+            &trips.weights()[..bs],
+        );
+        basic_t = TemporalGraph::from_csr(
+            TemporalGranularity::TNull,
+            basic_t.csr.apply_evict(&evict, threads),
+            None,
+        );
+    }
+    apply_batch_all(
+        vec![basic_t, day_t, hour_t],
+        trips,
+        &outcome.appended,
+        basic,
+        threads,
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -635,6 +845,64 @@ mod tests {
         );
         assert_eq!(shared[0].csr, updated[0].csr);
         assert_eq!(shared[1].csr, updated[1].csr);
+    }
+
+    #[test]
+    fn apply_evict_all_matches_rebuild_over_survivors() {
+        use moby_data::trips::WindowStart;
+        // Compacting eviction: day-0..4 rows expire, station 1 loses every
+        // trip and leaves the intern table.
+        let mut trips = trip_table();
+        let base = build_all_from_trips(&trips, None, Some(1));
+        let outcome = trips.evict_before(WindowStart::new(5, 0));
+        assert_eq!(outcome.evicted_rows(), 3);
+        assert!(outcome.new_to_old.is_some(), "station 1 must drop");
+        for threads in [Some(1), Some(2), Some(4)] {
+            let got = apply_evict_all(base.clone(), &trips, &outcome, None, threads);
+            let want = build_all_from_trips(&trips, None, threads);
+            for (g, w) in got.iter().zip(&want) {
+                assert_eq!(g.granularity, w.granularity);
+                assert_eq!(g.csr, w.csr, "{:?} diverged from rebuild", g.granularity);
+                assert_eq!(g.layer_map, w.layer_map, "{:?} map", g.granularity);
+            }
+        }
+        // Sharing an already-evicted GBasic skips the station-level pass.
+        let want = build_all_from_trips(&trips, None, Some(1));
+        let shared = apply_evict_all(base, &trips, &outcome, Some(want[0].csr.clone()), Some(1));
+        assert_eq!(shared[0].csr, want[0].csr);
+        assert_eq!(shared[2].csr, want[2].csr);
+    }
+
+    #[test]
+    fn pinned_evict_keeps_isolated_stations_in_gbasic() {
+        use moby_data::trips::WindowStart;
+        let mut trips = trip_table();
+        let base = build_all_from_trips(&trips, None, Some(1));
+        let outcome = trips.evict_before_pinned(WindowStart::new(5, 0));
+        assert!(outcome.new_to_old.is_none(), "pinned table never compacts");
+        let got = apply_evict_all(base, &trips, &outcome, None, Some(2));
+        // GBasic keeps station 1 as an isolated row, exactly as a rebuild
+        // seeded with the full pinned station table would.
+        let want = build_all_from_trips(&trips, None, Some(1));
+        assert_eq!(got[0].csr, want[0].csr);
+        assert_eq!(got[0].csr.node_count(), 3);
+        let row1 = got[0].csr.index_of(1).unwrap() as usize;
+        assert_eq!(got[0].csr.degree(row1), 0);
+        assert_eq!(got[1].csr, want[1].csr);
+        assert_eq!(got[2].csr, want[2].csr);
+    }
+
+    #[test]
+    fn noop_evict_returns_graphs_unchanged() {
+        use moby_data::trips::WindowStart;
+        let mut trips = trip_table();
+        let base = build_all_from_trips(&trips, None, Some(1));
+        let outcome = trips.evict_before(WindowStart::new(0, 0));
+        assert!(outcome.is_noop());
+        let got = apply_evict_all(base.clone(), &trips, &outcome, None, Some(2));
+        for (g, b) in got.iter().zip(&base) {
+            assert_eq!(g.csr, b.csr);
+        }
     }
 
     #[test]

@@ -1,0 +1,332 @@
+//! Differential proptests for the windowed delta lifecycle.
+//!
+//! The contract under test (PR 7's tentpole): interleaving random trip
+//! batches and window evictions over a [`TripTable`] — advancing the
+//! frozen graphs via `CsrDelta` / `CsrEvict` / `apply_batch_all` /
+//! `apply_evict_all` — is **bitwise equal** — node table, offsets,
+//! targets, weights, cached degrees, edge counts, total weight, layer
+//! maps — to rebuilding everything in one shot from the surviving table,
+//! at 1/2/4 threads and 1/4 construction shards. Random chains are
+//! supplemented by the named edge cases: evicting everything, evicting
+//! nothing, pinned evictions that leave isolated stations, and a batch
+//! re-adding a station the previous eviction compacted away.
+
+use moby_core::temporal::{
+    apply_batch_all, apply_evict_all, build_all_from_trips, build_all_from_trips_sharded,
+    TemporalGraph,
+};
+use moby_data::trips::{TripBatch, TripTable, WindowStart};
+use moby_graph::{build_dense_csr, CsrDelta, CsrEvict, CsrGraph};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+/// A generated trip row: external endpoints, temporal keys, weight.
+type Row = (u64, u64, u8, u8, f64);
+
+/// One step of a windowed chain.
+#[derive(Clone, Debug)]
+enum Op {
+    /// Append a batch of rows.
+    Ingest(Vec<Row>),
+    /// Evict every row before the window start.
+    Evict(WindowStart),
+}
+
+/// Base-table station pool: ids 100..140 (even only, so "odd" ids can act
+/// as never-seen stations in batches).
+const BASE_POOL: [u64; 20] = [
+    100, 102, 104, 106, 108, 110, 112, 114, 116, 118, 120, 122, 124, 126, 128, 130, 132, 134, 136,
+    138,
+];
+
+/// Strategy for one trip row. `wide` draws endpoints from a pool twice
+/// the base table's, so batches routinely introduce new stations.
+fn row(wide: bool) -> impl Strategy<Value = Row> {
+    let ids = if wide { 40u64 } else { 20 };
+    (0..ids, 0..ids, 0u8..7, 0u8..24, 0u32..1000).prop_map(move |(s, d, day, hour, w)| {
+        (
+            100 + 2 * (s % 20) + u64::from(s >= 20),
+            100 + 2 * (d % 20) + u64::from(d >= 20),
+            day,
+            hour,
+            w as f64 / 64.0 + 0.25,
+        )
+    })
+}
+
+/// Strategy for one chain step: mostly ingests, with evictions mixed in
+/// (the vendored proptest has no `prop_oneof`, so the branch is encoded
+/// as a drawn selector).
+fn op() -> impl Strategy<Value = Op> {
+    (
+        0u8..3,
+        prop::collection::vec(row(true), 0..30),
+        0u8..7,
+        0u8..24,
+    )
+        .prop_map(|(kind, rows, d, h)| {
+            if kind < 2 {
+                Op::Ingest(rows)
+            } else {
+                Op::Evict(WindowStart::new(d, h))
+            }
+        })
+}
+
+/// Bit-strict equality between two frozen graphs.
+fn assert_identical(got: &CsrGraph, want: &CsrGraph, what: &str) {
+    assert_eq!(got.node_ids(), want.node_ids(), "{what}: node table");
+    assert_eq!(got.offsets(), want.offsets(), "{what}: offsets");
+    assert_eq!(got.edge_count(), want.edge_count(), "{what}: edge count");
+    assert_eq!(
+        got.total_weight().to_bits(),
+        want.total_weight().to_bits(),
+        "{what}: total weight"
+    );
+    for u in 0..want.node_count() {
+        let (gt, gw) = got.row(u);
+        let (wt, ww) = want.row(u);
+        assert_eq!(gt, wt, "{what}: row {u} targets");
+        for (a, b) in gw.iter().zip(ww) {
+            assert_eq!(a.to_bits(), b.to_bits(), "{what}: row {u} weights");
+        }
+        let (git, giw) = got.in_row(u);
+        let (wit, wiw) = want.in_row(u);
+        assert_eq!(git, wit, "{what}: in-row {u} targets");
+        for (a, b) in giw.iter().zip(wiw) {
+            assert_eq!(a.to_bits(), b.to_bits(), "{what}: in-row {u} weights");
+        }
+        assert_eq!(
+            got.strength(u).to_bits(),
+            want.strength(u).to_bits(),
+            "{what}: strength {u}"
+        );
+    }
+}
+
+/// Build the base table over [`BASE_POOL`] (isolated stations included)
+/// and push the base rows.
+fn base_table(base_rows: &[Row]) -> TripTable {
+    let mut table = TripTable::new(BASE_POOL.to_vec());
+    for &(s, d, day, hour, w) in base_rows {
+        let si = table.station_index(s).expect("base row in pool");
+        let di = table.station_index(d).expect("base row in pool");
+        table.push_keyed(si, di, day, hour, w);
+    }
+    table
+}
+
+/// Assert the incrementally-advanced state equals one-shot rebuilds from
+/// the model: scratch table over `stations` + `rows`, fresh CSRs, fresh
+/// temporal graphs.
+fn assert_matches_model(
+    table: &TripTable,
+    directed: &CsrGraph,
+    undirected: &CsrGraph,
+    temporals: &[TemporalGraph],
+    stations: &BTreeSet<u64>,
+    rows: &[Row],
+) {
+    let mut scratch = TripTable::new(stations.iter().copied().collect());
+    for &(s, d, day, hour, w) in rows {
+        let si = scratch.station_index(s).expect("model station");
+        let di = scratch.station_index(d).expect("model station");
+        scratch.push_keyed(si, di, day, hour, w);
+    }
+    assert_eq!(table, &scratch, "advanced table diverged from model");
+
+    for (dir, got, what) in [
+        (true, directed, "directed"),
+        (false, undirected, "undirected"),
+    ] {
+        let want = build_dense_csr(
+            dir,
+            table.station_ids().to_vec(),
+            table.src(),
+            table.dst(),
+            table.weights(),
+            Some(1),
+        );
+        assert_identical(got, &want, what);
+    }
+    let want_temporals = build_all_from_trips(table, None, Some(1));
+    for (got, want) in temporals.iter().zip(&want_temporals) {
+        assert_eq!(got.granularity, want.granularity);
+        let name = got.granularity.graph_name();
+        assert_identical(&got.csr, &want.csr, name);
+        assert_eq!(got.layer_map, want.layer_map, "{name}: layer map");
+    }
+}
+
+/// Run the full differential check: starting from `base_rows`, apply the
+/// chain of ingest/evict ops at the given thread and shard counts,
+/// asserting after every step that the table, both station graphs and
+/// all three temporal graphs are bitwise equal to one-shot rebuilds.
+///
+/// `pinned` selects `evict_before_pinned` (fixed station set, isolated
+/// rows survive) over the compacting `evict_before`.
+fn check_chain(base_rows: &[Row], ops: &[Op], threads: usize, shards: usize, pinned: bool) {
+    let threads = Some(threads);
+    let mut table = base_table(base_rows);
+    let mut directed = build_dense_csr(
+        true,
+        table.station_ids().to_vec(),
+        table.src(),
+        table.dst(),
+        table.weights(),
+        threads,
+    );
+    let mut undirected = build_dense_csr(
+        false,
+        table.station_ids().to_vec(),
+        table.src(),
+        table.dst(),
+        table.weights(),
+        threads,
+    );
+    let mut temporals = build_all_from_trips_sharded(&table, None, Some(shards), threads);
+
+    // The model: surviving rows in order, plus the station set the intern
+    // table must hold (always sorted — both append and compaction keep
+    // the dense order sorted by external id).
+    let mut rows: Vec<Row> = base_rows.to_vec();
+    let mut stations: BTreeSet<u64> = BASE_POOL.iter().copied().collect();
+
+    for op in ops {
+        match op {
+            Op::Ingest(batch_rows) => {
+                let mut batch = TripBatch::new();
+                for &(s, d, day, hour, w) in batch_rows {
+                    batch.push_keyed(s, d, day, hour, w);
+                }
+                let outcome = table.append_batch(&batch);
+                rows.extend_from_slice(batch_rows);
+                stations.extend(batch_rows.iter().flat_map(|&(s, d, ..)| [s, d]));
+
+                let bs = outcome.batch_start;
+                for (dir, graph) in [(true, &mut directed), (false, &mut undirected)] {
+                    let delta = CsrDelta::from_dense(
+                        dir,
+                        table.station_ids().to_vec(),
+                        outcome.old_to_new.clone(),
+                        &table.src()[bs..],
+                        &table.dst()[bs..],
+                        &table.weights()[bs..],
+                    );
+                    *graph = graph.apply_delta(&delta, threads);
+                }
+                temporals = apply_batch_all(temporals, &table, &outcome, None, threads);
+            }
+            Op::Evict(window) => {
+                let outcome = if pinned {
+                    table.evict_before_pinned(*window)
+                } else {
+                    table.evict_before(*window)
+                };
+                rows.retain(|&(_, _, day, hour, _)| window.keeps(day, hour));
+                if !pinned && !outcome.is_noop() {
+                    stations = rows.iter().flat_map(|&(s, d, ..)| [s, d]).collect();
+                }
+
+                if !outcome.is_noop() {
+                    for (dir, graph) in [(true, &mut directed), (false, &mut undirected)] {
+                        let evict = CsrEvict::from_dense(
+                            dir,
+                            table.station_ids().to_vec(),
+                            outcome.new_to_old.clone(),
+                            outcome.touched_stations(),
+                            table.src(),
+                            table.dst(),
+                            table.weights(),
+                        );
+                        *graph = graph.apply_evict(&evict, threads);
+                    }
+                }
+                temporals = apply_evict_all(temporals, &table, &outcome, None, threads);
+            }
+        }
+        assert_matches_model(&table, &directed, &undirected, &temporals, &stations, &rows);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+    #[test]
+    fn window_chain_is_bitwise_equal_to_rebuild(
+        base in prop::collection::vec(row(false), 0..80),
+        ops in prop::collection::vec(op(), 1..5),
+        pinned in 0u8..2,
+    ) {
+        for threads in [1usize, 2, 4] {
+            for shards in [1usize, 4] {
+                check_chain(&base, &ops, threads, shards, pinned == 1);
+            }
+        }
+    }
+}
+
+#[test]
+fn evicting_everything_leaves_empty_graphs() {
+    // All base rows sit before day 6; the window expires every one.
+    let base: Vec<Row> = vec![
+        (100, 102, 0, 8, 1.0),
+        (102, 104, 3, 17, 2.5),
+        (104, 104, 5, 23, 0.75),
+    ];
+    let ops = vec![
+        Op::Evict(WindowStart::new(6, 0)),
+        // And the emptied network accepts a fresh batch afterwards.
+        Op::Ingest(vec![(101, 103, 6, 12, 1.5)]),
+    ];
+    for threads in [1usize, 2, 4] {
+        for pinned in [false, true] {
+            check_chain(&base, &ops, threads, 1, pinned);
+        }
+    }
+}
+
+#[test]
+fn evicting_nothing_is_identity() {
+    let base: Vec<Row> = vec![(100, 102, 2, 8, 1.0), (102, 104, 3, 17, 2.5)];
+    let ops = vec![
+        Op::Evict(WindowStart::new(0, 0)),
+        Op::Evict(WindowStart::new(2, 8)), // boundary: slot 56 keeps row at (2, 8)
+    ];
+    for threads in [1usize, 2, 4] {
+        for pinned in [false, true] {
+            check_chain(&base, &ops, threads, 1, pinned);
+        }
+    }
+}
+
+#[test]
+fn pinned_eviction_keeps_isolated_stations() {
+    // Station 106's only trips expire: pinned eviction must keep its
+    // (now isolated) row in every graph rather than compacting it away.
+    let base: Vec<Row> = vec![
+        (106, 100, 0, 3, 1.0),
+        (102, 106, 1, 5, 2.0),
+        (100, 102, 6, 20, 0.5),
+    ];
+    let ops = vec![Op::Evict(WindowStart::new(4, 0))];
+    for threads in [1usize, 2, 4] {
+        check_chain(&base, &ops, threads, 1, true);
+    }
+}
+
+#[test]
+fn batch_re_adds_a_just_evicted_station() {
+    // The compacting eviction drops station 106 entirely; the next batch
+    // re-interns it (same external id, new dense slot) and the chain must
+    // still match a one-shot rebuild.
+    let base: Vec<Row> = vec![(106, 100, 0, 3, 1.0), (100, 102, 6, 20, 0.5)];
+    let ops = vec![
+        Op::Evict(WindowStart::new(4, 0)),
+        Op::Ingest(vec![(106, 102, 6, 21, 3.0), (106, 106, 6, 22, 0.25)]),
+    ];
+    for threads in [1usize, 2, 4] {
+        for shards in [1usize, 4] {
+            check_chain(&base, &ops, threads, shards, false);
+        }
+    }
+}

@@ -167,6 +167,116 @@ impl TripBatch {
     }
 }
 
+/// The inclusive start of a weekly sliding window, keyed on the trip
+/// columns' `(day, hour)` pair — the windowed-eviction analogue of a
+/// timestamp cutoff for a table that stores weekday/hour keys rather
+/// than absolute times. Rows whose slot (`day * 24 + hour`) sorts
+/// strictly before the window start are expired.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WindowStart {
+    day: u8,
+    hour: u8,
+}
+
+impl WindowStart {
+    /// A window starting at the given Monday-first weekday (0–6) and
+    /// hour (0–23).
+    ///
+    /// # Panics
+    ///
+    /// If a key is out of range (same contract as the push paths).
+    pub fn new(day: u8, hour: u8) -> WindowStart {
+        assert!(day < 7 && hour < 24, "temporal keys out of range");
+        WindowStart { day, hour }
+    }
+
+    /// The window's weekday key (0–6, Monday first).
+    pub fn day(&self) -> u8 {
+        self.day
+    }
+
+    /// The window's hour key (0–23).
+    pub fn hour(&self) -> u8 {
+        self.hour
+    }
+
+    /// The linear weekly slot (`day * 24 + hour`, 0–167) rows are
+    /// compared against.
+    #[inline]
+    pub fn slot(&self) -> u16 {
+        self.day as u16 * 24 + self.hour as u16
+    }
+
+    /// Whether a trip with the given keys survives this window
+    /// (`slot >= window start`).
+    #[inline]
+    pub fn keeps(&self, day: u8, hour: u8) -> bool {
+        day as u16 * 24 + hour as u16 >= self.slot()
+    }
+}
+
+/// What [`TripTable::evict_before`] removed from the table — the
+/// subtraction-side mirror of [`AppendOutcome`]. Downstream incremental
+/// consumers (the graph layer's `CsrEvict`) need the expired rows
+/// themselves (their endpoints name the CSR rows whose merged weights
+/// must be re-folded) and the station-compaction remap.
+///
+/// Evicted endpoints are reported as **external** station ids: after a
+/// compacting evict the old dense index space no longer exists, and
+/// every downstream graph (station-level or temporal-layered) can
+/// resolve an external id against its own node table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EvictOutcome {
+    /// Source stations of the evicted rows (external ids, original row
+    /// order).
+    pub evicted_src: Vec<StationNodeId>,
+    /// Destination stations of the evicted rows (external ids, original
+    /// row order).
+    pub evicted_dst: Vec<StationNodeId>,
+    /// Weekday keys of the evicted rows.
+    pub evicted_day: Vec<u8>,
+    /// Hour keys of the evicted rows.
+    pub evicted_hour: Vec<u8>,
+    /// Weights of the evicted rows.
+    pub evicted_weight: Vec<f64>,
+    /// For each dense station index of the **compacted** table, its
+    /// index in the old table — strictly increasing (the compacted id
+    /// list is a sorted subset of the old sorted list). `None` when the
+    /// intern table is unchanged (no station was dropped, or the evict
+    /// was pinned).
+    pub new_to_old: Option<Vec<u32>>,
+    /// External ids of the stations compaction dropped, sorted.
+    pub removed_stations: Vec<StationNodeId>,
+}
+
+impl EvictOutcome {
+    /// Number of rows the evict dropped.
+    pub fn evicted_rows(&self) -> usize {
+        self.evicted_src.len()
+    }
+
+    /// Whether the evict changed nothing (no rows dropped — and hence no
+    /// stations either).
+    pub fn is_noop(&self) -> bool {
+        self.evicted_src.is_empty()
+    }
+
+    /// The distinct stations incident to an evicted row, sorted —
+    /// exactly the CSR rows whose merged weights are no longer a fold
+    /// prefix of a rebuild and must be re-folded from surviving rows.
+    pub fn touched_stations(&self) -> Vec<StationNodeId> {
+        let mut ids: Vec<StationNodeId> = self
+            .evicted_src
+            .iter()
+            .chain(&self.evicted_dst)
+            .copied()
+            .collect();
+        ids.sort_unstable();
+        ids.dedup();
+        ids
+    }
+}
+
 /// What [`TripTable::append_batch`] did to the table — everything a
 /// downstream incremental consumer (the graph layer's `CsrDelta`) needs
 /// to mirror the update without re-reading untouched rows.
@@ -432,6 +542,103 @@ impl TripTable {
         }
     }
 
+    /// Drop every trip whose weekly slot sorts strictly before the
+    /// window start and **compact the intern table**: stations no longer
+    /// referenced by any surviving row leave the dense index space (the
+    /// sorted-subset compaction keeps the remap strictly increasing,
+    /// mirroring [`TripTable::append_batch`]'s monotone extension).
+    ///
+    /// The resulting table is **identical** to one built from scratch
+    /// over the surviving station set with the surviving rows pushed in
+    /// order — the windowed differential suite asserts this per evict.
+    /// Returns the [`EvictOutcome`] describing the removal.
+    pub fn evict_before(&mut self, window: WindowStart) -> EvictOutcome {
+        self.evict(window, true)
+    }
+
+    /// [`TripTable::evict_before`] without intern-table compaction: every
+    /// station keeps its dense index even when its last trip expires —
+    /// the entry for fixed-station-set consumers (a selected network's
+    /// node table is pinned by the expansion run, so its graphs keep
+    /// isolated rows rather than shrinking).
+    pub fn evict_before_pinned(&mut self, window: WindowStart) -> EvictOutcome {
+        self.evict(window, false)
+    }
+
+    fn evict(&mut self, window: WindowStart, compact: bool) -> EvictOutcome {
+        // --- Partition rows: keep survivors in order, capture expired. ---
+        let mut outcome = EvictOutcome {
+            evicted_src: Vec::new(),
+            evicted_dst: Vec::new(),
+            evicted_day: Vec::new(),
+            evicted_hour: Vec::new(),
+            evicted_weight: Vec::new(),
+            new_to_old: None,
+            removed_stations: Vec::new(),
+        };
+        let mut write = 0usize;
+        for read in 0..self.len() {
+            if window.keeps(self.day[read], self.hour[read]) {
+                self.src[write] = self.src[read];
+                self.dst[write] = self.dst[read];
+                self.day[write] = self.day[read];
+                self.hour[write] = self.hour[read];
+                self.weight[write] = self.weight[read];
+                write += 1;
+            } else {
+                outcome
+                    .evicted_src
+                    .push(self.station_ids[self.src[read] as usize]);
+                outcome
+                    .evicted_dst
+                    .push(self.station_ids[self.dst[read] as usize]);
+                outcome.evicted_day.push(self.day[read]);
+                outcome.evicted_hour.push(self.hour[read]);
+                outcome.evicted_weight.push(self.weight[read]);
+            }
+        }
+        self.src.truncate(write);
+        self.dst.truncate(write);
+        self.day.truncate(write);
+        self.hour.truncate(write);
+        self.weight.truncate(write);
+        if !compact || outcome.is_noop() {
+            return outcome;
+        }
+
+        // --- Compact the intern table to the referenced stations. ---
+        let mut referenced = vec![false; self.station_ids.len()];
+        for &s in self.src.iter().chain(&self.dst) {
+            referenced[s as usize] = true;
+        }
+        if referenced.iter().all(|&r| r) {
+            return outcome;
+        }
+        // Sorted subset: old dense order survives, so the remap is
+        // monotone like append_batch's (just contracting, not extending).
+        let mut old_to_new = vec![u32::MAX; self.station_ids.len()];
+        let mut new_to_old = Vec::new();
+        let mut kept = Vec::new();
+        for (old, &id) in self.station_ids.iter().enumerate() {
+            if referenced[old] {
+                old_to_new[old] = new_to_old.len() as u32;
+                new_to_old.push(old as u32);
+                kept.push(id);
+            } else {
+                outcome.removed_stations.push(id);
+            }
+        }
+        for v in &mut self.src {
+            *v = old_to_new[*v as usize];
+        }
+        for v in &mut self.dst {
+            *v = old_to_new[*v as usize];
+        }
+        self.station_ids = kept;
+        outcome.new_to_old = Some(new_to_old);
+        outcome
+    }
+
     /// Build a station-level trip table straight from a cleaned dataset,
     /// using the `Location → Station` references the cleaning pipeline
     /// validated: a trip contributes a row when **both** endpoints resolve
@@ -626,6 +833,114 @@ mod tests {
         b.push_weighted(1, 2, ts(1, 8), -3.0);
         assert!(b.is_empty());
         assert!(b.iter().next().is_none());
+    }
+
+    #[test]
+    fn window_start_slots_and_keeps() {
+        let w = WindowStart::new(2, 5); // Wednesday 05:00, slot 53
+        assert_eq!(w.day(), 2);
+        assert_eq!(w.hour(), 5);
+        assert_eq!(w.slot(), 53);
+        assert!(w.keeps(2, 5));
+        assert!(w.keeps(6, 0));
+        assert!(!w.keeps(2, 4));
+        assert!(!w.keeps(0, 23));
+        assert_eq!(WindowStart::new(0, 0).slot(), 0);
+        assert_eq!(WindowStart::new(6, 23).slot(), 167);
+    }
+
+    #[test]
+    #[should_panic(expected = "temporal keys out of range")]
+    fn window_start_rejects_out_of_range_keys() {
+        WindowStart::new(7, 0);
+    }
+
+    #[test]
+    fn evict_nothing_is_a_noop() {
+        let mut t = TripTable::new(vec![10, 20]);
+        t.push(0, 1, ts(3, 9)); // Wednesday
+        let before = t.clone();
+        let out = t.evict_before(WindowStart::new(0, 0));
+        assert!(out.is_noop());
+        assert_eq!(out.evicted_rows(), 0);
+        assert_eq!(out.new_to_old, None);
+        assert!(out.removed_stations.is_empty());
+        assert!(out.touched_stations().is_empty());
+        assert_eq!(t, before);
+    }
+
+    #[test]
+    fn evict_everything_empties_rows_and_compacts_all_stations() {
+        let mut t = TripTable::new(vec![10, 20]);
+        t.push(0, 1, ts(1, 8)); // Monday
+        t.push(1, 0, ts(2, 9)); // Tuesday
+        let out = t.evict_before(WindowStart::new(6, 23));
+        assert_eq!(out.evicted_rows(), 2);
+        assert_eq!(out.evicted_src, vec![10, 20]);
+        assert_eq!(out.evicted_dst, vec![20, 10]);
+        assert_eq!(out.removed_stations, vec![10, 20]);
+        assert_eq!(out.new_to_old, Some(vec![]));
+        assert!(t.is_empty());
+        assert_eq!(t.station_count(), 0);
+    }
+
+    #[test]
+    fn evict_compacts_and_matches_from_scratch() {
+        // Stations 10, 20, 30; trips touching 20 all expire.
+        let mut t = TripTable::new(vec![10, 20, 30]);
+        t.push(0, 1, ts(1, 8)); // Monday: 10 -> 20, expires
+        t.push_weighted(1, 1, ts(1, 9), 2.0); // Monday: 20 self-loop, expires
+        t.push(0, 2, ts(4, 10)); // Thursday: 10 -> 30, survives
+        t.push(2, 0, ts(5, 11)); // Friday: 30 -> 10, survives
+        let out = t.evict_before(WindowStart::new(3, 0));
+        assert_eq!(out.evicted_rows(), 2);
+        assert_eq!(out.evicted_src, vec![10, 20]);
+        assert_eq!(out.evicted_dst, vec![20, 20]);
+        assert_eq!(out.evicted_day, vec![0, 0]);
+        assert_eq!(out.evicted_hour, vec![8, 9]);
+        assert_eq!(out.evicted_weight, vec![1.0, 2.0]);
+        assert_eq!(out.removed_stations, vec![20]);
+        assert_eq!(out.new_to_old, Some(vec![0, 2]));
+        assert_eq!(out.touched_stations(), vec![10, 20]);
+        // From scratch over the surviving station set and rows.
+        let mut want = TripTable::new(vec![10, 30]);
+        want.push(0, 1, ts(4, 10));
+        want.push(1, 0, ts(5, 11));
+        assert_eq!(t, want);
+    }
+
+    #[test]
+    fn pinned_evict_keeps_isolated_stations() {
+        let mut t = TripTable::new(vec![10, 20, 30]);
+        t.push(0, 1, ts(1, 8)); // expires, leaving 10 and 20 tripless
+        t.push(2, 2, ts(6, 12)); // survives
+        let out = t.evict_before_pinned(WindowStart::new(3, 0));
+        assert_eq!(out.evicted_rows(), 1);
+        assert_eq!(out.new_to_old, None);
+        assert!(out.removed_stations.is_empty());
+        // All three stations keep their dense indices.
+        assert_eq!(t.station_ids(), &[10, 20, 30]);
+        assert_eq!(t.src(), &[2]);
+        assert_eq!(t.dst(), &[2]);
+    }
+
+    #[test]
+    fn evict_then_append_rebuilds_a_dropped_station() {
+        let mut t = TripTable::new(vec![10, 20]);
+        t.push(0, 1, ts(1, 8)); // Monday, expires
+        t.push(0, 0, ts(5, 9)); // Friday, survives
+        let out = t.evict_before(WindowStart::new(2, 0));
+        assert_eq!(out.removed_stations, vec![20]);
+        assert_eq!(t.station_ids(), &[10]);
+        // The batch re-interns the just-evicted station.
+        let mut b = TripBatch::new();
+        b.push(20, 10, ts(6, 10));
+        let append = t.append_batch(&b);
+        assert_eq!(append.new_stations, vec![20]);
+        let mut want = TripTable::new(vec![10, 20]);
+        want.push(0, 0, ts(5, 9));
+        want.push(1, 0, ts(6, 10));
+        assert_eq!(t, want);
     }
 
     #[test]

@@ -26,6 +26,11 @@
 //!   producing a graph bit-identical to rebuilding from the concatenated
 //!   edge list (see [`delta`] for the contract) — the streaming-ingestion
 //!   path;
+//! * [`CsrEvict`] / [`CsrGraph::apply_evict`] — the **removal arm**: a
+//!   sliding window drops expired edges from a frozen graph, producing a
+//!   graph bit-identical to rebuilding from the surviving edge list (see
+//!   [`evict`] for why subtraction re-folds instead of continuing the
+//!   stored fold);
 //! * [`aggregate`] — the multi-edge → weighted-edge aggregation used to
 //!   build `GBasic`, `GDay` and `GHour` from raw trip relationships;
 //! * [`par`] — the deterministic parallel scheduler: edge-balanced
@@ -59,6 +64,7 @@ pub mod aggregate;
 pub mod build;
 pub mod csr;
 pub mod delta;
+pub mod evict;
 pub mod export;
 mod graph;
 pub mod metrics;
@@ -69,6 +75,7 @@ mod value;
 pub use build::{build_dense_csr, build_dense_csr_sharded, CsrBuilder, EdgeList};
 pub use csr::CsrGraph;
 pub use delta::CsrDelta;
+pub use evict::CsrEvict;
 pub use graph::{NodeId, WeightedGraph};
 pub use store::{EdgeRecord, GraphStore, NodeRecord};
 pub use value::{props, PropMap, PropValue};

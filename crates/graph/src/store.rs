@@ -177,6 +177,17 @@ impl GraphStore {
         }
     }
 
+    /// Keep only the relationships satisfying `keep`, preserving insertion
+    /// order among survivors, and return how many were removed. This is the
+    /// windowed-eviction hook: expired `TRIP` relationships leave the store
+    /// while nodes stay (a station with no surviving trips is still a
+    /// station).
+    pub fn retain_edges(&mut self, mut keep: impl FnMut(&EdgeRecord) -> bool) -> usize {
+        let before = self.edges.len();
+        self.edges.retain(|e| keep(e));
+        before - self.edges.len()
+    }
+
     /// Consistency check: every edge endpoint must exist. Returns the number
     /// of edges checked.
     ///
@@ -278,5 +289,20 @@ mod tests {
     #[test]
     fn validate_passes_for_consistent_store() {
         assert_eq!(sample_store().validate().unwrap(), 4);
+    }
+
+    #[test]
+    fn retain_edges_drops_expired_and_keeps_order() {
+        let mut s = sample_store();
+        let removed = s.retain_edges(|e| e.props.get("hour").and_then(|v| v.as_int()) != Some(8));
+        assert_eq!(removed, 1);
+        assert_eq!(s.edge_count(), 3);
+        assert_eq!(s.node_count(), 3, "eviction never removes nodes");
+        let hours: Vec<Option<i64>> = s
+            .edges()
+            .map(|e| e.props.get("hour").and_then(|v| v.as_int()))
+            .collect();
+        assert_eq!(hours, vec![Some(9), None, None]);
+        assert_eq!(s.retain_edges(|_| true), 0);
     }
 }

@@ -293,7 +293,7 @@ impl Parser<'_> {
 }
 
 /// Sections a fresh artifact must always carry, non-empty.
-pub const REQUIRED_SECTIONS: &[&str] = &["benches", "construction", "delta", "window"];
+pub const REQUIRED_SECTIONS: &[&str] = &["benches", "construction", "delta", "window", "sweep"];
 
 /// Substrings the fresh artifact's `determinism` field must contain —
 /// one per bit-identity contract the smoke run asserts, plus the
@@ -303,6 +303,7 @@ pub const REQUIRED_CONTRACTS: &[&str] = &[
     "hashmap-freeze vs sort-merge",
     "delta-apply vs full rebuild",
     "windowed evict vs rebuild",
+    "permuted vs natural sweeps",
     "sharded vs unsharded",
     "(verified)",
 ];
@@ -473,14 +474,15 @@ mod tests {
 
     fn fresh_doc() -> String {
         r#"{
-          "schema": "moby-bench-smoke/v5",
+          "schema": "moby-bench-smoke/v6",
           "scale": "medium",
           "host_parallelism": 4,
-          "determinism": "bit-identical serial vs parallel, hashmap-freeze vs sort-merge, delta-apply vs full rebuild, windowed evict vs rebuild over surviving rows, and sharded vs unsharded construction (verified)",
+          "determinism": "bit-identical serial vs parallel, hashmap-freeze vs sort-merge, delta-apply vs full rebuild, windowed evict vs rebuild over surviving rows, permuted vs natural sweeps, and sharded vs unsharded construction (verified)",
           "benches": [{"name": "pagerank/trip_graph", "serial_ms": 1.0, "parallel_ms": 0.5}],
           "construction": [{"name": "construct/directed_trips", "sortmerge_1t_ms": 2.0}],
           "delta": [{"name": "delta/directed_trips", "apply_ms": 0.1, "rebuild_ms": 1.0}],
           "window": [{"name": "window/advance_window", "apply_ms": 3.0, "rebuild_ms": 4.0}],
+          "sweep": [{"name": "sweep/pagerank_pull/ghour", "scalar_natural_ms": 0.8, "batched_natural_ms": 0.5}],
           "large": []
         }"#
         .to_string()
@@ -529,7 +531,7 @@ mod tests {
 
         let empty = Json::parse(
             r#"{"scale": "medium", "benches": [], "construction": [],
-                            "delta": [], "window": [], "determinism": ""}"#,
+                            "delta": [], "window": [], "sweep": [], "determinism": ""}"#,
         )
         .unwrap();
         let report = gate(&empty, None);
@@ -618,7 +620,8 @@ mod tests {
                 .replace("pagerank/trip_graph", "x1")
                 .replace("construct/directed_trips", "x2")
                 .replace("delta/directed_trips", "x3")
-                .replace("window/advance_window", "x4"),
+                .replace("window/advance_window", "x4")
+                .replace("sweep/pagerank_pull/ghour", "x5"),
         )
         .unwrap();
         let disjoint_report = gate(&fresh, Some(&disjoint));
@@ -627,6 +630,25 @@ mod tests {
             .iter()
             .any(|w| w.contains("shares no timed rows")));
         assert!(report.passed());
+    }
+
+    #[test]
+    fn v5_baseline_without_sweep_section_is_accepted() {
+        // Pre-PR8 baselines have no `sweep` array and don't assert the
+        // permuted-sweep contract; only the fresh artifact is held to
+        // the new schema.
+        let fresh = Json::parse(&fresh_doc()).unwrap();
+        let v5 = Json::parse(
+            &fresh_doc()
+                .replace("permuted vs natural sweeps, ", "")
+                .replace(
+                    r#""sweep": [{"name": "sweep/pagerank_pull/ghour", "scalar_natural_ms": 0.8, "batched_natural_ms": 0.5}],"#,
+                    "",
+                ),
+        )
+        .unwrap();
+        let report = gate(&fresh, Some(&v5));
+        assert!(report.passed(), "errors: {:?}", report.errors);
     }
 
     #[test]

@@ -9,8 +9,8 @@
 //! [`moby_bench::artifact::gate`]:
 //!
 //! - every expected section (`benches`, `construction`, `delta`,
-//!   `window`, and `large` for large-scale runs) must be present and
-//!   non-empty;
+//!   `window`, `sweep`, and `large` for large-scale runs) must be
+//!   present and non-empty;
 //! - the `determinism` field must assert every bit-identity contract;
 //! - wall times matched by section + row name must stay within
 //!   [`moby_bench::artifact::FAIL_RATIO`] of the baseline — soft

@@ -19,15 +19,24 @@
 //!   (the PR 7 equivalence contract), plus seeded vs cold Louvain on the
 //!   post-window `GHour` graph (seeded modularity must not fall below
 //!   cold — any loss panics, failing CI);
+//! * times the **hot sweep kernels** (PR 8) — one PageRank pull
+//!   iteration and one Louvain first-pass neighbour accumulation —
+//!   scalar vs batched loop shapes and natural vs degree-permuted
+//!   layouts, reporting per-iteration ns/edge for every variant and
+//!   *verifying the layout/batching contracts bit-for-bit* (permuted
+//!   sweeps must match natural sweeps exactly; the batched Louvain
+//!   tally must match the scalar tally exactly; the batched pull fold
+//!   must stay within reassociation tolerance of the scalar fold);
 //! * at `--scale large`, runs the **city tier**: streams ≥1 M synthetic
 //!   trips over ≥10 k stations through the streaming cleaner, then builds
 //!   the station and temporal graphs **sharded and unsharded**, verifying
 //!   the two are bit-identical and reporting wall time per stage plus
 //!   peak RSS (the pipeline sections drop to `medium` — the expansion
-//!   algorithms are sized for the paper's data, not city scale);
+//!   algorithms are sized for the paper's data, not city scale); the
+//!   sweep kernels then also run on the city station graph;
 //!
 //! and writes the timings to a `BENCH_*.json` file
-//! (`moby-bench-smoke/v5`: every section row carries the `scale` it ran
+//! (`moby-bench-smoke/v6`: every section row carries the `scale` it ran
 //! at and the process peak RSS when it finished) that the `bench-smoke`
 //! CI job uploads as a workflow artifact and gates with `bench_check`.
 //! This is where the repo's perf trajectory accumulates from PR 2 onward.
@@ -63,6 +72,9 @@ use std::time::Instant;
 /// Timing repetitions per measurement; the minimum is reported.
 const REPS: usize = 3;
 
+/// Rep count for the sub-millisecond sweep kernels (see [`time_min_rr`]).
+const SWEEP_REPS: usize = 50;
+
 struct SmokeResult {
     name: String,
     nodes: usize,
@@ -82,11 +94,25 @@ impl SmokeResult {
 }
 
 fn time_min<F: FnMut()>(mut f: F) -> f64 {
-    let mut best = f64::INFINITY;
-    for _ in 0..REPS {
-        let start = Instant::now();
-        f();
-        best = best.min(start.elapsed().as_secs_f64() * 1e3);
+    let [best] = time_min_rr(REPS, |_| f());
+    best
+}
+
+/// [`time_min`] over a family of variants, round-robin interleaved: each
+/// rep times every variant once, back to back, and per-variant minima are
+/// taken across reps. The sweep kernels run for fractions of a
+/// millisecond, so a load spike on a shared host would corrupt a whole
+/// per-variant timing block — interleaving makes every variant sample the
+/// same load profile, so the *ratios* between them stay meaningful even
+/// when absolute wall times wobble.
+fn time_min_rr<const K: usize, F: FnMut(usize)>(reps: usize, mut f: F) -> [f64; K] {
+    let mut best = [f64::INFINITY; K];
+    for _ in 0..reps {
+        for (k, slot) in best.iter_mut().enumerate() {
+            let start = Instant::now();
+            f(k);
+            *slot = slot.min(start.elapsed().as_secs_f64() * 1e3);
+        }
     }
     best
 }
@@ -663,8 +689,10 @@ struct LargeStage {
 /// independence contract) and the three temporal graphs through the
 /// sharded path. Stages run once, not `REPS` times — at 1 M+ rows a
 /// single pass is already well above timer noise, and the tier's point
-/// is the memory/scale story, not microsecond-stable medians.
-fn smoke_large(threads: usize, shards: usize) -> Vec<LargeStage> {
+/// is the memory/scale story, not microsecond-stable medians. Also
+/// returns the frozen city station graph so the sweep section can run
+/// its kernels at city scale.
+fn smoke_large(threads: usize, shards: usize) -> (Vec<LargeStage>, CsrGraph) {
     let cfg = city_config();
     let mut stages = Vec::new();
 
@@ -748,7 +776,387 @@ fn smoke_large(threads: usize, shards: usize) -> Vec<LargeStage> {
         peak_rss_kb: peak_rss_kb(),
         graph_bytes: temporals.iter().map(|t| t.csr.heap_bytes()).sum(),
     });
-    stages
+    (stages, sharded)
+}
+
+/// Per-variant wall times for one hot sweep kernel (PR 8): a single full
+/// pass over every row, scalar vs batched loop shape, natural vs
+/// degree-permuted layout. The JSON derives per-iteration ns/edge from
+/// these. Unlike the serial-vs-parallel columns, the ratios here compare
+/// equal-thread single sweeps, so they stay meaningful on a single-core
+/// host and are never suppressed.
+struct SweepResult {
+    name: String,
+    scale: String,
+    nodes: usize,
+    /// Edge slots one sweep traverses (total row storage entries).
+    edges: usize,
+    scalar_natural_ms: f64,
+    batched_natural_ms: f64,
+    scalar_permuted_ms: f64,
+    batched_permuted_ms: f64,
+}
+
+impl SweepResult {
+    fn ns_per_edge(&self, ms: f64) -> f64 {
+        if self.edges > 0 {
+            ms * 1e6 / self.edges as f64
+        } else {
+            0.0
+        }
+    }
+
+    fn speedup_batched(&self) -> f64 {
+        if self.batched_natural_ms > 0.0 {
+            self.scalar_natural_ms / self.batched_natural_ms
+        } else {
+            0.0
+        }
+    }
+
+    fn speedup_permuted(&self) -> f64 {
+        if self.batched_permuted_ms > 0.0 {
+            self.batched_natural_ms / self.batched_permuted_ms
+        } else {
+            0.0
+        }
+    }
+
+    /// Best PR 8 variant vs the scalar natural-order loop (the pre-PR 8
+    /// shape): which of batching and permutation wins differs per kernel
+    /// and per graph (short rows favor the permuted scalar loop, long
+    /// rows the lane/gather kernels), so the headline ratio takes the
+    /// fastest of the three.
+    fn speedup_best(&self) -> f64 {
+        let best = self
+            .batched_natural_ms
+            .min(self.scalar_permuted_ms)
+            .min(self.batched_permuted_ms);
+        if best > 0.0 {
+            self.scalar_natural_ms / best
+        } else {
+            0.0
+        }
+    }
+}
+
+/// One PageRank pull iteration in the pre-PR 8 loop shape: a serial
+/// per-edge accumulation over every in-row.
+fn pull_sweep_scalar(g: &CsrGraph, contrib: &[f64], out: &mut [f64]) {
+    for v in 0..g.node_count() {
+        let (sources, weights) = g.in_row(v);
+        let mut acc = 0.0f64;
+        for (&s, &w) in sources.iter().zip(weights) {
+            acc += w * contrib[s as usize];
+        }
+        out[v] = acc;
+    }
+}
+
+/// The same pull iteration through the production 4-lane batched fold
+/// (the shape of `row_dot` in `moby-graph`): position-assigned lane sums
+/// folded `(l0 + l1) + (l2 + l3)`, so the result is a pure function of
+/// row positions — identical bits on the natural and permuted layouts.
+fn pull_sweep_batched(g: &CsrGraph, contrib: &[f64], out: &mut [f64]) {
+    for v in 0..g.node_count() {
+        let (sources, weights) = g.in_row(v);
+        let mut lanes = [0.0f64; 4];
+        let mut st = sources.chunks_exact(4);
+        let mut wt = weights.chunks_exact(4);
+        for (t, w) in (&mut st).zip(&mut wt) {
+            lanes[0] += w[0] * contrib[t[0] as usize];
+            lanes[1] += w[1] * contrib[t[1] as usize];
+            lanes[2] += w[2] * contrib[t[2] as usize];
+            lanes[3] += w[3] * contrib[t[3] as usize];
+        }
+        for (i, (&t, &w)) in st.remainder().iter().zip(wt.remainder()).enumerate() {
+            lanes[i] += w * contrib[t as usize];
+        }
+        out[v] = (lanes[0] + lanes[1]) + (lanes[2] + lanes[3]);
+    }
+}
+
+/// Louvain first-pass neighbour accumulation, scalar shape: for every
+/// node, scatter neighbour weights into a dense per-label scratch
+/// (skipping self-loops), pick the heaviest label (ties to the smallest)
+/// and reset. `labels[p]` carries the label of *storage position* `p`,
+/// so the same kernel serves both layouts; sums scatter in row position
+/// order, which is what keeps the two layouts bit-identical.
+fn louvain_pass_scalar(
+    g: &CsrGraph,
+    labels: &[u32],
+    links_to: &mut [f64],
+    touched: &mut Vec<u32>,
+    out: &mut [f64],
+) {
+    for v in 0..g.node_count() {
+        let (targets, weights) = g.row(v);
+        for (&t, &w) in targets.iter().zip(weights) {
+            if t != v as u32 {
+                let l = labels[t as usize] as usize;
+                if links_to[l] == 0.0 {
+                    touched.push(l as u32);
+                }
+                links_to[l] += w;
+            }
+        }
+        // Digest the tally as (max sum, smallest label among exact ties):
+        // that pair is unique regardless of iteration order, so the result
+        // is layout-independent without sorting `touched`.
+        let mut best = 0.0f64;
+        let mut best_l = u32::MAX;
+        for &l in touched.iter() {
+            let sum = links_to[l as usize];
+            if sum > best || (sum == best && l < best_l) {
+                best = sum;
+                best_l = l;
+            }
+            links_to[l as usize] = 0.0;
+        }
+        touched.clear();
+        out[v] = best;
+    }
+}
+
+/// The same first-pass accumulation through the production gather-block
+/// shape (the `GATHER = 8` scheme of the Louvain move scan): resolve a
+/// block of labels branch-free, then scatter the weights in position
+/// order — the per-label sums accumulate in exactly the scalar order, so
+/// this variant is bit-identical to [`louvain_pass_scalar`].
+/// Tally one self-free row slice into the dense `links_to` scratch:
+/// gather-blocks of `GATHER` labels, then a positional scatter, so the
+/// accumulation order — and therefore every fold bit — matches the scalar
+/// per-edge loop exactly.
+fn tally_slice(
+    labels: &[u32],
+    ts: &[u32],
+    ws: &[f64],
+    links_to: &mut [f64],
+    touched: &mut Vec<u32>,
+) {
+    const GATHER: usize = 8;
+    let mut tc = ts.chunks_exact(GATHER);
+    let mut wc = ws.chunks_exact(GATHER);
+    let mut lbls = [0u32; GATHER];
+    for (t, w) in (&mut tc).zip(&mut wc) {
+        for (slot, &nbr) in lbls.iter_mut().zip(t) {
+            *slot = labels[nbr as usize];
+        }
+        for (&l, &w) in lbls.iter().zip(w) {
+            let l = l as usize;
+            if links_to[l] == 0.0 {
+                touched.push(l as u32);
+            }
+            links_to[l] += w;
+        }
+    }
+    for (&t, &w) in tc.remainder().iter().zip(wc.remainder()) {
+        let l = labels[t as usize] as usize;
+        if links_to[l] == 0.0 {
+            touched.push(l as u32);
+        }
+        links_to[l] += w;
+    }
+}
+
+fn louvain_pass_batched(
+    g: &CsrGraph,
+    labels: &[u32],
+    links_to: &mut [f64],
+    touched: &mut Vec<u32>,
+    out: &mut [f64],
+) {
+    for v in 0..g.node_count() {
+        let (targets, weights) = g.row(v);
+        // Merged CSR rows hold each target at most once, so the self-loop
+        // (if any) sits at exactly one position: find it with one branchless
+        // scan and tally the self-free slice(s), instead of re-testing
+        // `t != v` on every edge. Slicing preserves position order, so the
+        // fold stays bit-identical to the scalar kernel, and the common
+        // no-self-loop row keeps the single-slice fast path.
+        match targets.iter().position(|&t| t == v as u32) {
+            None => tally_slice(labels, targets, weights, links_to, touched),
+            Some(i) => {
+                tally_slice(labels, &targets[..i], &weights[..i], links_to, touched);
+                tally_slice(
+                    labels,
+                    &targets[i + 1..],
+                    &weights[i + 1..],
+                    links_to,
+                    touched,
+                );
+            }
+        }
+        // Digest the tally as (max sum, smallest label among exact ties):
+        // that pair is unique regardless of iteration order, so the result
+        // is layout-independent without sorting `touched`.
+        let mut best = 0.0f64;
+        let mut best_l = u32::MAX;
+        for &l in touched.iter() {
+            let sum = links_to[l as usize];
+            if sum > best || (sum == best && l < best_l) {
+                best = sum;
+                best_l = l;
+            }
+            links_to[l as usize] = 0.0;
+        }
+        touched.clear();
+        out[v] = best;
+    }
+}
+
+/// Run the sweep section on one frozen graph: permute it by degree, then
+/// time a single PageRank pull iteration and a single Louvain first-pass
+/// accumulation in all four (loop shape × layout) variants — panicking
+/// unless permuted sweeps match natural sweeps bit-for-bit, the batched
+/// Louvain tally matches the scalar tally bit-for-bit, and the batched
+/// pull fold stays within reassociation tolerance of the scalar fold.
+fn smoke_sweep(tag: &str, scale_name: &str, graph: &CsrGraph, threads: usize) -> Vec<SweepResult> {
+    let pg = graph.permute_by_degree(threads);
+    let n = graph.node_count();
+    let perm = pg.perm();
+    let inv = pg.inv();
+    let pgraph = pg.graph();
+
+    // --- PageRank pull iteration. ---
+    // Deterministic, irregular per-node contributions, mapped through the
+    // permutation so both layouts read the same logical values.
+    let contrib_nat: Vec<f64> = (0..n)
+        .map(|u| 0.1 + (u as f64 * 0.618_033_988_75).fract())
+        .collect();
+    let contrib_perm: Vec<f64> = perm.iter().map(|&u| contrib_nat[u as usize]).collect();
+    let mut pull_sn = vec![0.0f64; n];
+    let mut pull_sp = vec![0.0f64; n];
+    let mut pull_bn = vec![0.0f64; n];
+    let mut pull_bp = vec![0.0f64; n];
+    pull_sweep_scalar(graph, &contrib_nat, &mut pull_sn);
+    pull_sweep_scalar(pgraph, &contrib_perm, &mut pull_sp);
+    pull_sweep_batched(graph, &contrib_nat, &mut pull_bn);
+    pull_sweep_batched(pgraph, &contrib_perm, &mut pull_bp);
+    for u in 0..n {
+        let p = inv[u] as usize;
+        assert_eq!(
+            pull_sn[u].to_bits(),
+            pull_sp[p].to_bits(),
+            "sweep/{tag}: scalar pull diverged between layouts at node {u}"
+        );
+        assert_eq!(
+            pull_bn[u].to_bits(),
+            pull_bp[p].to_bits(),
+            "sweep/{tag}: batched pull diverged between layouts at node {u}"
+        );
+        assert!(
+            (pull_sn[u] - pull_bn[u]).abs() <= 1e-9 * pull_sn[u].abs().max(1.0),
+            "sweep/{tag}: batched pull drifted from scalar at node {u}: {} vs {}",
+            pull_sn[u],
+            pull_bn[u]
+        );
+    }
+    let in_edges = graph
+        .in_offsets()
+        .last()
+        .map_or(0, |&e| e as usize - graph.in_offsets()[0] as usize);
+    let [pull_sn_ms, pull_bn_ms, pull_sp_ms, pull_bp_ms] = time_min_rr(SWEEP_REPS, |k| {
+        match k {
+            0 => pull_sweep_scalar(graph, &contrib_nat, &mut pull_sn),
+            1 => pull_sweep_batched(graph, &contrib_nat, &mut pull_bn),
+            2 => pull_sweep_scalar(pgraph, &contrib_perm, &mut pull_sp),
+            _ => pull_sweep_batched(pgraph, &contrib_perm, &mut pull_bp),
+        }
+        std::hint::black_box((&pull_sn, &pull_bn, &pull_sp, &pull_bp));
+    });
+    let pagerank = SweepResult {
+        name: format!("sweep/pagerank_pull/{tag}"),
+        scale: scale_name.to_string(),
+        nodes: n,
+        edges: in_edges,
+        scalar_natural_ms: pull_sn_ms,
+        batched_natural_ms: pull_bn_ms,
+        scalar_permuted_ms: pull_sp_ms,
+        batched_permuted_ms: pull_bp_ms,
+    };
+
+    // --- Louvain first-pass accumulation (singleton start). ---
+    // `labels[p]` = natural label of storage position `p`: the identity on
+    // the natural layout, `perm` itself on the permuted one.
+    let labels_nat: Vec<u32> = (0..n as u32).collect();
+    let labels_perm: Vec<u32> = perm.to_vec();
+    let mut links_to = vec![0.0f64; n];
+    let mut touched: Vec<u32> = Vec::new();
+    let mut lv_sn = vec![0.0f64; n];
+    let mut lv_sp = vec![0.0f64; n];
+    let mut lv_bn = vec![0.0f64; n];
+    let mut lv_bp = vec![0.0f64; n];
+    louvain_pass_scalar(graph, &labels_nat, &mut links_to, &mut touched, &mut lv_sn);
+    louvain_pass_scalar(
+        pgraph,
+        &labels_perm,
+        &mut links_to,
+        &mut touched,
+        &mut lv_sp,
+    );
+    louvain_pass_batched(graph, &labels_nat, &mut links_to, &mut touched, &mut lv_bn);
+    louvain_pass_batched(
+        pgraph,
+        &labels_perm,
+        &mut links_to,
+        &mut touched,
+        &mut lv_bp,
+    );
+    for u in 0..n {
+        let p = inv[u] as usize;
+        assert_eq!(
+            lv_sn[u].to_bits(),
+            lv_sp[p].to_bits(),
+            "sweep/{tag}: scalar tally diverged between layouts at node {u}"
+        );
+        assert_eq!(
+            lv_sn[u].to_bits(),
+            lv_bn[u].to_bits(),
+            "sweep/{tag}: batched tally diverged from scalar at node {u}"
+        );
+        assert_eq!(
+            lv_bn[u].to_bits(),
+            lv_bp[p].to_bits(),
+            "sweep/{tag}: batched tally diverged between layouts at node {u}"
+        );
+    }
+    let out_edges = graph
+        .offsets()
+        .last()
+        .map_or(0, |&e| e as usize - graph.offsets()[0] as usize);
+    let [lv_sn_ms, lv_bn_ms, lv_sp_ms, lv_bp_ms] = time_min_rr(SWEEP_REPS, |k| {
+        match k {
+            0 => louvain_pass_scalar(graph, &labels_nat, &mut links_to, &mut touched, &mut lv_sn),
+            1 => louvain_pass_batched(graph, &labels_nat, &mut links_to, &mut touched, &mut lv_bn),
+            2 => louvain_pass_scalar(
+                pgraph,
+                &labels_perm,
+                &mut links_to,
+                &mut touched,
+                &mut lv_sp,
+            ),
+            _ => louvain_pass_batched(
+                pgraph,
+                &labels_perm,
+                &mut links_to,
+                &mut touched,
+                &mut lv_bp,
+            ),
+        }
+        std::hint::black_box((&lv_sn, &lv_bn, &lv_sp, &lv_bp));
+    });
+    let louvain = SweepResult {
+        name: format!("sweep/louvain_first_pass/{tag}"),
+        scale: scale_name.to_string(),
+        nodes: n,
+        edges: out_edges,
+        scalar_natural_ms: lv_sn_ms,
+        batched_natural_ms: lv_bn_ms,
+        scalar_permuted_ms: lv_sp_ms,
+        batched_permuted_ms: lv_bp_ms,
+    };
+    vec![pagerank, louvain]
 }
 
 /// Time Louvain serially and in parallel on one frozen graph, panicking if
@@ -944,47 +1352,54 @@ fn main() {
     );
     let (window, window_louvain) = smoke_window(&outcome, threads);
 
-    let large = if scale == Scale::Large {
+    let (large, city_graph) = if scale == Scale::Large {
         println!("\nrunning the city tier (streaming generation + sharded builds) ...");
-        smoke_large(threads, shards)
+        let (stages, station) = smoke_large(threads, shards);
+        (stages, Some(station))
     } else {
-        Vec::new()
+        (Vec::new(), None)
     };
+
+    println!("\ntiming the hot sweep kernels (scalar vs batched, natural vs degree-permuted) ...");
+    let ghour = build_temporal_graph(&outcome.selected.store, TemporalGranularity::THour);
+    let mut sweeps = smoke_sweep("ghour", pipeline_scale.name(), &ghour.csr, threads);
+    if let Some(station) = &city_graph {
+        sweeps.extend(smoke_sweep("city", "large", station, threads));
+    }
 
     if host == 1 {
         println!(
-            "\nWARNING: single-core host — speedup columns suppressed \
-             (parallel numbers measure scheduling overhead, not speedup)"
+            "\nWARNING: single-core host — speedup/ratio columns suppressed in \
+             every serial-vs-parallel section (parallel numbers measure \
+             scheduling overhead, not speedup); the sweep section's ratios \
+             compare equal-thread kernels and stay meaningful"
         );
     }
-    if host > 1 {
-        println!(
-            "\n{:<22} {:>8} {:>9} {:>12} {:>12} {:>9}",
-            "bench", "nodes", "edges", "serial(ms)", "parallel(ms)", "speedup"
-        );
-    } else {
-        println!(
-            "\n{:<22} {:>8} {:>9} {:>12} {:>12}",
-            "bench", "nodes", "edges", "serial(ms)", "parallel(ms)"
-        );
-    }
-    for r in &results {
+    // One helper for every serial-vs-parallel style ratio column below:
+    // a single-core host can't measure real speedups, so the value is
+    // suppressed uniformly across the benches/construction/delta/window
+    // sections.
+    let ratio_cell = |speedup: f64| {
         if host > 1 {
-            println!(
-                "{:<22} {:>8} {:>9} {:>12.2} {:>12.2} {:>8.2}x",
-                r.name,
-                r.nodes,
-                r.edges,
-                r.serial_ms,
-                r.parallel_ms,
-                r.speedup()
-            );
+            format!("{speedup:.2}x")
         } else {
-            println!(
-                "{:<22} {:>8} {:>9} {:>12.2} {:>12.2}",
-                r.name, r.nodes, r.edges, r.serial_ms, r.parallel_ms
-            );
+            "-".to_string()
         }
+    };
+    println!(
+        "\n{:<22} {:>8} {:>9} {:>12} {:>12} {:>9}",
+        "bench", "nodes", "edges", "serial(ms)", "parallel(ms)", "speedup"
+    );
+    for r in &results {
+        println!(
+            "{:<22} {:>8} {:>9} {:>12.2} {:>12.2} {:>9}",
+            r.name,
+            r.nodes,
+            r.edges,
+            r.serial_ms,
+            r.parallel_ms,
+            ratio_cell(r.speedup())
+        );
     }
     println!(
         "\n{:<26} {:>8} {:>9} {:>12} {:>13} {:>13} {:>12}",
@@ -992,14 +1407,14 @@ fn main() {
     );
     for r in &construction {
         println!(
-            "{:<26} {:>8} {:>9} {:>12.2} {:>13.2} {:>13.2} {:>11.2}x",
+            "{:<26} {:>8} {:>9} {:>12.2} {:>13.2} {:>13.2} {:>12}",
             r.name,
             r.nodes,
             r.edges,
             r.hashmap_ms,
             r.sortmerge_1t_ms,
             r.sortmerge_nt_ms,
-            r.speedup_vs_hashmap()
+            ratio_cell(r.speedup_vs_hashmap())
         );
     }
 
@@ -1009,7 +1424,7 @@ fn main() {
     );
     for r in &deltas {
         println!(
-            "{:<22} {:>9} {:>7} {:>8} {:>9} {:>10.2} {:>11.2} {:>10.2}x",
+            "{:<22} {:>9} {:>7} {:>8} {:>9} {:>10.2} {:>11.2} {:>11}",
             r.name,
             r.base_rows,
             r.batch_rows,
@@ -1017,7 +1432,7 @@ fn main() {
             r.edges,
             r.apply_ms,
             r.rebuild_ms,
-            r.speedup_vs_rebuild()
+            ratio_cell(r.speedup_vs_rebuild())
         );
     }
 
@@ -1027,7 +1442,7 @@ fn main() {
     );
     for r in &window {
         println!(
-            "{:<24} {:>8} {:>7} {:>8} {:>9} {:>10.2} {:>11.2} {:>10.2}x",
+            "{:<24} {:>8} {:>7} {:>8} {:>9} {:>10.2} {:>11.2} {:>11}",
             r.name,
             r.evicted_rows,
             r.batch_rows,
@@ -1035,11 +1450,11 @@ fn main() {
             r.edges,
             r.apply_ms,
             r.rebuild_ms,
-            r.speedup_vs_rebuild()
+            ratio_cell(r.speedup_vs_rebuild())
         );
     }
     println!(
-        "{:<24} {:>8} {:>7} {:>8} {:>9} {:>10.2} {:>11.2} {:>10.2}x  (Q {:.4} vs {:.4})",
+        "{:<24} {:>8} {:>7} {:>8} {:>9} {:>10.2} {:>11.2} {:>11}  (Q {:.4} vs {:.4})",
         "window/louvain_ghour",
         "-",
         "-",
@@ -1047,10 +1462,41 @@ fn main() {
         window_louvain.edges,
         window_louvain.seeded_ms,
         window_louvain.cold_ms,
-        window_louvain.speedup_vs_cold(),
+        ratio_cell(window_louvain.speedup_vs_cold()),
         window_louvain.q_seeded,
         window_louvain.q_cold,
     );
+
+    // Sweep-kernel table: equal-thread comparisons, so the ratio columns
+    // are reported even on single-core hosts.
+    println!(
+        "\n{:<30} {:>8} {:>9} {:>9} {:>9} {:>9} {:>9} {:>8} {:>8} {:>8}",
+        "sweep (ns/edge)",
+        "nodes",
+        "edges",
+        "scalar",
+        "batched",
+        "p-scal",
+        "p-batch",
+        "batch-x",
+        "perm-x",
+        "best-x"
+    );
+    for r in &sweeps {
+        println!(
+            "{:<30} {:>8} {:>9} {:>9.2} {:>9.2} {:>9.2} {:>9.2} {:>7.2}x {:>7.2}x {:>7.2}x",
+            r.name,
+            r.nodes,
+            r.edges,
+            r.ns_per_edge(r.scalar_natural_ms),
+            r.ns_per_edge(r.batched_natural_ms),
+            r.ns_per_edge(r.scalar_permuted_ms),
+            r.ns_per_edge(r.batched_permuted_ms),
+            r.speedup_batched(),
+            r.speedup_permuted(),
+            r.speedup_best(),
+        );
+    }
 
     if !large.is_empty() {
         println!(
@@ -1081,6 +1527,7 @@ fn main() {
         &deltas,
         &window,
         &window_louvain,
+        &sweeps,
         &large,
     );
     match std::fs::write(&out, &json) {
@@ -1099,12 +1546,14 @@ fn main() {
 /// Hand-rolled JSON (the workspace has no serde_json; every value below is
 /// a number or a plain ASCII identifier, so no string escaping is needed).
 ///
-/// Schema `moby-bench-smoke/v5`: `v4` plus a `window` section (windowed
-/// eviction vs rebuild-from-window, seeded vs cold Louvain). Every
-/// section row carries the `scale` it ran at (pipeline sections may run
-/// at `medium` while the `large` section runs at city scale in the same
-/// artifact) and a `peak_rss_kb` process high-water mark (0 = not
-/// measured).
+/// Schema `moby-bench-smoke/v6`: `v5` plus a `sweep` section (hot-kernel
+/// per-iteration timings — one PageRank pull sweep and one Louvain
+/// first-pass accumulation, scalar vs batched × natural vs
+/// degree-permuted, with derived ns/edge and same-thread speedups).
+/// Every section row carries the `scale` it ran at (pipeline sections
+/// may run at `medium` while the `large` section runs at city scale in
+/// the same artifact) and a `peak_rss_kb` process high-water mark (0 =
+/// not measured).
 #[allow(clippy::too_many_arguments)]
 fn render_json(
     scale: Scale,
@@ -1116,6 +1565,7 @@ fn render_json(
     deltas: &[DeltaResult],
     window: &[WindowResult],
     window_louvain: &WindowLouvain,
+    sweeps: &[SweepResult],
     large: &[LargeStage],
 ) -> String {
     let host = std::thread::available_parallelism()
@@ -1125,7 +1575,7 @@ fn render_json(
     let rss = peak_rss_kb();
     let mut s = String::new();
     s.push_str("{\n");
-    s.push_str("  \"schema\": \"moby-bench-smoke/v5\",\n");
+    s.push_str("  \"schema\": \"moby-bench-smoke/v6\",\n");
     s.push_str(&format!("  \"scale\": \"{}\",\n", scale.name()));
     s.push_str(&format!("  \"parallel_threads\": {threads},\n"));
     s.push_str(&format!("  \"shards\": {shards},\n"));
@@ -1141,6 +1591,7 @@ fn render_json(
         "  \"determinism\": \"bit-identical serial vs parallel, \
          hashmap-freeze vs sort-merge, delta-apply vs full rebuild, \
          windowed evict vs rebuild over surviving rows, \
+         permuted vs natural sweeps, \
          and sharded vs unsharded construction (verified)\",\n",
     );
     s.push_str("  \"benches\": [\n");
@@ -1226,6 +1677,36 @@ fn render_json(
         window_louvain.q_seeded,
         window_louvain.q_cold,
     ));
+    s.push_str("  ],\n");
+    s.push_str("  \"sweep\": [\n");
+    for (i, r) in sweeps.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"name\": \"{}\", \"scale\": \"{}\", \"nodes\": {}, \"edges\": {}, \
+             \"scalar_natural_ms\": {:.4}, \"batched_natural_ms\": {:.4}, \
+             \"scalar_permuted_ms\": {:.4}, \"batched_permuted_ms\": {:.4}, \
+             \"scalar_ns_per_edge\": {:.3}, \"batched_ns_per_edge\": {:.3}, \
+             \"permuted_scalar_ns_per_edge\": {:.3}, \"permuted_batched_ns_per_edge\": {:.3}, \
+             \"speedup_batched_vs_scalar\": {:.3}, \"speedup_permuted_vs_natural\": {:.3}, \
+             \"speedup_best_vs_scalar\": {:.3}, \
+             \"peak_rss_kb\": {rss}}}{}\n",
+            r.name,
+            r.scale,
+            r.nodes,
+            r.edges,
+            r.scalar_natural_ms,
+            r.batched_natural_ms,
+            r.scalar_permuted_ms,
+            r.batched_permuted_ms,
+            r.ns_per_edge(r.scalar_natural_ms),
+            r.ns_per_edge(r.batched_natural_ms),
+            r.ns_per_edge(r.scalar_permuted_ms),
+            r.ns_per_edge(r.batched_permuted_ms),
+            r.speedup_batched(),
+            r.speedup_permuted(),
+            r.speedup_best(),
+            if i + 1 < sweeps.len() { "," } else { "" }
+        ));
+    }
     s.push_str("  ],\n");
     s.push_str("  \"large\": [\n");
     for (i, r) in large.iter().enumerate() {

@@ -368,7 +368,7 @@ fn ablate_detector(outcome: &ExpansionOutcome) {
                 &DetectConfig {
                     detector,
                     seed: Some(1),
-                    threads: None,
+                    ..Default::default()
                 },
             );
             println!(

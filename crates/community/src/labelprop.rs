@@ -81,8 +81,29 @@ fn tally_label(
         scratch.weight_to[l] = 0.0;
     }
     scratch.touched.clear();
+    // Fixed-width gather blocks, as in the Louvain move scan: resolve a
+    // block of neighbour labels branch-free, then scatter the weights in
+    // position order — per-label sums accumulate in exactly the scalar
+    // order, so batching never reassociates the tally.
+    const GATHER: usize = 8;
     let (targets, weights) = graph.row(node);
-    for (&nbr, &w) in targets.iter().zip(weights) {
+    let mut tc = targets.chunks_exact(GATHER);
+    let mut wc = weights.chunks_exact(GATHER);
+    let mut lbls = [0usize; GATHER];
+    for (t, w) in (&mut tc).zip(&mut wc) {
+        for (slot, &nbr) in lbls.iter_mut().zip(t) {
+            *slot = labels[nbr as usize];
+        }
+        for (j, &l) in lbls.iter().enumerate() {
+            if t[j] as usize != node {
+                if scratch.weight_to[l] == 0.0 {
+                    scratch.touched.push(l);
+                }
+                scratch.weight_to[l] += w[j];
+            }
+        }
+    }
+    for (&nbr, &w) in tc.remainder().iter().zip(wc.remainder()) {
         let nbr = nbr as usize;
         if nbr != node {
             let l = labels[nbr];

@@ -59,7 +59,7 @@
 //! simply the 1-thread specialisation.
 
 use crate::{modularity_hashmap, Partition};
-use moby_graph::{par, CsrGraph, NodeId, WeightedGraph};
+use moby_graph::{par, CsrGraph, NodeId, PermutedGraph, WeightedGraph};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -198,8 +198,29 @@ fn scan_move_csr(
         scratch.links_to[c] = 0.0;
     }
     scratch.touched.clear();
+    // Fixed-width gather blocks: read a block of u32 targets and resolve
+    // their community labels branch-free into a register-resident block,
+    // then scatter the weights. The scatter walks the block in position
+    // order, so every per-community sum accumulates in exactly the scalar
+    // (and legacy hash-map path) order — batching buys the separation of
+    // the label gather from the branchy scatter, not a reassociation.
+    const GATHER: usize = 8;
     let (targets, weights) = graph.row(node);
-    for (&nbr, &w) in targets.iter().zip(weights) {
+    let mut tc = targets.chunks_exact(GATHER);
+    let mut wc = weights.chunks_exact(GATHER);
+    let mut comms = [0usize; GATHER];
+    for (t, w) in (&mut tc).zip(&mut wc) {
+        for (slot, &nbr) in comms.iter_mut().zip(t) {
+            *slot = community[nbr as usize];
+        }
+        for (j, &c) in comms.iter().enumerate() {
+            if scratch.links_to[c] == 0.0 {
+                scratch.touched.push(c);
+            }
+            scratch.links_to[c] += w[j];
+        }
+    }
+    for (&nbr, &w) in tc.remainder().iter().zip(wc.remainder()) {
         let c = community[nbr as usize];
         if scratch.links_to[c] == 0.0 {
             scratch.touched.push(c);
@@ -343,6 +364,168 @@ fn local_moving_csr(
     (community, moved_any)
 }
 
+/// Active-set variant of [`local_moving_csr`] for **seeded** sweeps.
+///
+/// The first sweep is whole-graph — it has to be, because modularity
+/// gains depend on the global totals (`2m`, `Σ_tot`) and any windowed
+/// delta perturbs them for every node, not just the touched rows. From
+/// the second sweep on, the only nodes whose decision can differ from
+/// the "stay" they already chose are the ones a committed move
+/// invalidated: the members of the move's source and target communities
+/// (their `Σ_tot` changed) plus every neighbour of those members (their
+/// link weights into a changed community). Exact membership lists are
+/// maintained across commits so each move marks precisely that dependent
+/// set — marks landing *after* the current order position re-examine the
+/// node in the same sweep (as the whole-graph sweep would), marks landing
+/// before it carry into the next sweep. Skipped nodes are provably
+/// no-ops, so the committed move sequence — and the returned assignment —
+/// is **bit-identical** to [`local_moving_csr`] with the same seed.
+///
+/// A per-sweep marking budget (the level's edge count) guards the
+/// degenerate case where moves cascade through huge communities: once
+/// exceeded, the rest of the sweep and the whole next sweep run
+/// whole-graph. Processing a superset is always exact — only the
+/// *pruning* needs the dependency argument — so the fallback never
+/// changes bits either.
+fn local_moving_csr_active(
+    graph: &CsrLevel,
+    order: &[usize],
+    threads: usize,
+    init: &[usize],
+) -> (Vec<usize>, bool) {
+    let n = graph.node_count();
+    assert_eq!(init.len(), n, "seed assignment must cover every node");
+    debug_assert!(init.iter().all(|&c| c < n));
+    let mut community: Vec<usize> = init.to_vec();
+    let mut comm_degree = vec![0.0f64; n];
+    for (u, &c) in community.iter().enumerate() {
+        comm_degree[c] += graph.degree[u];
+    }
+    let two_m = 2.0 * graph.m;
+    if two_m <= 0.0 {
+        return (community, false);
+    }
+
+    // Exact community membership lists (swap-remove order is irrelevant —
+    // they are only ever iterated to mark dependents).
+    let mut members: Vec<Vec<u32>> = vec![Vec::new(); n];
+    let mut member_pos: Vec<u32> = vec![0; n];
+    for (u, &c) in community.iter().enumerate() {
+        member_pos[u] = members[c].len() as u32;
+        members[c].push(u as u32);
+    }
+
+    let mut dirty = vec![true; n];
+    let mut dirty_count = n;
+    let mark_budget = graph.targets.len() + n + 1;
+
+    let mut moved_any = false;
+    let mut improved = true;
+    let mut scratch = ScanScratch::new(n);
+
+    let chunks = par::RowChunks::from_offsets(&graph.offsets);
+    let can_speculate = threads > 1 && chunks.len() > 1;
+    let mut tick: u64 = 0;
+    let mut node_stamp = vec![0u64; if can_speculate { n } else { 0 }];
+    let mut comm_stamp = vec![0u64; if can_speculate { n } else { 0 }];
+    let mut best = vec![0u32; if can_speculate { n } else { 0 }];
+
+    while improved {
+        improved = false;
+        // The speculative whole-row scan only pays off when most nodes
+        // will be visited; a thin worklist is cheaper to rescan serially.
+        // Either way the committed sequence equals the serial one, so the
+        // heuristic cannot affect the result.
+        let speculate = can_speculate && dirty_count * 2 >= n;
+        if speculate {
+            let community = &community;
+            let comm_degree = &comm_degree;
+            par::par_fill_with(
+                &chunks,
+                threads,
+                &mut best,
+                || ScanScratch::new(n),
+                |scratch, _, range, out| {
+                    for (j, node) in range.clone().enumerate() {
+                        out[j] = scan_move_csr(graph, community, comm_degree, two_m, scratch, node)
+                            as u32;
+                    }
+                },
+            );
+        }
+        let scan_tick = tick;
+        let mut marked = 0usize;
+        let mut flood = false;
+        for &node in order {
+            if !(flood || dirty[node]) {
+                continue;
+            }
+            dirty[node] = false;
+            let node_comm = community[node];
+            let fresh = speculate
+                && comm_stamp[node_comm] <= scan_tick
+                && graph.row(node).0.iter().all(|&nbr| {
+                    let nbr = nbr as usize;
+                    node_stamp[nbr] <= scan_tick && comm_stamp[community[nbr]] <= scan_tick
+                });
+            let best_comm = if fresh {
+                best[node] as usize
+            } else {
+                scan_move_csr(graph, &community, &comm_degree, two_m, &mut scratch, node)
+            };
+            if best_comm != node_comm {
+                let k_i = graph.degree[node];
+                comm_degree[node_comm] -= k_i;
+                comm_degree[best_comm] += k_i;
+                community[node] = best_comm;
+                if speculate {
+                    tick += 1;
+                    node_stamp[node] = tick;
+                    comm_stamp[node_comm] = tick;
+                    comm_stamp[best_comm] = tick;
+                }
+                // Move the node between membership lists (swap-remove).
+                let pos = member_pos[node] as usize;
+                let swapped = *members[node_comm]
+                    .last()
+                    .expect("mover is a member of its community");
+                members[node_comm].swap_remove(pos);
+                if swapped as usize != node {
+                    member_pos[swapped as usize] = pos as u32;
+                }
+                member_pos[node] = members[best_comm].len() as u32;
+                members[best_comm].push(node as u32);
+                // Mark the dependent set of this move.
+                if !flood {
+                    for comm in [node_comm, best_comm] {
+                        for i in 0..members[comm].len() {
+                            let y = members[comm][i] as usize;
+                            dirty[y] = true;
+                            let (row_t, _) = graph.row(y);
+                            for &nbr in row_t {
+                                dirty[nbr as usize] = true;
+                            }
+                            marked += row_t.len() + 1;
+                        }
+                    }
+                    if marked > mark_budget {
+                        flood = true;
+                    }
+                }
+                improved = true;
+                moved_any = true;
+            }
+        }
+        if flood {
+            dirty.iter_mut().for_each(|d| *d = true);
+            dirty_count = n;
+        } else {
+            dirty_count = dirty.iter().filter(|&&d| d).count();
+        }
+    }
+    (community, moved_any)
+}
+
 /// Compact arbitrary labels (< n) to `0..k` in first-appearance order —
 /// the O(n) replacement for the old per-level `HashMap<NodeId, usize>`
 /// rebuild: labels are already dense node indices, so a vector suffices.
@@ -384,6 +567,50 @@ fn aggregate_csr(graph: &CsrLevel, compact: &[usize], k: usize) -> CsrLevel {
         }
     }
 
+    level_from_pairs(pair_weight, k, m)
+}
+
+/// [`aggregate_csr`] for the degree-permuted level 0: walks nodes in
+/// **natural** index order through the permuted rows (`inv` locates the
+/// row, `perm` translates its targets back), so every merged pair weight
+/// and the total accumulate in exactly the natural aggregation order —
+/// the aggregated level is bit-identical to the one the natural run
+/// builds, and every later pass proceeds unchanged on it.
+fn aggregate_csr_permuted(
+    level: &CsrLevel,
+    perm: &[u32],
+    inv: &[u32],
+    compact: &[usize],
+    k: usize,
+) -> CsrLevel {
+    let mut pair_weight: HashMap<(u32, u32), f64> = HashMap::new();
+    let mut m = 0.0f64;
+    for u in 0..level.node_count() {
+        let p = inv[u] as usize;
+        let ci = compact[u] as u32;
+        if level.self_loops[p] > 0.0 {
+            *pair_weight.entry((ci, ci)).or_insert(0.0) += level.self_loops[p];
+            m += level.self_loops[p];
+        }
+        let (targets, weights) = level.row(p);
+        for (&jp, &w) in targets.iter().zip(weights) {
+            let j = perm[jp as usize] as usize;
+            if j > u {
+                let cj = compact[j] as u32;
+                let key = if ci <= cj { (ci, cj) } else { (cj, ci) };
+                *pair_weight.entry(key).or_insert(0.0) += w;
+                m += w;
+            }
+        }
+    }
+    level_from_pairs(pair_weight, k, m)
+}
+
+/// Shared tail of the aggregation paths: turn fully-merged pair weights
+/// into sorted CSR rows. Hash-map iteration order is immaterial here —
+/// each `(row, target)` pair carries one final weight and rows are sorted
+/// before packing.
+fn level_from_pairs(pair_weight: HashMap<(u32, u32), f64>, k: usize, m: f64) -> CsrLevel {
     let mut rows: Vec<Vec<(u32, f64)>> = vec![Vec::new(); k];
     for (&(a, b), &w) in &pair_weight {
         if a == b {
@@ -477,6 +704,81 @@ fn membership_modularity(graph: &CsrGraph, membership: &[usize], k: usize, threa
     q
 }
 
+/// [`membership_modularity`] over a degree-permuted graph, walking the
+/// **natural** node order (chunk boundaries come from the natural offsets
+/// and each row is fetched through `inv`, its targets translated through
+/// `perm`), so every accumulator receives the same terms in the same
+/// order as the natural gate — the pass gate is bit-identical between the
+/// two layouts, which is what lets [`louvain_permuted`] stop at exactly
+/// the same pass.
+fn membership_modularity_permuted(
+    pg: &PermutedGraph,
+    membership: &[usize],
+    k: usize,
+    threads: usize,
+) -> f64 {
+    let g = pg.graph();
+    let m = g.total_weight();
+    if m <= 0.0 {
+        return 0.0;
+    }
+    let perm = pg.perm();
+    let max_chunks = (4_000_000 / k.max(1)).clamp(1, 16);
+    let chunks = par::RowChunks::balanced(pg.natural_offsets(), max_chunks, 2048);
+    let partials = par::par_map(&chunks, threads, |_, range| {
+        let mut internal = vec![0.0f64; k];
+        let mut degree = vec![0.0f64; k];
+        for u in range {
+            let cu = membership[u];
+            let (targets, weights) = pg.natural_row(u);
+            for (&vp, &w) in targets.iter().zip(weights) {
+                let v = perm[vp as usize] as usize;
+                if v == u {
+                    internal[cu] += w;
+                    degree[cu] += 2.0 * w;
+                } else if v > u {
+                    let cv = membership[v];
+                    if cu == cv {
+                        internal[cu] += w;
+                    }
+                    degree[cu] += w;
+                    degree[cv] += w;
+                }
+            }
+        }
+        (internal, degree)
+    });
+    let mut internal = vec![0.0f64; k];
+    let mut degree = vec![0.0f64; k];
+    for (pi, pd) in partials {
+        for c in 0..k {
+            internal[c] += pi[c];
+            degree[c] += pd[c];
+        }
+    }
+    let mut q = 0.0;
+    for c in 0..k {
+        q += internal[c] / m - (degree[c] / (2.0 * m)).powi(2);
+    }
+    q
+}
+
+/// The graph a pass gate measures modularity against: the natural frozen
+/// graph, or a permuted layout walked in natural order (same bits).
+enum GateGraph<'a> {
+    Natural(&'a CsrGraph),
+    Permuted(&'a PermutedGraph),
+}
+
+impl GateGraph<'_> {
+    fn modularity(&self, membership: &[usize], k: usize, threads: usize) -> f64 {
+        match self {
+            GateGraph::Natural(g) => membership_modularity(g, membership, k, threads),
+            GateGraph::Permuted(p) => membership_modularity_permuted(p, membership, k, threads),
+        }
+    }
+}
+
 /// Shared Louvain driver: `init` is an optional level-0 seed assignment
 /// (compacted labels `< n`, one per dense node index). Cold runs pass
 /// `None`; [`louvain_seeded`] passes the previous partition's labels.
@@ -491,6 +793,7 @@ fn louvain_csr_impl(
     graph: &CsrGraph,
     config: &LouvainConfig,
     init: Option<Vec<usize>>,
+    active: bool,
 ) -> Partition {
     let undirected;
     let g = if graph.is_directed() {
@@ -506,24 +809,60 @@ fn louvain_csr_impl(
 
     let threads = par::thread_count(config.threads);
     let mut membership: Vec<usize> = (0..n).collect();
-    let mut level = CsrLevel::from_frozen(g);
     let mut rng = config.seed.map(StdRng::seed_from_u64);
+    let gate = GateGraph::Natural(g);
     // The pass gate starts from the seed's modularity (cold: singletons),
     // so a pass only counts as progress if it beats the state it started
     // from — local moving never commits a losing move, so the final
     // partition's modularity is never below the seed's.
-    let mut last_q = match &init {
+    let last_q = match &init {
         Some(labels) => membership_modularity(g, labels, n, threads),
         None => membership_modularity(g, &membership, n, threads),
     };
+    louvain_level_loop(
+        &gate,
+        CsrLevel::from_frozen(g),
+        &mut membership,
+        last_q,
+        0..config.max_passes,
+        &mut rng,
+        init,
+        active,
+        config,
+        threads,
+    );
+    membership_to_partition(g.node_ids(), &membership).renumbered()
+}
 
-    for pass in 0..config.max_passes {
+/// The aggregation-pass loop shared by the natural, seeded and permuted
+/// drivers: `level` is the CSR level the first pass of `passes` runs on,
+/// `membership` maps original nodes to `level` node indices, and `last_q`
+/// is the gate value the first pass must beat. `init` seeds the first
+/// executed pass only; `active` routes that seeded pass through
+/// [`local_moving_csr_active`].
+#[allow(clippy::too_many_arguments)]
+fn louvain_level_loop(
+    gate: &GateGraph<'_>,
+    mut level: CsrLevel,
+    membership: &mut [usize],
+    mut last_q: f64,
+    passes: std::ops::Range<usize>,
+    rng: &mut Option<StdRng>,
+    mut init: Option<Vec<usize>>,
+    active: bool,
+    config: &LouvainConfig,
+    threads: usize,
+) {
+    for _pass in passes {
         let mut order: Vec<usize> = (0..level.node_count()).collect();
         if let Some(rng) = rng.as_mut() {
             order.shuffle(rng);
         }
-        let level_init = if pass == 0 { init.as_deref() } else { None };
-        let (community, moved) = local_moving_csr(&level, &order, threads, level_init);
+        let level_init = init.take();
+        let (community, moved) = match &level_init {
+            Some(labels) if active => local_moving_csr_active(&level, &order, threads, labels),
+            _ => local_moving_csr(&level, &order, threads, level_init.as_deref()),
+        };
         let (compact, k) = compact_labels(&community);
         // Membership values are dense indices of the current level, so the
         // per-level relabel is a direct vector lookup.
@@ -535,7 +874,7 @@ fn louvain_csr_impl(
         }
 
         let aggregated = aggregate_csr(&level, &compact, k);
-        let q = membership_modularity(g, &membership, k, threads);
+        let q = gate.modularity(membership, k, threads);
         if q - last_q < config.min_modularity_gain {
             // Keep the (slightly) better assignment but stop iterating.
             break;
@@ -543,15 +882,94 @@ fn louvain_csr_impl(
         last_q = q;
         level = aggregated;
     }
-
-    membership_to_partition(g.node_ids(), &membership).renumbered()
 }
 
 /// Run the Louvain algorithm over a frozen undirected [`CsrGraph`]
 /// (directed graphs are projected to undirected first) and return the
 /// detected partition with canonical community labels `0..k`.
 pub fn louvain_csr(graph: &CsrGraph, config: &LouvainConfig) -> Partition {
-    louvain_csr_impl(graph, config, None)
+    louvain_csr_impl(graph, config, None, false)
+}
+
+/// Cold-start Louvain over a degree-sorted [`PermutedGraph`], returning a
+/// partition **bit-identical** to [`louvain_csr`] on the natural graph.
+///
+/// The first (dominant) local-moving pass sweeps the permuted rows — hub
+/// rows first, neighbour state clustered at low indices — but commits in
+/// natural node order under natural community labels, so the committed
+/// move sequence is exactly the natural one. Aggregation and the pass
+/// gate then walk natural order through the permuted layout
+/// (the internal `aggregate_csr_permuted` / `membership_modularity_permuted`), and
+/// every later pass runs on the identical aggregated level. The pipeline
+/// uses this for detection-heavy workloads and reports the (unmapped,
+/// id-keyed) partition as usual.
+///
+/// # Panics
+///
+/// If the permuted graph is directed: permute the undirected projection
+/// instead — the permuted rows are unsorted, so projecting after the fact
+/// would need the natural graph anyway.
+pub fn louvain_permuted(permuted: &PermutedGraph, config: &LouvainConfig) -> Partition {
+    let g = permuted.graph();
+    assert!(
+        !g.is_directed(),
+        "louvain_permuted expects the undirected projection to be permuted"
+    );
+    let n = g.node_count();
+    if n == 0 {
+        return Partition::new();
+    }
+    let threads = par::thread_count(config.threads);
+    let perm = permuted.perm();
+    let inv = permuted.inv();
+    let mut membership: Vec<usize> = (0..n).collect();
+    let mut rng = config.seed.map(StdRng::seed_from_u64);
+    let gate = GateGraph::Permuted(permuted);
+    let mut last_q = gate.modularity(&membership, n, threads);
+
+    if config.max_passes > 0 {
+        let level0 = CsrLevel::from_frozen(g);
+        // Shuffle the *natural* order exactly like the natural run (same
+        // rng draws), then translate each step to its storage position.
+        let mut order_nat: Vec<usize> = (0..n).collect();
+        if let Some(rng) = rng.as_mut() {
+            order_nat.shuffle(rng);
+        }
+        let order: Vec<usize> = order_nat.iter().map(|&u| inv[u] as usize).collect();
+        // Seeding position p with label perm[p] reproduces the natural
+        // cold start: each node begins in its own *natural-labelled*
+        // singleton, so gains, tie-breaks and the commit sequence match
+        // the natural run bit for bit.
+        let init: Vec<usize> = perm.iter().map(|&u| u as usize).collect();
+        let (community, moved) = local_moving_csr(&level0, &order, threads, Some(&init));
+        let community_nat: Vec<usize> = (0..n).map(|u| community[inv[u] as usize]).collect();
+        let (compact, k) = compact_labels(&community_nat);
+        membership.copy_from_slice(&compact);
+        if moved {
+            let aggregated = aggregate_csr_permuted(&level0, perm, inv, &compact, k);
+            let q = gate.modularity(&membership, k, threads);
+            if q - last_q >= config.min_modularity_gain {
+                last_q = q;
+                louvain_level_loop(
+                    &gate,
+                    aggregated,
+                    &mut membership,
+                    last_q,
+                    1..config.max_passes,
+                    &mut rng,
+                    None,
+                    false,
+                    config,
+                    threads,
+                );
+            }
+        }
+    }
+    // `membership` is indexed by *natural* dense node, but the interned id
+    // table lives in permuted order — pull each natural node's id through
+    // `inv` so ids pair with their own assignment.
+    let ids_nat: Vec<_> = inv.iter().map(|&p| g.node_ids()[p as usize]).collect();
+    membership_to_partition(&ids_nat, &membership).renumbered()
 }
 
 /// Run Louvain **seeded from a previous partition**: the first
@@ -576,7 +994,31 @@ pub fn louvain_seeded(graph: &CsrGraph, seed: &Partition, config: &LouvainConfig
     if n == 0 {
         return Partition::new();
     }
-    louvain_csr_impl(graph, config, Some(seed_labels(graph, seed)))
+    louvain_csr_impl(graph, config, Some(seed_labels(graph, seed)), false)
+}
+
+/// [`louvain_seeded`] with **active-set** local moving: after the first
+/// (necessarily whole-graph) sweep of the seeded pass, only the nodes a
+/// committed move actually invalidated are re-examined — the members of
+/// the move's source and target communities plus their neighbours (the
+/// internal `local_moving_csr_active` scan). In a windowed refresh those movers
+/// cluster around the rows the delta/evict touched, so later sweeps
+/// shrink from O(n) scans to O(touched frontier).
+///
+/// The returned partition is **bit-identical** to [`louvain_seeded`] for
+/// the same inputs — the skipped nodes are provably no-ops — so callers
+/// can switch on it purely as a performance policy (the windowed pipeline
+/// does, when the delta touched a minority of rows).
+pub fn louvain_seeded_active(
+    graph: &CsrGraph,
+    seed: &Partition,
+    config: &LouvainConfig,
+) -> Partition {
+    let n = graph.node_count();
+    if n == 0 {
+        return Partition::new();
+    }
+    louvain_csr_impl(graph, config, Some(seed_labels(graph, seed)), true)
 }
 
 /// Compact a seed partition's labels to dense `0..k` in first-appearance
@@ -1205,5 +1647,188 @@ mod tests {
             .collect();
         assert_eq!(runs[0], runs[1]);
         assert_eq!(runs[0], runs[2]);
+    }
+
+    #[test]
+    fn permuted_cold_run_is_bit_identical_to_natural() {
+        for graph_seed in 0..6u64 {
+            let frozen = random_graph(600 + graph_seed, false).freeze();
+            let pg = frozen.permute_by_degree(1);
+            for shuffle in [None, Some(graph_seed)] {
+                for t in [1usize, 2, 4] {
+                    let cfg = LouvainConfig {
+                        seed: shuffle,
+                        threads: Some(t),
+                        ..Default::default()
+                    };
+                    assert_eq!(
+                        louvain_permuted(&pg, &cfg),
+                        louvain_csr(&frozen, &cfg),
+                        "permuted diverged (graph {graph_seed}, shuffle {shuffle:?}, {t} threads)"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn permuted_run_on_projected_directed_graph_matches() {
+        // The natural path projects directed input itself; the permuted
+        // path requires the caller to permute the projection.
+        for graph_seed in 0..4u64 {
+            let d = random_graph(700 + graph_seed, true);
+            let frozen = d.freeze();
+            let pg = frozen.to_undirected().permute_by_degree(1);
+            let cfg = LouvainConfig::default();
+            assert_eq!(
+                louvain_permuted(&pg, &cfg),
+                louvain_csr(&frozen, &cfg),
+                "projected permuted diverged (graph {graph_seed})"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "undirected projection")]
+    fn permuted_rejects_directed_graphs() {
+        let pg = random_graph(710, true).freeze().permute_by_degree(1);
+        louvain_permuted(&pg, &LouvainConfig::default());
+    }
+
+    #[test]
+    fn active_seeded_matches_seeded_exactly() {
+        for graph_seed in 0..8u64 {
+            let frozen = random_graph(800 + graph_seed, false).freeze();
+            // Seed from a shuffled run so the seed is a real partition the
+            // refresh still has work to do on.
+            let prior = louvain_csr(
+                &frozen,
+                &LouvainConfig {
+                    seed: Some(graph_seed),
+                    ..Default::default()
+                },
+            );
+            for t in [1usize, 2, 4] {
+                let cfg = LouvainConfig {
+                    threads: Some(t),
+                    ..Default::default()
+                };
+                assert_eq!(
+                    louvain_seeded_active(&frozen, &prior, &cfg),
+                    louvain_seeded(&frozen, &prior, &cfg),
+                    "active-set refresh diverged (graph {graph_seed}, {t} threads)"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn active_seeded_with_empty_seed_is_the_cold_start() {
+        for graph_seed in 0..4u64 {
+            let frozen = random_graph(900 + graph_seed, false).freeze();
+            let cfg = LouvainConfig::default();
+            assert_eq!(
+                louvain_seeded_active(&frozen, &Partition::new(), &cfg),
+                louvain_csr(&frozen, &cfg),
+                "empty active seed must degenerate to the cold start (graph {graph_seed})"
+            );
+        }
+    }
+
+    #[test]
+    fn active_seeded_matches_on_community_structured_graph() {
+        // Big enough that the speculative scan, chunking, and the
+        // mark-budget flood paths all engage; the seed is the cold answer
+        // perturbed by reassigning a band of nodes to singletons.
+        let mut rng = StdRng::seed_from_u64(77);
+        let mut g = WeightedGraph::new_undirected();
+        for c in 0..6u64 {
+            for _ in 0..180 {
+                let a = c * 1_000 + rng.gen_range(0..30u64);
+                let b = c * 1_000 + rng.gen_range(0..30u64);
+                g.add_edge(a, b, rng.gen_range(1.0..4.0));
+            }
+        }
+        for _ in 0..60 {
+            let a = rng.gen_range(0..6u64) * 1_000 + rng.gen_range(0..30u64);
+            let b = rng.gen_range(0..6u64) * 1_000 + rng.gen_range(0..30u64);
+            g.add_edge(a, b, 1.0);
+        }
+        let frozen = g.freeze();
+        let cold = louvain_csr(&frozen, &LouvainConfig::default());
+        let mut perturbed = cold.clone();
+        let base = perturbed.community_count() + 100;
+        for (k, &id) in frozen.node_ids().iter().step_by(7).enumerate() {
+            perturbed.assign(id, base + k);
+        }
+        for t in [1usize, 2, 4] {
+            let cfg = LouvainConfig {
+                threads: Some(t),
+                ..Default::default()
+            };
+            assert_eq!(
+                louvain_seeded_active(&frozen, &perturbed, &cfg),
+                louvain_seeded(&frozen, &perturbed, &cfg),
+                "active-set refresh diverged on structured graph ({t} threads)"
+            );
+        }
+    }
+
+    #[test]
+    fn permuted_level_pipeline_matches_natural_stage_by_stage() {
+        // Guards each internal stage of the permuted cold run — level
+        // construction, pass-0 local moving, aggregation and the pass gate
+        // — so a future regression points at the stage that broke rather
+        // than just the end-to-end partition.
+        let frozen = random_graph(600, false).freeze();
+        let pg = frozen.permute_by_degree(1);
+        let n = frozen.node_count();
+        let level_nat = CsrLevel::from_frozen(&frozen);
+        let level_perm = CsrLevel::from_frozen(pg.graph());
+        let perm = pg.perm();
+        let inv = pg.inv();
+        for u in 0..n {
+            let p = inv[u] as usize;
+            assert_eq!(
+                level_nat.degree[u].to_bits(),
+                level_perm.degree[p].to_bits()
+            );
+            assert_eq!(
+                level_nat.self_loops[u].to_bits(),
+                level_perm.self_loops[p].to_bits()
+            );
+            let (tn, wn) = level_nat.row(u);
+            let (tp, wp) = level_perm.row(p);
+            let tp_mapped: Vec<u32> = tp.iter().map(|&x| perm[x as usize]).collect();
+            assert_eq!(tn, tp_mapped.as_slice(), "row targets mismatch at {u}");
+            assert_eq!(wn, wp, "row weights mismatch at {u}");
+        }
+        assert_eq!(level_nat.m.to_bits(), level_perm.m.to_bits());
+
+        let order_nat: Vec<usize> = (0..n).collect();
+        let order: Vec<usize> = order_nat.iter().map(|&u| inv[u] as usize).collect();
+        let init: Vec<usize> = perm.iter().map(|&u| u as usize).collect();
+        let (c_nat, moved_nat) = local_moving_csr(&level_nat, &order_nat, 1, None);
+        let (c_perm, moved_perm) = local_moving_csr(&level_perm, &order, 1, Some(&init));
+        assert_eq!(moved_nat, moved_perm);
+        let c_perm_nat: Vec<usize> = (0..n).map(|u| c_perm[inv[u] as usize]).collect();
+        assert_eq!(c_nat, c_perm_nat, "pass-0 communities diverged");
+
+        let (compact, k) = compact_labels(&c_nat);
+        let agg_nat = aggregate_csr(&level_nat, &compact, k);
+        let agg_perm = aggregate_csr_permuted(&level_perm, perm, inv, &compact, k);
+        assert_eq!(agg_nat.offsets, agg_perm.offsets);
+        assert_eq!(agg_nat.targets, agg_perm.targets);
+        assert_eq!(agg_nat.weights, agg_perm.weights);
+        assert_eq!(agg_nat.self_loops, agg_perm.self_loops);
+        assert_eq!(agg_nat.degree, agg_perm.degree);
+        assert_eq!(agg_nat.m.to_bits(), agg_perm.m.to_bits());
+
+        let singletons: Vec<usize> = (0..n).collect();
+        for (memb, comms) in [(&compact, k), (&singletons, n)] {
+            let q_nat = membership_modularity(&frozen, memb, comms, 1);
+            let q_perm = membership_modularity_permuted(&pg, memb, comms, 1);
+            assert_eq!(q_nat.to_bits(), q_perm.to_bits(), "gate q diverged");
+        }
     }
 }

@@ -1,0 +1,98 @@
+//! Property tests for the degree-permuted sweep layout (PR 8): running
+//! PageRank, Louvain or modularity through a [`moby_graph::PermutedGraph`]
+//! and unmapping the result must be **bit-identical** to the natural run
+//! at 1, 2 and 4 worker threads — the permutation is a pure layout change,
+//! never a semantic one.
+
+use moby_community::{
+    louvain_csr, louvain_permuted, modularity_csr_threads, modularity_permuted, LouvainConfig,
+    Partition,
+};
+use moby_graph::metrics::{pagerank_csr, pagerank_permuted, PageRankConfig};
+use moby_graph::WeightedGraph;
+use proptest::prelude::*;
+
+fn edge_list() -> impl Strategy<Value = Vec<(u64, u64, f64)>> {
+    prop::collection::vec((0u64..40, 0u64..40, 0.5f64..6.0), 1..300)
+}
+
+fn build(directed: bool, edges: &[(u64, u64, f64)]) -> WeightedGraph {
+    let mut g = if directed {
+        WeightedGraph::new_directed()
+    } else {
+        WeightedGraph::new_undirected()
+    };
+    for &(a, b, w) in edges {
+        g.add_edge(a, b, w);
+    }
+    g
+}
+
+/// An arbitrary (possibly partial) partition over the id space.
+fn arbitrary_partition() -> impl Strategy<Value = Partition> {
+    prop::collection::vec((0u64..40, 0usize..8), 0..40)
+        .prop_map(|pairs| pairs.into_iter().collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn permuted_pagerank_is_bit_identical(
+        edges in edge_list(),
+        directed in 0u8..2,
+    ) {
+        let frozen = build(directed == 1, &edges).freeze();
+        let pg = frozen.permute_by_degree(1);
+        for t in [1usize, 2, 4] {
+            let cfg = PageRankConfig { threads: Some(t), ..Default::default() };
+            let natural = pagerank_csr(&frozen, &cfg);
+            let permuted = pagerank_permuted(&pg, &cfg);
+            prop_assert_eq!(natural.len(), permuted.len());
+            for (id, r) in &natural {
+                let rp = permuted.get(id).copied().unwrap_or(f64::NAN);
+                prop_assert_eq!(r.to_bits(), rp.to_bits(),
+                    "node {} diverged at {} threads: {} vs {}", id, t, r, rp);
+            }
+        }
+    }
+
+    #[test]
+    fn permuted_louvain_is_bit_identical(
+        edges in edge_list(),
+        shuffle_seed in 0u64..32,
+    ) {
+        let frozen = build(false, &edges).freeze();
+        let pg = frozen.permute_by_degree(1);
+        // Even seeds exercise the unshuffled order, odd ones a seeded
+        // shuffle.
+        let seed = (shuffle_seed % 2 == 1).then_some(shuffle_seed);
+        for t in [1usize, 2, 4] {
+            let cfg = LouvainConfig {
+                seed,
+                threads: Some(t),
+                ..Default::default()
+            };
+            prop_assert_eq!(
+                louvain_permuted(&pg, &cfg),
+                louvain_csr(&frozen, &cfg),
+                "{} threads diverged", t
+            );
+        }
+    }
+
+    #[test]
+    fn permuted_modularity_is_bit_identical(
+        edges in edge_list(),
+        partition in arbitrary_partition(),
+    ) {
+        let frozen = build(false, &edges).freeze();
+        let pg = frozen.permute_by_degree(1);
+        for t in [1usize, 2, 4] {
+            let natural = modularity_csr_threads(&frozen, &partition, Some(t));
+            let permuted = modularity_permuted(&pg, &partition, Some(t));
+            prop_assert_eq!(natural.to_bits(), permuted.to_bits(),
+                "{} threads: {} vs {}", t, natural, permuted);
+        }
+    }
+}

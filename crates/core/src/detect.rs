@@ -8,9 +8,12 @@
 
 use crate::temporal::{TemporalGranularity, TemporalGraph};
 use moby_community::stats::{community_table, CommunityTable};
-use moby_community::{label_propagation_csr, louvain_csr, louvain_seeded, modularity_csr_threads};
+use moby_community::{
+    label_propagation_csr, louvain_csr, louvain_permuted, louvain_seeded, louvain_seeded_active,
+    modularity_csr_threads, modularity_permuted,
+};
 use moby_community::{LabelPropagationConfig, LouvainConfig, Partition};
-use moby_graph::{CsrGraph, NodeId};
+use moby_graph::{par, CsrGraph, NodeId};
 use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, HashSet};
 
@@ -36,6 +39,15 @@ pub struct DetectConfig {
     /// [`moby_graph::par::thread_count`]). Detection results are
     /// bit-identical at any thread count, so this only tunes speed.
     pub threads: Option<usize>,
+    /// Run the Louvain detector through a **degree-permuted layout**
+    /// ([`moby_graph::CsrGraph::permute_by_degree`]): hub rows and their
+    /// neighbour state cluster at low indices, which speeds up the
+    /// detection sweeps on detection-heavy workloads at the cost of one
+    /// permutation pass per detection. The detected partition and the
+    /// reported modularity are **bit-identical** either way, so this is
+    /// purely a performance policy. Ignored by the label-propagation
+    /// detector (it has no permuted path).
+    pub permute: bool,
 }
 
 impl Default for DetectConfig {
@@ -44,6 +56,7 @@ impl Default for DetectConfig {
             detector: Detector::Louvain,
             seed: None,
             threads: None,
+            permute: false,
         }
     }
 }
@@ -135,25 +148,68 @@ pub fn detect_communities(
     old_stations: &HashSet<NodeId>,
     config: &DetectConfig,
 ) -> CommunityDetection {
-    let raw_partition = match config.detector {
-        Detector::Louvain => louvain_csr(
-            &temporal.csr,
-            &LouvainConfig {
-                seed: config.seed,
-                threads: config.threads,
-                ..Default::default()
-            },
-        ),
-        Detector::LabelPropagation => label_propagation_csr(
-            &temporal.csr,
-            &LabelPropagationConfig {
-                seed: config.seed.unwrap_or(1),
-                threads: config.threads,
-                ..Default::default()
-            },
-        ),
+    let (raw_partition, q) = match config.detector {
+        Detector::Louvain if config.permute => {
+            // Permute the undirected projection once and run both the
+            // detector and the modularity score through the mapped sweeps
+            // — same bits as the natural path (see the `moby-community`
+            // bit-identity tests), better locality on the hot rows.
+            let undirected;
+            let base = if temporal.csr.is_directed() {
+                undirected = temporal.csr.to_undirected();
+                &undirected
+            } else {
+                &temporal.csr
+            };
+            let pg = base.permute_by_degree(par::thread_count(config.threads));
+            let raw = louvain_permuted(
+                &pg,
+                &LouvainConfig {
+                    seed: config.seed,
+                    threads: config.threads,
+                    ..Default::default()
+                },
+            );
+            let q = modularity_permuted(&pg, &raw, config.threads);
+            (raw, q)
+        }
+        Detector::Louvain => {
+            let raw = louvain_csr(
+                &temporal.csr,
+                &LouvainConfig {
+                    seed: config.seed,
+                    threads: config.threads,
+                    ..Default::default()
+                },
+            );
+            let q = modularity_csr_threads(&temporal.csr, &raw, config.threads);
+            (raw, q)
+        }
+        Detector::LabelPropagation => {
+            let raw = label_propagation_csr(
+                &temporal.csr,
+                &LabelPropagationConfig {
+                    seed: config.seed.unwrap_or(1),
+                    threads: config.threads,
+                    ..Default::default()
+                },
+            );
+            let q = modularity_csr_threads(&temporal.csr, &raw, config.threads);
+            (raw, q)
+        }
     };
-    let q = modularity_csr_threads(&temporal.csr, &raw_partition, config.threads);
+    finish_detection(temporal, directed_trips, old_stations, raw_partition, q)
+}
+
+/// Shared tail of every detection path: fold the raw partition to
+/// stations and produce the paper-style table.
+fn finish_detection(
+    temporal: &TemporalGraph,
+    directed_trips: &CsrGraph,
+    old_stations: &HashSet<NodeId>,
+    raw_partition: Partition,
+    q: f64,
+) -> CommunityDetection {
     let station_partition = fold_to_stations(temporal, &raw_partition);
     let table = community_table(directed_trips, &station_partition, old_stations, q);
     CommunityDetection {
@@ -186,34 +242,71 @@ pub fn refresh_communities(
     previous: &CommunityDetection,
     config: &DetectConfig,
 ) -> CommunityDetection {
+    refresh_impl(
+        temporal,
+        directed_trips,
+        old_stations,
+        previous,
+        config,
+        false,
+    )
+}
+
+/// [`refresh_communities`] with **active-set** local moving
+/// ([`louvain_seeded_active`]): after the first whole-graph sweep, only
+/// the nodes a committed move invalidated are re-examined, so sweeps
+/// shrink towards the rows the window actually touched. The refreshed
+/// detection is **bit-identical** to [`refresh_communities`] for the same
+/// inputs; callers switch on it purely as a performance policy — the
+/// windowed pipeline does when the delta touched a minority of stations
+/// (see `WindowConfig::active_refresh_threshold`). Label propagation has
+/// no seeded path, so it falls back to a cold re-run exactly as
+/// [`refresh_communities`] does.
+pub fn refresh_communities_active(
+    temporal: &TemporalGraph,
+    directed_trips: &CsrGraph,
+    old_stations: &HashSet<NodeId>,
+    previous: &CommunityDetection,
+    config: &DetectConfig,
+) -> CommunityDetection {
+    refresh_impl(
+        temporal,
+        directed_trips,
+        old_stations,
+        previous,
+        config,
+        true,
+    )
+}
+
+fn refresh_impl(
+    temporal: &TemporalGraph,
+    directed_trips: &CsrGraph,
+    old_stations: &HashSet<NodeId>,
+    previous: &CommunityDetection,
+    config: &DetectConfig,
+    active: bool,
+) -> CommunityDetection {
     assert_eq!(
         temporal.granularity, previous.granularity,
         "seed detection is for a different granularity"
     );
+    let louvain_cfg = LouvainConfig {
+        seed: config.seed,
+        threads: config.threads,
+        ..Default::default()
+    };
     let raw_partition = match config.detector {
-        Detector::Louvain => louvain_seeded(
-            &temporal.csr,
-            &previous.raw_partition,
-            &LouvainConfig {
-                seed: config.seed,
-                threads: config.threads,
-                ..Default::default()
-            },
-        ),
+        Detector::Louvain if active => {
+            louvain_seeded_active(&temporal.csr, &previous.raw_partition, &louvain_cfg)
+        }
+        Detector::Louvain => louvain_seeded(&temporal.csr, &previous.raw_partition, &louvain_cfg),
         Detector::LabelPropagation => {
             return detect_communities(temporal, directed_trips, old_stations, config);
         }
     };
     let q = modularity_csr_threads(&temporal.csr, &raw_partition, config.threads);
-    let station_partition = fold_to_stations(temporal, &raw_partition);
-    let table = community_table(directed_trips, &station_partition, old_stations, q);
-    CommunityDetection {
-        granularity: temporal.granularity,
-        modularity: q,
-        raw_partition,
-        station_partition,
-        table,
-    }
+    finish_detection(temporal, directed_trips, old_stations, raw_partition, q)
 }
 
 #[cfg(test)]
@@ -329,7 +422,7 @@ mod tests {
             &DetectConfig {
                 detector: Detector::LabelPropagation,
                 seed: Some(5),
-                threads: None,
+                ..Default::default()
             },
         );
         assert!(det.community_count() >= 1);
@@ -377,11 +470,67 @@ mod tests {
         let cfg = DetectConfig {
             detector: Detector::LabelPropagation,
             seed: Some(5),
-            threads: None,
+            ..Default::default()
         };
         let cold = detect_communities(&temporal, &directed, &old(), &cfg);
         let refreshed = refresh_communities(&temporal, &directed, &old(), &cold, &cfg);
         assert_eq!(refreshed.station_partition, cold.station_partition);
+    }
+
+    #[test]
+    fn permuted_detection_is_bit_identical() {
+        let s = store();
+        let directed = aggregate::project_directed(&s, TRIP_LABEL).freeze();
+        for g in TemporalGranularity::ALL {
+            let temporal = build_temporal_graph(&s, g);
+            for threads in [Some(1), Some(4)] {
+                let natural = detect_communities(
+                    &temporal,
+                    &directed,
+                    &old(),
+                    &DetectConfig {
+                        threads,
+                        ..Default::default()
+                    },
+                );
+                let permuted = detect_communities(
+                    &temporal,
+                    &directed,
+                    &old(),
+                    &DetectConfig {
+                        threads,
+                        permute: true,
+                        ..Default::default()
+                    },
+                );
+                assert_eq!(natural.raw_partition, permuted.raw_partition, "{g:?}");
+                assert_eq!(
+                    natural.station_partition, permuted.station_partition,
+                    "{g:?}"
+                );
+                assert_eq!(
+                    natural.modularity.to_bits(),
+                    permuted.modularity.to_bits(),
+                    "{g:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn active_refresh_is_bit_identical_to_seeded_refresh() {
+        let s = store();
+        let directed = aggregate::project_directed(&s, TRIP_LABEL).freeze();
+        for g in TemporalGranularity::ALL {
+            let temporal = build_temporal_graph(&s, g);
+            let cfg = DetectConfig::default();
+            let cold = detect_communities(&temporal, &directed, &old(), &cfg);
+            let whole = refresh_communities(&temporal, &directed, &old(), &cold, &cfg);
+            let active = refresh_communities_active(&temporal, &directed, &old(), &cold, &cfg);
+            assert_eq!(whole.raw_partition, active.raw_partition, "{g:?}");
+            assert_eq!(whole.station_partition, active.station_partition, "{g:?}");
+            assert_eq!(whole.modularity.to_bits(), active.modularity.to_bits());
+        }
     }
 
     #[test]

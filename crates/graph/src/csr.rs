@@ -28,6 +28,118 @@
 use crate::{par, CsrBuilder, NodeId, WeightedGraph};
 use std::collections::HashMap;
 
+/// Cache-line width (bytes) the adjacency slabs align to.
+pub const CACHE_LINE: usize = 64;
+
+/// A read-only array whose data starts on a cache-line boundary.
+///
+/// The hot CSR sweeps stream `targets`/`weights` linearly; starting each
+/// slab on a 64-byte boundary keeps the fixed-width batched loops (see
+/// the PageRank pull sweep and the Louvain scan) from straddling an extra
+/// line per block and gives the autovectorizer aligned loads to work
+/// with. The crate forbids `unsafe`, so alignment is achieved by
+/// over-allocating one cache line and exposing the aligned window —
+/// [`AlignedSlab::heap_bytes`] reports the *padded* capacity so
+/// [`CsrGraph::heap_bytes`] stays honest about the real footprint.
+///
+/// Equality, hashing-adjacent derives and `Debug` all go through the
+/// logical slice, so two slabs with identical contents compare equal even
+/// when their allocations landed at different alignments.
+pub struct AlignedSlab<T> {
+    buf: Vec<T>,
+    off: usize,
+    len: usize,
+}
+
+impl<T: Copy + Default> AlignedSlab<T> {
+    /// Elements per cache line (at least 1).
+    fn lane_count() -> usize {
+        (CACHE_LINE / std::mem::size_of::<T>().max(1)).max(1)
+    }
+
+    /// Copy `data` into a freshly aligned slab.
+    pub fn from_slice(data: &[T]) -> Self {
+        let len = data.len();
+        if len == 0 {
+            return Self {
+                buf: Vec::new(),
+                off: 0,
+                len: 0,
+            };
+        }
+        let pad = Self::lane_count();
+        let mut buf = vec![T::default(); len + pad];
+        // `align_offset` may pessimistically refuse (returns usize::MAX);
+        // alignment is a pure optimisation, so fall back to offset 0.
+        let off = buf.as_ptr().align_offset(CACHE_LINE);
+        let off = if off > pad { 0 } else { off };
+        buf[off..off + len].copy_from_slice(data);
+        Self { buf, off, len }
+    }
+
+    /// The logical contents.
+    #[inline]
+    pub fn as_slice(&self) -> &[T] {
+        &self.buf[self.off..self.off + self.len]
+    }
+
+    /// Bytes of backing allocation, **including** the alignment padding.
+    pub fn heap_bytes(&self) -> usize {
+        self.buf.capacity() * std::mem::size_of::<T>()
+    }
+
+    /// Whether the data actually starts on a cache-line boundary (false
+    /// only when `align_offset` refused; correctness never depends on it).
+    pub fn is_aligned(&self) -> bool {
+        self.len == 0 || self.as_slice().as_ptr().align_offset(CACHE_LINE) == 0
+    }
+}
+
+impl<T: Copy + Default> From<Vec<T>> for AlignedSlab<T> {
+    fn from(data: Vec<T>) -> Self {
+        Self::from_slice(&data)
+    }
+}
+
+impl<T: Copy + Default> Default for AlignedSlab<T> {
+    fn default() -> Self {
+        Self {
+            buf: Vec::new(),
+            off: 0,
+            len: 0,
+        }
+    }
+}
+
+impl<T: Copy + Default> Clone for AlignedSlab<T> {
+    fn clone(&self) -> Self {
+        // Re-pack instead of cloning the backing buffer: the clone's
+        // allocation lands at a different address, so the aligned window
+        // must be recomputed around the logical contents.
+        Self::from_slice(self.as_slice())
+    }
+}
+
+impl<T: Copy + Default> std::ops::Deref for AlignedSlab<T> {
+    type Target = [T];
+    #[inline]
+    fn deref(&self) -> &[T] {
+        self.as_slice()
+    }
+}
+
+impl<T: Copy + Default + std::fmt::Debug> std::fmt::Debug for AlignedSlab<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_list().entries(self.as_slice()).finish()
+    }
+}
+
+impl<T: Copy + Default + PartialEq> PartialEq for AlignedSlab<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
 /// The raw arrays of a CSR graph, handed to
 /// [`CsrGraph::from_parts`] by construction paths that assemble the
 /// adjacency themselves (the freeze path and the columnar
@@ -67,11 +179,11 @@ pub struct CsrGraph {
     node_ids: Vec<NodeId>,
     index: HashMap<NodeId, u32>,
     offsets: Vec<u32>,
-    targets: Vec<u32>,
-    weights: Vec<f64>,
+    targets: AlignedSlab<u32>,
+    weights: AlignedSlab<f64>,
     in_offsets: Vec<u32>,
-    in_targets: Vec<u32>,
-    in_weights: Vec<f64>,
+    in_targets: AlignedSlab<u32>,
+    in_weights: AlignedSlab<f64>,
     strength: Vec<f64>,
     weighted_degree: Vec<f64>,
     self_loops: Vec<f64>,
@@ -181,11 +293,11 @@ impl CsrGraph {
             node_ids,
             index,
             offsets,
-            targets,
-            weights,
+            targets: targets.into(),
+            weights: weights.into(),
             in_offsets,
-            in_targets,
-            in_weights,
+            in_targets: in_targets.into(),
+            in_weights: in_weights.into(),
             strength,
             weighted_degree,
             self_loops,
@@ -223,14 +335,19 @@ impl CsrGraph {
     /// Approximate heap footprint of the frozen arrays in bytes: the node
     /// table, the id index, both adjacency halves and the cached degree
     /// sweeps. The `large` bench tier reports this next to peak RSS so
-    /// the memory claims of city-scale builds stay auditable.
+    /// the memory claims of city-scale builds stay auditable. The
+    /// adjacency slabs report their **padded** capacity (each aligned
+    /// slab over-allocates one cache line; see [`AlignedSlab`]), so the
+    /// figure tracks what the allocator really handed out.
     pub fn heap_bytes(&self) -> usize {
         use std::mem::size_of;
         self.node_ids.capacity() * size_of::<NodeId>()
             + self.index.capacity() * (size_of::<NodeId>() + size_of::<u32>())
             + (self.offsets.capacity() + self.in_offsets.capacity()) * size_of::<u32>()
-            + (self.targets.capacity() + self.in_targets.capacity()) * size_of::<u32>()
-            + (self.weights.capacity() + self.in_weights.capacity()) * size_of::<f64>()
+            + self.targets.heap_bytes()
+            + self.in_targets.heap_bytes()
+            + self.weights.heap_bytes()
+            + self.in_weights.heap_bytes()
             + (self.strength.capacity()
                 + self.weighted_degree.capacity()
                 + self.self_loops.capacity())
@@ -435,16 +552,89 @@ impl CsrGraph {
             node_ids: self.node_ids.clone(),
             index: self.index.clone(),
             offsets,
-            targets,
-            weights,
+            targets: targets.into(),
+            weights: weights.into(),
             in_offsets: Vec::new(),
-            in_targets: Vec::new(),
-            in_weights: Vec::new(),
+            in_targets: AlignedSlab::default(),
+            in_weights: AlignedSlab::default(),
             strength,
             weighted_degree,
             self_loops,
             edge_count,
             total_weight,
+        }
+    }
+
+    /// Reorder the node index space by descending degree (ties broken by
+    /// the natural index, so the permutation is a pure function of the
+    /// row structure). Returns a [`PermutedGraph`]: the frozen permuted
+    /// graph plus the forward/inverse maps needed to run the mapped
+    /// sweeps and unmap their results.
+    ///
+    /// Row *positions* are preserved — permuted node `p` carries natural
+    /// node `perm[p]`'s row with every entry in its original position,
+    /// values translated into permuted index space. Positional fold order
+    /// is therefore identical to the natural graph's, which is what lets
+    /// the mapped PageRank/Louvain/modularity paths reproduce the
+    /// natural-order results bit for bit (see DESIGN.md, "Layout &
+    /// vectorization").
+    pub fn permute_by_degree(&self, threads: usize) -> PermutedGraph {
+        let n = self.node_count();
+        let mut perm: Vec<u32> = (0..n as u32).collect();
+        perm.sort_unstable_by_key(|&u| (std::cmp::Reverse(self.degree(u as usize)), u));
+        let mut inv = vec![0u32; n];
+        for (p, &u) in perm.iter().enumerate() {
+            inv[u as usize] = p as u32;
+        }
+
+        let permuted_parts = |offsets: &[u32], targets: &[u32], weights: &[f64]| {
+            let mut new_offsets = Vec::with_capacity(n + 1);
+            new_offsets.push(0u32);
+            let mut new_targets = Vec::with_capacity(targets.len());
+            let mut new_weights = Vec::with_capacity(weights.len());
+            for &u in &perm {
+                let (t, w) = row(offsets, targets, weights, u as usize);
+                // Keep the source position order: mapping values through
+                // `inv` changes *what* each entry points at, never the
+                // per-row accumulation order.
+                new_targets.extend(t.iter().map(|&v| inv[v as usize]));
+                new_weights.extend_from_slice(w);
+                new_offsets.push(new_targets.len() as u32);
+            }
+            (new_offsets, new_targets, new_weights)
+        };
+
+        let (offsets, targets, weights) =
+            permuted_parts(&self.offsets, &self.targets, &self.weights);
+        let (in_offsets, in_targets, in_weights) = if self.directed {
+            permuted_parts(&self.in_offsets, &self.in_targets, &self.in_weights)
+        } else {
+            (Vec::new(), Vec::new(), Vec::new())
+        };
+        let node_ids = perm
+            .iter()
+            .map(|&u| self.node_ids[u as usize])
+            .collect::<Vec<_>>();
+        let graph = CsrGraph::from_parts(
+            CsrParts {
+                directed: self.directed,
+                node_ids,
+                offsets,
+                targets,
+                weights,
+                in_offsets,
+                in_targets,
+                in_weights,
+                edge_count: self.edge_count,
+                total_weight: self.total_weight,
+            },
+            threads,
+        );
+        PermutedGraph {
+            graph,
+            perm,
+            inv,
+            natural_offsets: self.offsets.clone(),
         }
     }
 
@@ -466,6 +656,83 @@ impl CsrGraph {
             }
         }
         builder.build()
+    }
+}
+
+/// A degree-sorted reordering of a [`CsrGraph`], produced by
+/// [`CsrGraph::permute_by_degree`].
+///
+/// Permuted position `p` carries natural node `perm()[p]`; natural node
+/// `u` lives at permuted position `inv()[u]`. The inner graph is a fully
+/// interned frozen graph over the same external [`NodeId`]s, so id-keyed
+/// results (e.g. a PageRank `HashMap<NodeId, f64>`) need no unmapping at
+/// all — only dense-index artefacts (memberships, per-node vectors) go
+/// through `perm`/`inv`.
+///
+/// **Sweep-only representation**: rows preserve the *source* position
+/// order rather than being re-sorted by permuted target index, because
+/// positional fold order is what keeps the mapped kernels bit-identical
+/// to the natural run. Anything that needs sorted rows
+/// ([`CsrGraph::edge_weight`]'s binary search, the sort-merge delta
+/// paths) must use the natural graph instead.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PermutedGraph {
+    graph: CsrGraph,
+    perm: Vec<u32>,
+    inv: Vec<u32>,
+    natural_offsets: Vec<u32>,
+}
+
+impl PermutedGraph {
+    /// The frozen permuted graph (see the type docs for the row-order
+    /// caveat).
+    #[inline]
+    pub fn graph(&self) -> &CsrGraph {
+        &self.graph
+    }
+
+    /// `perm()[p]` is the natural index stored at permuted position `p`.
+    #[inline]
+    pub fn perm(&self) -> &[u32] {
+        &self.perm
+    }
+
+    /// `inv()[u]` is the permuted position of natural node `u`.
+    #[inline]
+    pub fn inv(&self) -> &[u32] {
+        &self.inv
+    }
+
+    /// The natural graph's out-offset array. Mapped passes whose chunk
+    /// boundaries are part of the determinism contract (modularity
+    /// tallies) chunk over these, not the permuted offsets.
+    #[inline]
+    pub fn natural_offsets(&self) -> &[u32] {
+        &self.natural_offsets
+    }
+
+    /// Number of nodes (same as the natural graph).
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.perm.len()
+    }
+
+    /// The row of *natural* node `u` in the permuted layout: targets are
+    /// permuted indices, positions match the natural row.
+    #[inline]
+    pub fn natural_row(&self, u: usize) -> (&[u32], &[f64]) {
+        self.graph.row(self.inv[u] as usize)
+    }
+
+    /// Heap footprint: the permuted graph plus both permutation maps and
+    /// the retained natural offsets — counted so the `large` bench's RSS
+    /// vs heap comparison stays honest when the pipeline holds a
+    /// permuted copy.
+    pub fn heap_bytes(&self) -> usize {
+        use std::mem::size_of;
+        self.graph.heap_bytes()
+            + (self.perm.capacity() + self.inv.capacity() + self.natural_offsets.capacity())
+                * size_of::<u32>()
     }
 }
 
@@ -649,5 +916,100 @@ mod tests {
         assert!(c.is_empty());
         assert_eq!(c.node_count(), 0);
         assert_eq!(c.edges().count(), 0);
+    }
+
+    #[test]
+    fn aligned_slab_round_trips_and_aligns() {
+        let data: Vec<u32> = (0..1000).collect();
+        let slab = AlignedSlab::from_slice(&data);
+        assert_eq!(slab.as_slice(), &data[..]);
+        assert!(slab.is_aligned(), "u32 slab starts on a cache line");
+        assert!(slab.heap_bytes() >= 1000 * 4, "padding counted");
+
+        let f: Vec<f64> = (0..77).map(|i| i as f64 * 0.5).collect();
+        let fslab: AlignedSlab<f64> = f.clone().into();
+        assert_eq!(&*fslab, &f[..]);
+        assert!(fslab.is_aligned());
+
+        // Clone re-packs around a fresh allocation but compares equal.
+        let copy = slab.clone();
+        assert_eq!(copy, slab);
+        assert!(copy.is_aligned());
+
+        let empty = AlignedSlab::<f64>::default();
+        assert!(empty.as_slice().is_empty());
+        assert!(empty.is_aligned());
+        assert_eq!(empty.heap_bytes(), 0);
+    }
+
+    #[test]
+    fn permute_by_degree_orders_hubs_first() {
+        let g = sample_undirected();
+        let c = g.freeze();
+        let p = c.permute_by_degree(1);
+        let n = c.node_count();
+        assert_eq!(p.node_count(), n);
+        // Degrees are non-increasing along the permuted index space.
+        let degs: Vec<usize> = (0..n).map(|q| p.graph().degree(q)).collect();
+        assert!(degs.windows(2).all(|w| w[0] >= w[1]), "degree-sorted");
+        // perm/inv invert each other.
+        for u in 0..n {
+            assert_eq!(p.perm()[p.inv()[u] as usize] as usize, u);
+        }
+        assert_eq!(p.natural_offsets(), c.offsets());
+    }
+
+    #[test]
+    fn permuted_graph_is_isomorphic_with_identical_cached_degrees() {
+        let mut g = WeightedGraph::new_undirected();
+        for i in 0..40u64 {
+            g.add_edge(i, (i * 3) % 40, 1.0 + i as f64 * 0.25);
+            g.add_edge(i, (i + 1) % 40, 0.5);
+        }
+        let c = g.freeze();
+        let p = c.permute_by_degree(2);
+        let pg = p.graph();
+        assert_eq!(pg.edge_count(), c.edge_count());
+        assert_eq!(pg.total_weight().to_bits(), c.total_weight().to_bits());
+        for u in 0..c.node_count() {
+            let q = p.inv()[u] as usize;
+            assert_eq!(pg.id_of(q), c.id_of(u), "same external id");
+            // Cached degree sweeps are positional folds over the same row
+            // contents, so they are bit-identical, not just close.
+            assert_eq!(pg.strength(q).to_bits(), c.strength(u).to_bits());
+            assert_eq!(
+                pg.weighted_degree(q).to_bits(),
+                c.weighted_degree(u).to_bits()
+            );
+            assert_eq!(pg.self_loop(q).to_bits(), c.self_loop(u).to_bits());
+            // Rows carry the same (neighbour, weight) multiset with
+            // positions preserved and values mapped through `inv`.
+            let (nt, nw) = c.row(u);
+            let (pt, pw) = p.natural_row(u);
+            assert_eq!(nw, pw, "weights keep source positions");
+            let mapped: Vec<u32> = nt.iter().map(|&v| p.inv()[v as usize]).collect();
+            assert_eq!(pt, &mapped[..], "targets mapped positionally");
+        }
+        // heap_bytes includes the permutation maps on top of the graph.
+        assert!(p.heap_bytes() > pg.heap_bytes());
+        assert!(p.heap_bytes() >= pg.heap_bytes() + 3 * c.node_count() * 4);
+    }
+
+    #[test]
+    fn permuted_directed_graph_keeps_in_rows() {
+        let mut g = WeightedGraph::new_directed();
+        g.add_edge(1, 2, 3.0);
+        g.add_edge(3, 2, 2.0);
+        g.add_edge(2, 1, 1.0);
+        g.add_edge(2, 2, 4.0);
+        let c = g.freeze();
+        let p = c.permute_by_degree(1);
+        let i2 = c.index_of(2).unwrap() as usize;
+        let q2 = p.inv()[i2] as usize;
+        let (nt, nw) = c.in_row(i2);
+        let (pt, pw) = p.graph().in_row(q2);
+        assert_eq!(nw, pw);
+        let mapped: Vec<u32> = nt.iter().map(|&v| p.inv()[v as usize]).collect();
+        assert_eq!(pt, &mapped[..]);
     }
 }

@@ -73,7 +73,7 @@ mod store;
 mod value;
 
 pub use build::{build_dense_csr, build_dense_csr_sharded, CsrBuilder, EdgeList};
-pub use csr::CsrGraph;
+pub use csr::{AlignedSlab, CsrGraph, PermutedGraph, CACHE_LINE};
 pub use delta::CsrDelta;
 pub use evict::CsrEvict;
 pub use graph::{NodeId, WeightedGraph};

@@ -7,7 +7,7 @@
 //! chunk-merge order of the convergence norm are independent of the thread
 //! count — the scores are bit-identical at any parallelism.
 
-use crate::{par, CsrGraph, NodeId, WeightedGraph};
+use crate::{par, CsrGraph, NodeId, PermutedGraph, WeightedGraph};
 use std::collections::HashMap;
 
 /// Configuration for [`pagerank`].
@@ -52,35 +52,79 @@ pub fn pagerank(graph: &WeightedGraph, config: &PageRankConfig) -> HashMap<NodeI
 /// Weighted PageRank over a frozen [`CsrGraph`]: each power iteration is a
 /// pull-based sweep over the in-rows, parallelised on the deterministic
 /// row-chunk scheduler. A node's next score accumulates its in-neighbour
-/// contributions in sorted row order — the same arithmetic and order as the
-/// classic push-based serial sweep — so the result is bit-identical at any
-/// thread count, including one.
+/// contributions positionally in row order — four register-resident lane
+/// sums folded in a fixed position-derived order (the internal `row_dot`) — so
+/// the result is bit-identical at any thread count, including one.
 pub fn pagerank_csr(graph: &CsrGraph, config: &PageRankConfig) -> HashMap<NodeId, f64> {
+    pagerank_impl(graph, None, config)
+}
+
+/// [`pagerank_csr`] over a degree-sorted [`PermutedGraph`].
+///
+/// The sweep streams the permuted in-rows (hub rows first, contributions
+/// clustered at low indices), while every order-sensitive reduction — the
+/// convergence norm and the dangling-mass fold — walks the *natural* node
+/// order. Combined with the positional per-row fold this makes the
+/// returned map **bit-identical** to [`pagerank_csr`] on the natural
+/// graph; no unmapping step is needed because scores are keyed by
+/// external [`NodeId`].
+pub fn pagerank_permuted(
+    permuted: &PermutedGraph,
+    config: &PageRankConfig,
+) -> HashMap<NodeId, f64> {
+    pagerank_impl(permuted.graph(), Some(permuted.inv()), config)
+}
+
+/// Shared body of the natural and permuted entries. `inv`, when present,
+/// maps natural node `u` to its storage position; every serial fold in the
+/// control window iterates natural order through it, which is exactly what
+/// keeps the two entries bit-identical.
+fn pagerank_impl(
+    graph: &CsrGraph,
+    inv: Option<&[u32]>,
+    config: &PageRankConfig,
+) -> HashMap<NodeId, f64> {
     let n = graph.node_count();
     if n == 0 {
         return HashMap::new();
     }
     let threads = par::thread_count(config.threads);
     let in_chunks = par::RowChunks::from_offsets(graph.in_offsets());
+    let pos_of = |u: usize| inv.map_or(u, |m| m[u] as usize);
 
     let uniform = 1.0 / n as f64;
     let damping = config.damping;
     let base = (1.0 - damping) * uniform;
+    // Dangling storage positions, listed in natural node order so the
+    // mass fold below accumulates in the same sequence on both layouts.
     let dangling: Vec<u32> = (0..n)
-        .filter(|&u| graph.strength(u) <= 0.0)
-        .map(|u| u as u32)
+        .map(&pos_of)
+        .filter(|&p| graph.strength(p) <= 0.0)
+        .map(|p| p as u32)
         .collect();
 
-    // Double-buffered scores on the persistent-worker driver: iteration k
-    // reads `bufs[k % 2]` and writes `bufs[(k + 1) % 2]`; the caller-side
-    // control window reduces the per-chunk diffs (chunk order), checks
-    // convergence, and precomputes the next iteration's dangling share —
-    // accumulated in dense index order like the classic serial sweep.
-    let bufs = [
+    // Double-buffered scores and **contributions** on the persistent-worker
+    // driver: iteration k reads `ranks[k % 2]` / `contribs[k % 2]` and
+    // writes the other pair. A node's contribution `damping * rank / s`
+    // is computed once when its rank lands — hoisting the per-edge divide
+    // and the dangling branch out of the hot loop, which is most of what
+    // the batched sweep buys. The caller-side control window folds the
+    // convergence norm and the next dangling share serially in natural
+    // node order.
+    let ranks = [
         par::SharedF64Buf::new(n, uniform),
         par::SharedF64Buf::new(n, 0.0),
     ];
-    let chunk_diffs = par::SharedF64Buf::new(in_chunks.len(), 0.0);
+    let contribs = [
+        par::SharedF64Buf::new(n, 0.0),
+        par::SharedF64Buf::new(n, 0.0),
+    ];
+    for p in 0..n {
+        let s = graph.strength(p);
+        if s > 0.0 {
+            contribs[0].set(p, damping * uniform / s);
+        }
+    }
     let dangling_share = par::SharedF64Buf::new(1, {
         let mass: f64 = dangling.iter().map(|_| uniform).sum();
         damping * mass * uniform
@@ -90,48 +134,70 @@ pub fn pagerank_csr(graph: &CsrGraph, config: &PageRankConfig) -> HashMap<NodeId
         par::par_iterate(
             &in_chunks,
             threads,
-            |k, ci, range| {
-                let src = &bufs[(k % 2) as usize];
-                let dst = &bufs[((k + 1) % 2) as usize];
-                let share = dangling_share.get(0);
-                let mut diff = 0.0f64;
+            |k, _ci, range| {
+                let cur = (k % 2) as usize;
+                let nxt = ((k + 1) % 2) as usize;
+                let contrib = &contribs[cur];
+                let r_dst = &ranks[nxt];
+                let c_dst = &contribs[nxt];
+                let add = base + dangling_share.get(0);
                 for v in range {
                     let (sources, weights) = graph.in_row(v);
-                    let mut acc = base;
-                    for (&u, &w) in sources.iter().zip(weights) {
-                        let u = u as usize;
-                        let s = graph.strength(u);
-                        if s > 0.0 {
-                            let scale = damping * src.get(u) / s;
-                            acc += scale * w;
-                        }
-                    }
-                    acc += share;
-                    dst.set(v, acc);
-                    diff += (acc - src.get(v)).abs();
+                    let acc = add + row_dot(sources, weights, contrib);
+                    r_dst.set(v, acc);
+                    let s = graph.strength(v);
+                    c_dst.set(v, if s > 0.0 { damping * acc / s } else { 0.0 });
                 }
-                chunk_diffs.set(ci, diff);
             },
             |k| {
-                let diff: f64 = (0..chunk_diffs.len()).map(|i| chunk_diffs.get(i)).sum();
-                let next_buf = ((k + 1) % 2) as usize;
-                final_buf = next_buf;
+                let cur = (k % 2) as usize;
+                let nxt = ((k + 1) % 2) as usize;
+                let mut diff = 0.0f64;
+                for u in 0..n {
+                    let p = pos_of(u);
+                    diff += (ranks[nxt].get(p) - ranks[cur].get(p)).abs();
+                }
+                final_buf = nxt;
                 if diff < config.tolerance || k + 1 >= config.max_iterations as u64 {
                     return false;
                 }
                 let mut mass = 0.0f64;
-                for &u in &dangling {
-                    mass += bufs[next_buf].get(u as usize);
+                for &p in &dangling {
+                    mass += ranks[nxt].get(p as usize);
                 }
                 dangling_share.set(0, damping * mass * uniform);
                 true
             },
         );
     }
-    let rank = bufs[final_buf].to_vec();
+    let rank = ranks[final_buf].to_vec();
     (0..n)
         .map(|i| (graph.id_of(i).expect("dense index valid"), rank[i]))
         .collect()
+}
+
+/// The batched pull kernel: `Σ weights[i] * contrib[sources[i]]` over one
+/// in-row, accumulated into four lane sums by position (`lanes[i % 4]`
+/// within each fixed-width block, tail lanes by offset) and folded as
+/// `(l0 + l1) + (l2 + l3)`. The fold order is a pure function of row
+/// *positions* — never of chunk boundaries, thread count or layout — so
+/// natural and permuted sweeps produce the same bits while the unrolled
+/// body keeps four independent FMA chains in flight.
+#[inline]
+fn row_dot(sources: &[u32], weights: &[f64], contrib: &par::SharedF64Buf) -> f64 {
+    let mut lanes = [0.0f64; 4];
+    let mut st = sources.chunks_exact(4);
+    let mut wt = weights.chunks_exact(4);
+    for (t, w) in (&mut st).zip(&mut wt) {
+        lanes[0] += w[0] * contrib.get(t[0] as usize);
+        lanes[1] += w[1] * contrib.get(t[1] as usize);
+        lanes[2] += w[2] * contrib.get(t[2] as usize);
+        lanes[3] += w[3] * contrib.get(t[3] as usize);
+    }
+    for (i, (&t, &w)) in st.remainder().iter().zip(wt.remainder()).enumerate() {
+        lanes[i] += w * contrib.get(t as usize);
+    }
+    (lanes[0] + lanes[1]) + (lanes[2] + lanes[3])
 }
 
 /// The legacy hash-map-walk PageRank, kept private as the reference for
@@ -300,6 +366,35 @@ mod tests {
             for (id, r) in &serial {
                 assert_eq!(
                     parallel[id].to_bits(),
+                    r.to_bits(),
+                    "node {id} diverged at {t} threads"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn permuted_sweep_is_bit_identical_to_natural() {
+        let mut g = WeightedGraph::new_directed();
+        for i in 0..300u64 {
+            for j in 1..=(1 + i % 7) {
+                g.add_edge(i, (i * 11 + j * 17) % 300, (1 + (i + j) % 5) as f64);
+            }
+        }
+        g.add_node(8_888); // dangling isolate
+        let frozen = g.freeze();
+        let permuted = frozen.permute_by_degree(2);
+        for t in [1usize, 2, 4] {
+            let cfg = PageRankConfig {
+                threads: Some(t),
+                ..Default::default()
+            };
+            let natural = pagerank_csr(&frozen, &cfg);
+            let mapped = pagerank_permuted(&permuted, &cfg);
+            assert_eq!(natural.len(), mapped.len());
+            for (id, r) in &natural {
+                assert_eq!(
+                    mapped[id].to_bits(),
                     r.to_bits(),
                     "node {id} diverged at {t} threads"
                 );

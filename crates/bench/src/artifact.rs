@@ -293,7 +293,14 @@ impl Parser<'_> {
 }
 
 /// Sections a fresh artifact must always carry, non-empty.
-pub const REQUIRED_SECTIONS: &[&str] = &["benches", "construction", "delta", "window", "sweep"];
+pub const REQUIRED_SECTIONS: &[&str] = &[
+    "benches",
+    "construction",
+    "delta",
+    "window",
+    "sweep",
+    "serve",
+];
 
 /// Substrings the fresh artifact's `determinism` field must contain —
 /// one per bit-identity contract the smoke run asserts, plus the
@@ -305,8 +312,46 @@ pub const REQUIRED_CONTRACTS: &[&str] = &[
     "windowed evict vs rebuild",
     "permuted vs natural sweeps",
     "sharded vs unsharded",
+    "served snapshot vs offline rebuild",
     "(verified)",
 ];
+
+/// Extract the PR number from a `BENCH_pr<N>.json` baseline file name;
+/// `None` for anything else.
+fn baseline_pr_number(name: &str) -> Option<u64> {
+    name.strip_prefix("BENCH_pr")?
+        .strip_suffix(".json")?
+        .parse()
+        .ok()
+}
+
+/// Pick the newest committed baseline (`BENCH_pr<N>.json`, highest `N`)
+/// from a list of file names. Returns `None` when no name matches the
+/// baseline pattern — the very first PR to add the gate has no prior
+/// artifact, and that must read as "nothing to compare against", not as
+/// an error (see [`discover_baseline`] and the `bench_check` binary).
+pub fn newest_baseline<'a>(names: impl IntoIterator<Item = &'a str>) -> Option<&'a str> {
+    names
+        .into_iter()
+        .filter_map(|name| baseline_pr_number(name).map(|pr| (pr, name)))
+        .max_by(|a, b| a.0.cmp(&b.0).then_with(|| a.1.cmp(b.1)))
+        .map(|(_, name)| name)
+}
+
+/// Scan `dir` for committed `BENCH_pr<N>.json` baselines and return the
+/// path of the newest one, or `Ok(None)` when the directory holds none.
+/// A shell-glob equivalent (`ls BENCH_pr*.json | tail -1`) hands the
+/// *literal* unexpanded pattern downstream when the glob matches
+/// nothing; this helper is the panic-free replacement.
+pub fn discover_baseline(dir: &std::path::Path) -> std::io::Result<Option<std::path::PathBuf>> {
+    let mut names = Vec::new();
+    for entry in std::fs::read_dir(dir)? {
+        if let Ok(name) = entry?.file_name().into_string() {
+            names.push(name);
+        }
+    }
+    Ok(newest_baseline(names.iter().map(String::as_str)).map(|name| dir.join(name)))
+}
 
 /// Hard-fail threshold: a wall time more than this multiple of the
 /// baseline fails the gate (on multi-core hosts).
@@ -474,15 +519,16 @@ mod tests {
 
     fn fresh_doc() -> String {
         r#"{
-          "schema": "moby-bench-smoke/v6",
+          "schema": "moby-bench-smoke/v7",
           "scale": "medium",
           "host_parallelism": 4,
-          "determinism": "bit-identical serial vs parallel, hashmap-freeze vs sort-merge, delta-apply vs full rebuild, windowed evict vs rebuild over surviving rows, permuted vs natural sweeps, and sharded vs unsharded construction (verified)",
+          "determinism": "bit-identical serial vs parallel, hashmap-freeze vs sort-merge, delta-apply vs full rebuild, windowed evict vs rebuild over surviving rows, permuted vs natural sweeps, sharded vs unsharded construction, and served snapshot vs offline rebuild (verified)",
           "benches": [{"name": "pagerank/trip_graph", "serial_ms": 1.0, "parallel_ms": 0.5}],
           "construction": [{"name": "construct/directed_trips", "sortmerge_1t_ms": 2.0}],
           "delta": [{"name": "delta/directed_trips", "apply_ms": 0.1, "rebuild_ms": 1.0}],
           "window": [{"name": "window/advance_window", "apply_ms": 3.0, "rebuild_ms": 4.0}],
           "sweep": [{"name": "sweep/pagerank_pull/ghour", "scalar_natural_ms": 0.8, "batched_natural_ms": 0.5}],
+          "serve": [{"name": "serve/mixed_queries", "p50_ms": 0.05, "p99_ms": 0.2}],
           "large": []
         }"#
         .to_string()
@@ -531,7 +577,8 @@ mod tests {
 
         let empty = Json::parse(
             r#"{"scale": "medium", "benches": [], "construction": [],
-                            "delta": [], "window": [], "sweep": [], "determinism": ""}"#,
+                            "delta": [], "window": [], "sweep": [], "serve": [],
+                            "determinism": ""}"#,
         )
         .unwrap();
         let report = gate(&empty, None);
@@ -621,7 +668,8 @@ mod tests {
                 .replace("construct/directed_trips", "x2")
                 .replace("delta/directed_trips", "x3")
                 .replace("window/advance_window", "x4")
-                .replace("sweep/pagerank_pull/ghour", "x5"),
+                .replace("sweep/pagerank_pull/ghour", "x5")
+                .replace("serve/mixed_queries", "x6"),
         )
         .unwrap();
         let disjoint_report = gate(&fresh, Some(&disjoint));
@@ -649,6 +697,82 @@ mod tests {
         .unwrap();
         let report = gate(&fresh, Some(&v5));
         assert!(report.passed(), "errors: {:?}", report.errors);
+    }
+
+    #[test]
+    fn v6_baseline_without_serve_section_is_accepted() {
+        // Pre-PR9 baselines have no `serve` array and don't assert the
+        // served-snapshot contract; only the fresh artifact is held to
+        // the new schema.
+        let fresh = Json::parse(&fresh_doc()).unwrap();
+        let v6 = Json::parse(
+            &fresh_doc()
+                .replace(
+                    "sharded vs unsharded construction, and served snapshot vs offline rebuild",
+                    "and sharded vs unsharded construction",
+                )
+                .replace(
+                    r#""serve": [{"name": "serve/mixed_queries", "p50_ms": 0.05, "p99_ms": 0.2}],"#,
+                    "",
+                ),
+        )
+        .unwrap();
+        let report = gate(&fresh, Some(&v6));
+        assert!(report.passed(), "errors: {:?}", report.errors);
+    }
+
+    #[test]
+    fn empty_baseline_set_passes_with_warning() {
+        // The first PR to carry the gate has no committed
+        // `BENCH_pr*.json` yet: discovery must yield `None`, and gating
+        // against `None` must pass while still saying so out loud —
+        // never panic, never fail, never pretend ratios were checked.
+        assert_eq!(newest_baseline([]), None);
+        assert_eq!(newest_baseline(["README.md", "bench.json"]), None);
+
+        let fresh = Json::parse(&fresh_doc()).unwrap();
+        let report = gate(&fresh, None);
+        assert!(report.passed(), "errors: {:?}", report.errors);
+        assert!(
+            report.warnings.iter().any(|w| w.contains("no baseline")),
+            "missing-baseline warning: {:?}",
+            report.warnings
+        );
+    }
+
+    #[test]
+    fn newest_baseline_orders_numerically_not_lexically() {
+        // `sort -V`-equivalent: pr10 beats pr9 even though "10" < "9"
+        // lexicographically.
+        let names = [
+            "BENCH_pr9.json",
+            "BENCH_pr10.json",
+            "BENCH_pr2.json",
+            "notes.txt",
+            "BENCH_prX.json",
+        ];
+        assert_eq!(newest_baseline(names), Some("BENCH_pr10.json"));
+    }
+
+    #[test]
+    fn discover_baseline_handles_missing_and_empty_directories() {
+        let dir =
+            std::env::temp_dir().join(format!("moby_bench_check_test_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        assert!(
+            discover_baseline(&dir).is_err(),
+            "unreadable directory is an Err, not a silent None"
+        );
+        std::fs::create_dir_all(&dir).unwrap();
+        assert_eq!(discover_baseline(&dir).unwrap(), None);
+        std::fs::write(dir.join("BENCH_pr3.json"), "{}").unwrap();
+        std::fs::write(dir.join("BENCH_pr12.json"), "{}").unwrap();
+        std::fs::write(dir.join("unrelated.json"), "{}").unwrap();
+        assert_eq!(
+            discover_baseline(&dir).unwrap(),
+            Some(dir.join("BENCH_pr12.json"))
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! CI perf-regression gate over `bench_smoke` artifacts.
 //!
 //! ```text
-//! bench_check <fresh.json> [baseline.json]
+//! bench_check <fresh.json> [baseline.json | baseline-dir]
 //! ```
 //!
 //! Parses the freshly produced artifact (and, when given, the committed
@@ -9,8 +9,8 @@
 //! [`moby_bench::artifact::gate`]:
 //!
 //! - every expected section (`benches`, `construction`, `delta`,
-//!   `window`, `sweep`, and `large` for large-scale runs) must be
-//!   present and non-empty;
+//!   `window`, `sweep`, `serve`, and `large` for large-scale runs) must
+//!   be present and non-empty;
 //! - the `determinism` field must assert every bit-identity contract;
 //! - wall times matched by section + row name must stay within
 //!   [`moby_bench::artifact::FAIL_RATIO`] of the baseline — soft
@@ -18,10 +18,17 @@
 //!   all ratio findings degrade to warnings when either run happened
 //!   on a single-core host.
 //!
+//! When the baseline argument is a **directory**, the newest committed
+//! `BENCH_pr<N>.json` inside it (highest `N`) is used; a directory with
+//! no baseline artifact gates the fresh run standalone and passes with
+//! a warning. That replaces shell-side discovery (`ls BENCH_pr*.json`),
+//! which hands the literal unexpanded glob to this binary when no
+//! baseline exists yet and used to fail the very first gated run.
+//!
 //! Exit status 0 when the gate passes (warnings allowed), 1 on any
 //! hard failure, 2 on unreadable or unparseable input.
 
-use moby_bench::artifact::{gate, Json};
+use moby_bench::artifact::{discover_baseline, gate, Json};
 use std::process::ExitCode;
 
 fn load(path: &str) -> Result<Json, String> {
@@ -29,13 +36,28 @@ fn load(path: &str) -> Result<Json, String> {
     Json::parse(&text).map_err(|e| format!("{path}: {e}"))
 }
 
+/// Resolve the baseline argument: a file is used as-is, a directory is
+/// searched for its newest `BENCH_pr<N>.json`, and an empty directory
+/// resolves to "no baseline" rather than an error.
+fn resolve_baseline(arg: &str) -> Result<Option<String>, String> {
+    let path = std::path::Path::new(arg);
+    if !path.is_dir() {
+        return Ok(Some(arg.to_string()));
+    }
+    match discover_baseline(path) {
+        Ok(Some(found)) => Ok(Some(found.to_string_lossy().into_owned())),
+        Ok(None) => Ok(None),
+        Err(e) => Err(format!("{arg}: {e}")),
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let (fresh_path, baseline_path) = match args.as_slice() {
+    let (fresh_path, baseline_arg) = match args.as_slice() {
         [fresh] => (fresh.as_str(), None),
         [fresh, baseline] => (fresh.as_str(), Some(baseline.as_str())),
         _ => {
-            eprintln!("usage: bench_check <fresh.json> [baseline.json]");
+            eprintln!("usage: bench_check <fresh.json> [baseline.json | baseline-dir]");
             return ExitCode::from(2);
         }
     };
@@ -47,7 +69,23 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    let baseline = match baseline_path.map(load) {
+    let baseline_path = match baseline_arg.map(resolve_baseline) {
+        None => None,
+        Some(Ok(resolved)) => {
+            if resolved.is_none() {
+                println!(
+                    "bench_check: no BENCH_pr*.json baseline in {}; gating fresh artifact standalone",
+                    baseline_arg.unwrap_or_default()
+                );
+            }
+            resolved
+        }
+        Some(Err(e)) => {
+            eprintln!("bench_check: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let baseline = match baseline_path.as_deref().map(load) {
         None => None,
         Some(Ok(doc)) => Some(doc),
         Some(Err(e)) => {
@@ -66,7 +104,7 @@ fn main() -> ExitCode {
     if report.passed() {
         println!(
             "bench_check: OK — {fresh_path} vs {} ({} warnings)",
-            baseline_path.unwrap_or("<no baseline>"),
+            baseline_path.as_deref().unwrap_or("<no baseline>"),
             report.warnings.len()
         );
         ExitCode::SUCCESS

@@ -34,9 +34,16 @@
 //!   peak RSS (the pipeline sections drop to `medium` — the expansion
 //!   algorithms are sized for the paper's data, not city scale); the
 //!   sweep kernels then also run on the city station graph;
+//! * times the **serving layer** (PR 9) — a mixed query stream
+//!   (station lookup, k-nearest, community, PageRank, degree summaries)
+//!   through the fixed-size `QueryPool` while a background
+//!   `SnapshotWriter` continuously ingests and advances the window,
+//!   reporting sustained QPS and p50/p99 latency, *verifying the served
+//!   snapshot is bit-identical to an offline rebuild* over the writer's
+//!   final trip table (any divergence panics, failing CI);
 //!
 //! and writes the timings to a `BENCH_*.json` file
-//! (`moby-bench-smoke/v6`: every section row carries the `scale` it ran
+//! (`moby-bench-smoke/v7`: every section row carries the `scale` it ran
 //! at and the process peak RSS when it finished) that the `bench-smoke`
 //! CI job uploads as a workflow artifact and gates with `bench_check`.
 //! This is where the repo's perf trajectory accumulates from PR 2 onward.
@@ -67,6 +74,9 @@ use moby_graph::{
     aggregate, build_dense_csr, build_dense_csr_sharded, par, props, CsrDelta, CsrGraph,
     GraphStore, PropValue,
 };
+use moby_server::{QueryPool, Request, ServeConfig, SnapshotWriter, WriteOp};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Timing repetitions per measurement; the minimum is reported.
@@ -676,7 +686,7 @@ struct LargeStage {
     edges: usize,
     wall_ms: f64,
     /// Process peak RSS (kB) sampled when the stage finished; 0 means
-    /// "not measured" (non-Linux hosts).
+    /// "not measured" (non-Linux hosts, or an unparseable `VmHWM` line).
     peak_rss_kb: u64,
     /// Graph heap footprint the stage produced, in bytes (0 for
     /// non-graph stages).
@@ -709,7 +719,7 @@ fn smoke_large(threads: usize, shards: usize) -> (Vec<LargeStage>, CsrGraph) {
         nodes: table.station_ids().len(),
         edges: 0,
         wall_ms: start.elapsed().as_secs_f64() * 1e3,
-        peak_rss_kb: peak_rss_kb(),
+        peak_rss_kb: peak_rss_kb().unwrap_or(0),
         graph_bytes: 0,
     });
     println!(
@@ -738,7 +748,7 @@ fn smoke_large(threads: usize, shards: usize) -> (Vec<LargeStage>, CsrGraph) {
         nodes: unsharded.node_count(),
         edges: unsharded.edge_count(),
         wall_ms: start.elapsed().as_secs_f64() * 1e3,
-        peak_rss_kb: peak_rss_kb(),
+        peak_rss_kb: peak_rss_kb().unwrap_or(0),
         graph_bytes: unsharded.heap_bytes(),
     });
 
@@ -750,7 +760,7 @@ fn smoke_large(threads: usize, shards: usize) -> (Vec<LargeStage>, CsrGraph) {
         nodes: sharded.node_count(),
         edges: sharded.edge_count(),
         wall_ms: start.elapsed().as_secs_f64() * 1e3,
-        peak_rss_kb: peak_rss_kb(),
+        peak_rss_kb: peak_rss_kb().unwrap_or(0),
         graph_bytes: sharded.heap_bytes(),
     });
     assert_eq!(
@@ -773,7 +783,7 @@ fn smoke_large(threads: usize, shards: usize) -> (Vec<LargeStage>, CsrGraph) {
         nodes: temporals.iter().map(|t| t.csr.node_count()).sum(),
         edges: temporals.iter().map(|t| t.csr.edge_count()).sum(),
         wall_ms: start.elapsed().as_secs_f64() * 1e3,
-        peak_rss_kb: peak_rss_kb(),
+        peak_rss_kb: peak_rss_kb().unwrap_or(0),
         graph_bytes: temporals.iter().map(|t| t.csr.heap_bytes()).sum(),
     });
     (stages, sharded)
@@ -1159,6 +1169,169 @@ fn smoke_sweep(tag: &str, scale_name: &str, graph: &CsrGraph, threads: usize) ->
     vec![pagerank, louvain]
 }
 
+/// Queries issued by the serve section, spread across the client threads.
+const SERVE_QUERIES: usize = 2048;
+
+/// The background writer keeps publishing until the query stream drains,
+/// but never fewer than this many snapshots — a degenerately fast query
+/// run must still race readers across real publish boundaries.
+const SERVE_MIN_OPS: usize = 8;
+
+/// One serve-section row: sustained mixed-query throughput and latency
+/// percentiles against a live snapshot handle under background ingest.
+struct ServeResult {
+    name: String,
+    workers: usize,
+    queries: usize,
+    publishes: usize,
+    qps: f64,
+    p50_ms: f64,
+    p99_ms: f64,
+}
+
+/// Serve a mixed query stream from a [`QueryPool`] while a background
+/// [`SnapshotWriter`] continuously ingests and advances the window,
+/// then verify the final served snapshot is **bit-identical** to an
+/// offline rebuild over the writer's final trip table (the serving
+/// layer's snapshot-isolation contract — divergence panics, failing CI).
+fn smoke_serve(
+    outcome: &moby_core::pipeline::ExpansionOutcome,
+    threads: usize,
+) -> Vec<ServeResult> {
+    let selected = &outcome.selected;
+    let trips = &selected.trips;
+
+    // The write stream replays the table's trailing rows (station set
+    // pinned, endpoints valid by construction), alternating plain
+    // ingests with gentle window advances — the live-deployment cadence.
+    let m = trips.len();
+    let rows = (m / 64).clamp(1, m);
+    let mut batch = TripBatch::new();
+    for k in (m - rows)..m {
+        batch.push_keyed(
+            trips.station_id(trips.src()[k]),
+            trips.station_id(trips.dst()[k]),
+            trips.day()[k],
+            trips.hour()[k],
+            trips.weights()[k],
+        );
+    }
+
+    let config = ServeConfig {
+        threads: Some(threads),
+        ..ServeConfig::default()
+    };
+    let (mut writer, handle) = SnapshotWriter::new(selected.clone(), config);
+    let pool = QueryPool::new(Arc::clone(&handle), threads);
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let writer_thread = {
+        let stop = Arc::clone(&stop);
+        let batch = batch.clone();
+        std::thread::spawn(move || {
+            let window = WindowStart::new(0, 1);
+            let mut publishes = 0usize;
+            while publishes < SERVE_MIN_OPS || !stop.load(Ordering::Relaxed) {
+                let op = if publishes.is_multiple_of(2) {
+                    WriteOp::Ingest(batch.clone())
+                } else {
+                    WriteOp::Advance(batch.clone(), window)
+                };
+                writer
+                    .apply(op)
+                    .expect("replayed endpoints are always known stations");
+                publishes += 1;
+            }
+            (writer, publishes)
+        })
+    };
+
+    // Mixed query stream: each client thread round-trips its share of
+    // the queries through the shared pool, so in-flight concurrency
+    // equals the pool width and per-query latency is submit-to-answer.
+    let stations = &selected.stations;
+    let per_client = SERVE_QUERIES.div_ceil(threads.max(1));
+    let started = Instant::now();
+    let mut latencies: Vec<f64> = std::thread::scope(|scope| {
+        let clients: Vec<_> = (0..threads.max(1))
+            .map(|c| {
+                let pool = &pool;
+                scope.spawn(move || {
+                    let mut lats = Vec::with_capacity(per_client);
+                    for q in 0..per_client {
+                        let s = &stations[(c + q * 7) % stations.len()];
+                        let req = match q % 5 {
+                            0 => Request::Station(s.id),
+                            1 => Request::Nearest {
+                                at: s.position,
+                                k: 4,
+                            },
+                            2 => Request::Community(s.id),
+                            3 => Request::PageRank(s.id),
+                            _ => Request::Degrees {
+                                directed: q.is_multiple_of(2),
+                            },
+                        };
+                        let t = Instant::now();
+                        std::hint::black_box(pool.query(req));
+                        lats.push(t.elapsed().as_secs_f64() * 1e3);
+                    }
+                    lats
+                })
+            })
+            .collect();
+        clients
+            .into_iter()
+            .flat_map(|c| c.join().expect("serve client thread panicked"))
+            .collect()
+    });
+    let wall_s = started.elapsed().as_secs_f64();
+    stop.store(true, Ordering::Relaxed);
+    let (writer, publishes) = writer_thread.join().expect("serve writer thread panicked");
+
+    // Snapshot-isolation contract: the snapshot being served after the
+    // last publish must be bit-identical to graphs rebuilt offline from
+    // the writer's final trip table — not merely approximately equal.
+    let snap = handle.current();
+    assert_eq!(
+        snap.epoch, publishes as u64,
+        "serve: published epoch count diverged from applied ops"
+    );
+    let net = writer.network();
+    assert_eq!(snap.trip_count, net.trips.len());
+    for (dir, got) in [(true, &snap.directed), (false, &snap.undirected)] {
+        let want = build_dense_csr(
+            dir,
+            net.trips.station_ids().to_vec(),
+            net.trips.src(),
+            net.trips.dst(),
+            net.trips.weights(),
+            Some(threads),
+        );
+        assert_eq!(
+            got, &want,
+            "serve: served snapshot diverged from an offline rebuild"
+        );
+        assert_eq!(
+            got.total_weight().to_bits(),
+            want.total_weight().to_bits(),
+            "serve: total weight bits diverged from the offline rebuild"
+        );
+    }
+
+    latencies.sort_by(f64::total_cmp);
+    let pct = |q: f64| latencies[(((latencies.len() - 1) as f64) * q).round() as usize];
+    vec![ServeResult {
+        name: "serve/mixed_queries".into(),
+        workers: threads,
+        queries: latencies.len(),
+        publishes,
+        qps: latencies.len() as f64 / wall_s,
+        p50_ms: pct(0.50),
+        p99_ms: pct(0.99),
+    }]
+}
+
 /// Time Louvain serially and in parallel on one frozen graph, panicking if
 /// the partitions or modularity scores are not identical.
 fn smoke_louvain(name: &str, graph: &CsrGraph, threads: usize) -> SmokeResult {
@@ -1367,6 +1540,12 @@ fn main() {
         sweeps.extend(smoke_sweep("city", "large", station, threads));
     }
 
+    println!(
+        "\ntiming the serving layer (mixed queries vs a live writer, snapshot \
+         bit-identity to an offline rebuild) ..."
+    );
+    let serve = smoke_serve(&outcome, threads);
+
     if host == 1 {
         println!(
             "\nWARNING: single-core host — speedup/ratio columns suppressed in \
@@ -1498,6 +1677,17 @@ fn main() {
         );
     }
 
+    println!(
+        "\n{:<22} {:>8} {:>8} {:>10} {:>10} {:>9} {:>9}",
+        "serve", "workers", "queries", "publishes", "qps", "p50(ms)", "p99(ms)"
+    );
+    for r in &serve {
+        println!(
+            "{:<22} {:>8} {:>8} {:>10} {:>10.0} {:>9.3} {:>9.3}",
+            r.name, r.workers, r.queries, r.publishes, r.qps, r.p50_ms, r.p99_ms
+        );
+    }
+
     if !large.is_empty() {
         println!(
             "\n{:<26} {:>9} {:>9} {:>10} {:>10} {:>11} {:>12}",
@@ -1528,6 +1718,7 @@ fn main() {
         &window,
         &window_louvain,
         &sweeps,
+        &serve,
         &large,
     );
     match std::fs::write(&out, &json) {
@@ -1546,10 +1737,10 @@ fn main() {
 /// Hand-rolled JSON (the workspace has no serde_json; every value below is
 /// a number or a plain ASCII identifier, so no string escaping is needed).
 ///
-/// Schema `moby-bench-smoke/v6`: `v5` plus a `sweep` section (hot-kernel
-/// per-iteration timings — one PageRank pull sweep and one Louvain
-/// first-pass accumulation, scalar vs batched × natural vs
-/// degree-permuted, with derived ns/edge and same-thread speedups).
+/// Schema `moby-bench-smoke/v7`: `v6` plus a `serve` section (sustained
+/// mixed-query throughput and p50/p99 latency from the snapshot-isolated
+/// serving layer while a background writer continuously publishes, with
+/// the served snapshot asserted bit-identical to an offline rebuild).
 /// Every section row carries the `scale` it ran at (pipeline sections
 /// may run at `medium` while the `large` section runs at city scale in
 /// the same artifact) and a `peak_rss_kb` process high-water mark (0 =
@@ -1566,16 +1757,17 @@ fn render_json(
     window: &[WindowResult],
     window_louvain: &WindowLouvain,
     sweeps: &[SweepResult],
+    serve: &[ServeResult],
     large: &[LargeStage],
 ) -> String {
     let host = std::thread::available_parallelism()
         .map(|p| p.get())
         .unwrap_or(1);
     let ps = pipeline_scale.name();
-    let rss = peak_rss_kb();
+    let rss = peak_rss_kb().unwrap_or(0);
     let mut s = String::new();
     s.push_str("{\n");
-    s.push_str("  \"schema\": \"moby-bench-smoke/v6\",\n");
+    s.push_str("  \"schema\": \"moby-bench-smoke/v7\",\n");
     s.push_str(&format!("  \"scale\": \"{}\",\n", scale.name()));
     s.push_str(&format!("  \"parallel_threads\": {threads},\n"));
     s.push_str(&format!("  \"shards\": {shards},\n"));
@@ -1592,7 +1784,8 @@ fn render_json(
          hashmap-freeze vs sort-merge, delta-apply vs full rebuild, \
          windowed evict vs rebuild over surviving rows, \
          permuted vs natural sweeps, \
-         and sharded vs unsharded construction (verified)\",\n",
+         sharded vs unsharded construction, \
+         and served snapshot vs offline rebuild (verified)\",\n",
     );
     s.push_str("  \"benches\": [\n");
     for (i, r) in results.iter().enumerate() {
@@ -1705,6 +1898,24 @@ fn render_json(
             r.speedup_permuted(),
             r.speedup_best(),
             if i + 1 < sweeps.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ],\n");
+    s.push_str("  \"serve\": [\n");
+    for (i, r) in serve.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"name\": \"{}\", \"scale\": \"{ps}\", \"workers\": {}, \
+             \"queries\": {}, \"publishes\": {}, \"qps\": {:.1}, \
+             \"p50_ms\": {:.4}, \"p99_ms\": {:.4}, \
+             \"peak_rss_kb\": {rss}}}{}\n",
+            r.name,
+            r.workers,
+            r.queries,
+            r.publishes,
+            r.qps,
+            r.p50_ms,
+            r.p99_ms,
+            if i + 1 < serve.len() { "," } else { "" }
         ));
     }
     s.push_str("  ],\n");

@@ -56,31 +56,42 @@ pub fn city_config() -> CityConfig {
     SynthConfig::city().trips_from_env()
 }
 
-/// Peak resident-set size of this process in kilobytes, from
-/// `VmHWM` in `/proc/self/status`. Returns 0 where the proc
-/// filesystem is unavailable (non-Linux hosts) — callers should treat
-/// 0 as "not measured", never as "no memory used".
-pub fn peak_rss_kb() -> u64 {
+/// Peak resident-set size of this process in kilobytes, from `VmHWM` in
+/// `/proc/self/status`. Returns `None` where the proc filesystem is
+/// unavailable (non-Linux hosts) **or** where the `VmHWM` line does not
+/// parse — a malformed line must read as "not measured", never as a
+/// silent 0 that would be mistaken for "no memory used".
+pub fn peak_rss_kb() -> Option<u64> {
     #[cfg(target_os = "linux")]
     {
-        if let Ok(status) = std::fs::read_to_string("/proc/self/status") {
-            for line in status.lines() {
-                if let Some(rest) = line.strip_prefix("VmHWM:") {
-                    return rest
-                        .trim()
-                        .trim_end_matches("kB")
-                        .trim()
-                        .parse()
-                        .unwrap_or(0);
-                }
-            }
-        }
-        0
+        parse_vm_hwm_kb(&std::fs::read_to_string("/proc/self/status").ok()?)
     }
     #[cfg(not(target_os = "linux"))]
     {
-        0
+        None
     }
+}
+
+/// Extract the `VmHWM` high-water mark (in kB) from the contents of a
+/// `/proc/<pid>/status` file.
+///
+/// The parse is field-based, not position-based: the line is
+/// whitespace-split, so any amount of padding between the label, the
+/// number and the unit is accepted — but a missing or non-`kB` unit, a
+/// non-numeric value, or a trailing extra field all yield `None` rather
+/// than a garbage number.
+fn parse_vm_hwm_kb(status: &str) -> Option<u64> {
+    let line = status
+        .lines()
+        .find_map(|line| line.strip_prefix("VmHWM:"))?;
+    let mut fields = line.split_whitespace();
+    let value: u64 = fields.next()?.parse().ok()?;
+    // The kernel reports VmHWM in kB; bail out rather than misreport if
+    // the unit ever differs (or is missing entirely).
+    if fields.next() != Some("kB") || fields.next().is_some() {
+        return None;
+    }
+    Some(value)
 }
 
 /// The synthetic-generator configuration for a scale.
@@ -147,10 +158,34 @@ mod tests {
 
     #[test]
     fn peak_rss_is_measured_on_linux() {
-        let kb = peak_rss_kb();
         if cfg!(target_os = "linux") {
-            assert!(kb > 0, "VmHWM should be readable on linux");
+            let kb = peak_rss_kb().expect("VmHWM should be readable on linux");
+            assert!(kb > 0, "a running process has a nonzero high-water mark");
         }
+    }
+
+    #[test]
+    fn vm_hwm_parse_accepts_any_field_padding() {
+        let status = "Name:\tbench\nVmPeak:\t  999 kB\nVmHWM:     12345 kB\nThreads:\t4\n";
+        assert_eq!(parse_vm_hwm_kb(status), Some(12345));
+        // Tabs, minimal spacing, surrounding lines in any order.
+        assert_eq!(parse_vm_hwm_kb("VmHWM:\t7 kB\n"), Some(7));
+    }
+
+    #[test]
+    fn vm_hwm_parse_returns_none_instead_of_zero_on_malformed_input() {
+        // Missing line entirely.
+        assert_eq!(parse_vm_hwm_kb("Name: bench\nVmPeak: 10 kB\n"), None);
+        // Non-numeric value.
+        assert_eq!(parse_vm_hwm_kb("VmHWM:\tlots kB\n"), None);
+        // Missing unit — could be anything, refuse to guess.
+        assert_eq!(parse_vm_hwm_kb("VmHWM:\t12345\n"), None);
+        // Wrong unit (a field-position parse would misreport this).
+        assert_eq!(parse_vm_hwm_kb("VmHWM:\t12 mB\n"), None);
+        // Trailing junk after the unit.
+        assert_eq!(parse_vm_hwm_kb("VmHWM:\t12 kB extra\n"), None);
+        // Empty value.
+        assert_eq!(parse_vm_hwm_kb("VmHWM:\n"), None);
     }
 
     #[test]

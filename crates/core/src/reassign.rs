@@ -78,10 +78,20 @@ pub struct WindowOutcome {
 }
 
 /// The final expanded network with its trip graph.
+///
+/// The station directory and both frozen graphs are `Arc`-backed, so a
+/// `clone()` intended as a read snapshot shares them instead of deep
+/// copying; only the mutable parts (trip table, property store, Table III
+/// counters) are copied. The serving layer
+/// (`moby_server`) leans on this: publishing a snapshot per ingested
+/// batch costs O(trip table), never O(adjacency slabs).
 #[derive(Debug, Clone)]
 pub struct SelectedNetwork {
     /// All stations (pre-existing first, then selected, each sorted by id).
-    pub stations: Vec<FinalStation>,
+    /// Behind an `Arc` because the station set is pinned for the lifetime
+    /// of the network (eviction never drops stations), so every snapshot
+    /// shares one directory.
+    pub stations: std::sync::Arc<Vec<FinalStation>>,
     /// Mapping from cleaned location id to its final station.
     pub location_to_station: HashMap<LocationId, NodeId>,
     /// Property-graph store with one `TRIP` relationship per rental — the
@@ -498,7 +508,7 @@ pub fn build_selected_network(
     let table = build_table(&stations, &trips, &directed);
 
     Ok(SelectedNetwork {
-        stations,
+        stations: std::sync::Arc::new(stations),
         location_to_station,
         store,
         trips,

@@ -96,6 +96,16 @@ impl<R: BufRead> CsvRows<R> {
                 return Ok(false);
             }
             self.line_no += 1;
+            // Strip a UTF-8 byte-order mark at the stream boundary: some
+            // exporters (Excel among them) prefix the very first record
+            // with U+FEFF, which `trim()` does not remove — left in
+            // place it corrupts the first header field ("\u{feff}id"
+            // never matches the "id" column) or the first data field.
+            // Only the first line of the stream can carry one; a later
+            // U+FEFF is field content and survives.
+            if self.line_no == 1 && self.buf.starts_with('\u{feff}') {
+                self.buf.drain(..'\u{feff}'.len_utf8());
+            }
             if !self.current_line().trim().is_empty() {
                 return Ok(true);
             }
@@ -490,6 +500,44 @@ mod tests {
         let locs = read_locations_from(good.as_bytes(), "test.csv").unwrap();
         assert_eq!(locs.len(), 1);
         assert_eq!(locs[0].station_id, Some(7));
+    }
+
+    #[test]
+    fn bom_prefixed_header_is_accepted() {
+        // Excel-style exports prefix the file with a UTF-8 BOM; the
+        // first header field must still resolve as "id", not "\u{feff}id".
+        let csv = "\u{feff}id,lat,lon,station_id\n1,53.35,-6.26,10\n";
+        let locs = read_locations_from(csv.as_bytes(), "bom.csv").unwrap();
+        assert_eq!(locs.len(), 1);
+        assert_eq!(locs[0].id, 1);
+        assert_eq!(locs[0].station_id, Some(10));
+    }
+
+    #[test]
+    fn bom_with_crlf_line_endings_is_accepted() {
+        let csv = "\u{feff}id,name,lat,lon\r\n1,Smithfield,53.3498,-6.2786\r\n";
+        let stations = read_stations_from(csv.as_bytes(), "bom.csv").unwrap();
+        assert_eq!(stations.len(), 1);
+        assert_eq!(stations[0].name, "Smithfield");
+    }
+
+    #[test]
+    fn bom_before_a_quoted_first_header_field_is_accepted() {
+        // The BOM must be stripped *before* quote detection, or the
+        // opening quote is no longer at the start of the field.
+        let csv = "\u{feff}\"id\",name,lat,lon\r\n2,\"Smithfield, North\",53.3498,-6.2786\r\n";
+        let stations = read_stations_from(csv.as_bytes(), "bom.csv").unwrap();
+        assert_eq!(stations[0].id, 2);
+        assert_eq!(stations[0].name, "Smithfield, North");
+    }
+
+    #[test]
+    fn bom_on_later_lines_is_field_content() {
+        // Only the stream boundary strips a BOM; a U+FEFF inside a later
+        // record is (weird but valid) data and must survive.
+        let csv = "\u{feff}id,name,lat,lon\n3,\u{feff}Odd,53.3,-6.2\n";
+        let stations = read_stations_from(csv.as_bytes(), "bom.csv").unwrap();
+        assert_eq!(stations[0].name, "\u{feff}Odd");
     }
 
     #[test]

@@ -27,6 +27,7 @@
 
 use crate::{par, CsrBuilder, NodeId, WeightedGraph};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Cache-line width (bytes) the adjacency slabs align to.
 pub const CACHE_LINE: usize = 64;
@@ -169,12 +170,13 @@ pub(crate) struct CsrParts {
     pub total_weight: f64,
 }
 
-/// A frozen, immutable weighted graph in compressed sparse row form.
-///
-/// Produced by [`WeightedGraph::freeze`](crate::WeightedGraph::freeze);
-/// see the [module docs](self) for the representation.
-#[derive(Debug, Clone, PartialEq)]
-pub struct CsrGraph {
+/// The frozen arrays behind a [`CsrGraph`]. Held behind an `Arc` so that
+/// cloning a graph — which the serving layer does on every snapshot
+/// publish — is a reference-count bump instead of a deep copy of the
+/// adjacency slabs. The inner arrays are never mutated after
+/// construction, which is what makes the sharing sound.
+#[derive(Debug, PartialEq)]
+struct CsrInner {
     directed: bool,
     node_ids: Vec<NodeId>,
     index: HashMap<NodeId, u32>,
@@ -189,6 +191,24 @@ pub struct CsrGraph {
     self_loops: Vec<f64>,
     edge_count: usize,
     total_weight: f64,
+}
+
+/// A frozen, immutable weighted graph in compressed sparse row form.
+///
+/// Produced by [`WeightedGraph::freeze`](crate::WeightedGraph::freeze);
+/// see the [module docs](self) for the representation. The arrays live
+/// behind an [`Arc`], so `clone()` is O(1) and clones share storage —
+/// [`CsrGraph::shares_storage`] observes the sharing.
+#[derive(Debug, Clone)]
+pub struct CsrGraph {
+    inner: Arc<CsrInner>,
+}
+
+impl PartialEq for CsrGraph {
+    fn eq(&self, other: &Self) -> bool {
+        // Snapshot clones share storage; skip the deep array compare then.
+        Arc::ptr_eq(&self.inner, &other.inner) || *self.inner == *other.inner
+    }
 }
 
 impl CsrGraph {
@@ -289,47 +309,56 @@ impl CsrGraph {
         }
 
         CsrGraph {
-            directed,
-            node_ids,
-            index,
-            offsets,
-            targets: targets.into(),
-            weights: weights.into(),
-            in_offsets,
-            in_targets: in_targets.into(),
-            in_weights: in_weights.into(),
-            strength,
-            weighted_degree,
-            self_loops,
-            edge_count,
-            total_weight,
+            inner: Arc::new(CsrInner {
+                directed,
+                node_ids,
+                index,
+                offsets,
+                targets: targets.into(),
+                weights: weights.into(),
+                in_offsets,
+                in_targets: in_targets.into(),
+                in_weights: in_weights.into(),
+                strength,
+                weighted_degree,
+                self_loops,
+                edge_count,
+                total_weight,
+            }),
         }
+    }
+
+    /// Whether two graphs share the same frozen storage (i.e. one is an
+    /// O(1) clone of the other). Used by the serving layer's tests to
+    /// assert that snapshot publication never deep-copies the slabs.
+    pub fn shares_storage(&self, other: &CsrGraph) -> bool {
+        Arc::ptr_eq(&self.inner, &other.inner)
     }
 
     /// Whether the graph is directed.
     pub fn is_directed(&self) -> bool {
-        self.directed
+        self.inner.directed
     }
 
     /// Number of nodes.
     pub fn node_count(&self) -> usize {
-        self.node_ids.len()
+        self.inner.node_ids.len()
     }
 
     /// Number of distinct merged edges (same convention as the builder:
     /// undirected edges and self-loops count once).
     pub fn edge_count(&self) -> usize {
-        self.edge_count
+        self.inner.edge_count
     }
 
     /// Sum of all merged edge weights (each edge counted once).
     pub fn total_weight(&self) -> f64 {
-        self.total_weight
+        self.inner.total_weight
     }
 
     /// Whether the graph has no nodes.
     pub fn is_empty(&self) -> bool {
-        self.node_ids.is_empty()
+        self.inner.node_ids.is_empty()
     }
 
     /// Approximate heap footprint of the frozen arrays in bytes: the node
@@ -341,37 +370,37 @@ impl CsrGraph {
     /// figure tracks what the allocator really handed out.
     pub fn heap_bytes(&self) -> usize {
         use std::mem::size_of;
-        self.node_ids.capacity() * size_of::<NodeId>()
-            + self.index.capacity() * (size_of::<NodeId>() + size_of::<u32>())
-            + (self.offsets.capacity() + self.in_offsets.capacity()) * size_of::<u32>()
-            + self.targets.heap_bytes()
-            + self.in_targets.heap_bytes()
-            + self.weights.heap_bytes()
-            + self.in_weights.heap_bytes()
-            + (self.strength.capacity()
-                + self.weighted_degree.capacity()
-                + self.self_loops.capacity())
+        self.inner.node_ids.capacity() * size_of::<NodeId>()
+            + self.inner.index.capacity() * (size_of::<NodeId>() + size_of::<u32>())
+            + (self.inner.offsets.capacity() + self.inner.in_offsets.capacity()) * size_of::<u32>()
+            + self.inner.targets.heap_bytes()
+            + self.inner.in_targets.heap_bytes()
+            + self.inner.weights.heap_bytes()
+            + self.inner.in_weights.heap_bytes()
+            + (self.inner.strength.capacity()
+                + self.inner.weighted_degree.capacity()
+                + self.inner.self_loops.capacity())
                 * size_of::<f64>()
     }
 
     /// The dense index of an external node id.
     pub fn index_of(&self, id: NodeId) -> Option<u32> {
-        self.index.get(&id).copied()
+        self.inner.index.get(&id).copied()
     }
 
     /// The external node id at a dense index.
     pub fn id_of(&self, index: usize) -> Option<NodeId> {
-        self.node_ids.get(index).copied()
+        self.inner.node_ids.get(index).copied()
     }
 
     /// All node ids in dense-index order.
     pub fn node_ids(&self) -> &[NodeId] {
-        &self.node_ids
+        &self.inner.node_ids
     }
 
     /// Whether the node id is present.
     pub fn contains(&self, id: NodeId) -> bool {
-        self.index.contains_key(&id)
+        self.inner.index.contains_key(&id)
     }
 
     /// The (out-)neighbour row of a node: parallel target and weight
@@ -379,23 +408,28 @@ impl CsrGraph {
     /// for hot loops.
     #[inline]
     pub fn row(&self, u: usize) -> (&[u32], &[f64]) {
-        row(&self.offsets, &self.targets, &self.weights, u)
+        row(
+            &self.inner.offsets,
+            &self.inner.targets,
+            &self.inner.weights,
+            u,
+        )
     }
 
     /// The out-row offset array (`n + 1` entries) — the chunking input for
     /// [`par::RowChunks`].
     pub fn offsets(&self) -> &[u32] {
-        &self.offsets
+        &self.inner.offsets
     }
 
     /// The in-row offset array (equals [`CsrGraph::offsets`] for undirected
     /// graphs) — chunk by this when a sweep walks in-rows, e.g. pull-based
     /// PageRank.
     pub fn in_offsets(&self) -> &[u32] {
-        if self.directed {
-            &self.in_offsets
+        if self.inner.directed {
+            &self.inner.in_offsets
         } else {
-            &self.offsets
+            &self.inner.offsets
         }
     }
 
@@ -403,8 +437,13 @@ impl CsrGraph {
     /// undirected graphs).
     #[inline]
     pub fn in_row(&self, u: usize) -> (&[u32], &[f64]) {
-        if self.directed {
-            row(&self.in_offsets, &self.in_targets, &self.in_weights, u)
+        if self.inner.directed {
+            row(
+                &self.inner.in_offsets,
+                &self.inner.in_targets,
+                &self.inner.in_weights,
+                u,
+            )
         } else {
             self.row(u)
         }
@@ -426,27 +465,27 @@ impl CsrGraph {
     /// Number of distinct (out-)neighbours; self-loops count once.
     #[inline]
     pub fn degree(&self, u: usize) -> usize {
-        (self.offsets[u + 1] - self.offsets[u]) as usize
+        (self.inner.offsets[u + 1] - self.inner.offsets[u]) as usize
     }
 
     /// Cached incident weight (out-edges in a directed graph); self-loops
     /// count once.
     #[inline]
     pub fn strength(&self, u: usize) -> f64 {
-        self.strength[u]
+        self.inner.strength[u]
     }
 
     /// Cached weighted degree in the Louvain convention: self-loops count
     /// twice.
     #[inline]
     pub fn weighted_degree(&self, u: usize) -> f64 {
-        self.weighted_degree[u]
+        self.inner.weighted_degree[u]
     }
 
     /// Cached self-loop weight (0.0 when absent).
     #[inline]
     pub fn self_loop(&self, u: usize) -> f64 {
-        self.self_loops[u]
+        self.inner.self_loops[u]
     }
 
     /// Degree of an external node id.
@@ -456,7 +495,7 @@ impl CsrGraph {
 
     /// Strength of an external node id.
     pub fn strength_of(&self, id: NodeId) -> Option<f64> {
-        Some(self.strength[self.index_of(id)? as usize])
+        Some(self.inner.strength[self.index_of(id)? as usize])
     }
 
     /// The merged weight of the edge from `src` to `dst`, if present
@@ -475,8 +514,8 @@ impl CsrGraph {
         (0..self.node_count()).flat_map(move |u| {
             let (t, w) = self.row(u);
             t.iter().zip(w).filter_map(move |(&v, &w)| {
-                if self.directed || u as u32 <= v {
-                    Some((self.node_ids[u], self.node_ids[v as usize], w))
+                if self.inner.directed || u as u32 <= v {
+                    Some((self.inner.node_ids[u], self.inner.node_ids[v as usize], w))
                 } else {
                     None
                 }
@@ -489,7 +528,7 @@ impl CsrGraph {
     /// this is a clone. Matches
     /// [`WeightedGraph::to_undirected`](crate::WeightedGraph::to_undirected).
     pub fn to_undirected(&self) -> CsrGraph {
-        if !self.directed {
+        if !self.inner.directed {
             return self.clone();
         }
         let n = self.node_count();
@@ -548,20 +587,22 @@ impl CsrGraph {
             offsets.push(targets.len() as u32);
         }
         CsrGraph {
-            directed: false,
-            node_ids: self.node_ids.clone(),
-            index: self.index.clone(),
-            offsets,
-            targets: targets.into(),
-            weights: weights.into(),
-            in_offsets: Vec::new(),
-            in_targets: AlignedSlab::default(),
-            in_weights: AlignedSlab::default(),
-            strength,
-            weighted_degree,
-            self_loops,
-            edge_count,
-            total_weight,
+            inner: Arc::new(CsrInner {
+                directed: false,
+                node_ids: self.inner.node_ids.clone(),
+                index: self.inner.index.clone(),
+                offsets,
+                targets: targets.into(),
+                weights: weights.into(),
+                in_offsets: Vec::new(),
+                in_targets: AlignedSlab::default(),
+                in_weights: AlignedSlab::default(),
+                strength,
+                weighted_degree,
+                self_loops,
+                edge_count,
+                total_weight,
+            }),
         }
     }
 
@@ -604,20 +645,27 @@ impl CsrGraph {
             (new_offsets, new_targets, new_weights)
         };
 
-        let (offsets, targets, weights) =
-            permuted_parts(&self.offsets, &self.targets, &self.weights);
-        let (in_offsets, in_targets, in_weights) = if self.directed {
-            permuted_parts(&self.in_offsets, &self.in_targets, &self.in_weights)
+        let (offsets, targets, weights) = permuted_parts(
+            &self.inner.offsets,
+            &self.inner.targets,
+            &self.inner.weights,
+        );
+        let (in_offsets, in_targets, in_weights) = if self.inner.directed {
+            permuted_parts(
+                &self.inner.in_offsets,
+                &self.inner.in_targets,
+                &self.inner.in_weights,
+            )
         } else {
             (Vec::new(), Vec::new(), Vec::new())
         };
         let node_ids = perm
             .iter()
-            .map(|&u| self.node_ids[u as usize])
+            .map(|&u| self.inner.node_ids[u as usize])
             .collect::<Vec<_>>();
         let graph = CsrGraph::from_parts(
             CsrParts {
-                directed: self.directed,
+                directed: self.inner.directed,
                 node_ids,
                 offsets,
                 targets,
@@ -625,8 +673,8 @@ impl CsrGraph {
                 in_offsets,
                 in_targets,
                 in_weights,
-                edge_count: self.edge_count,
-                total_weight: self.total_weight,
+                edge_count: self.inner.edge_count,
+                total_weight: self.inner.total_weight,
             },
             threads,
         );
@@ -634,7 +682,7 @@ impl CsrGraph {
             graph,
             perm,
             inv,
-            natural_offsets: self.offsets.clone(),
+            natural_offsets: self.inner.offsets.clone(),
         }
     }
 
@@ -644,12 +692,12 @@ impl CsrGraph {
     /// [`WeightedGraph::subgraph`](crate::WeightedGraph::subgraph) followed
     /// by a freeze.
     pub fn subgraph<F: Fn(NodeId) -> bool>(&self, keep: F) -> CsrGraph {
-        let mut builder = if self.directed {
+        let mut builder = if self.inner.directed {
             CsrBuilder::directed()
         } else {
             CsrBuilder::undirected()
         };
-        builder.seed_nodes(self.node_ids.iter().copied().filter(|&id| keep(id)));
+        builder.seed_nodes(self.inner.node_ids.iter().copied().filter(|&id| keep(id)));
         for (src, dst, w) in self.edges() {
             if keep(src) && keep(dst) {
                 builder.push(src, dst, w);

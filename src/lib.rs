@@ -14,7 +14,11 @@
 //! * [`community`] — Louvain, label propagation, modularity, partition
 //!   comparison;
 //! * [`core`] — the paper's pipeline: candidate generation, station
-//!   selection (Algorithm 1), temporal graphs and community validation.
+//!   selection (Algorithm 1), temporal graphs and community validation;
+//! * [`server`] — the snapshot-isolated serving layer: epoch-published
+//!   frozen snapshots, a single writer applying live ingest/evict
+//!   deltas, a std-only query worker pool and per-snapshot metric
+//!   caches.
 //!
 //! ## Architecture: columnar build → freeze → apply_delta lifecycle
 //!
@@ -132,6 +136,7 @@ pub use moby_core as core;
 pub use moby_data as data;
 pub use moby_geo as geo;
 pub use moby_graph as graph;
+pub use moby_server as server;
 
 /// The crate version, taken from the workspace manifest.
 pub const VERSION: &str = env!("CARGO_PKG_VERSION");

@@ -313,6 +313,7 @@ pub const REQUIRED_CONTRACTS: &[&str] = &[
     "permuted vs natural sweeps",
     "sharded vs unsharded",
     "served snapshot vs offline rebuild",
+    "spilled vs in-memory",
     "(verified)",
 ];
 
@@ -361,6 +362,16 @@ pub const FAIL_RATIO: f64 = 2.0;
 /// reported as a warning.
 pub const WARN_RATIO: f64 = 1.25;
 
+/// Hard-fail threshold for `*_rss_kb` fields: peak RSS more than this
+/// multiple of the baseline fails the gate. RSS is tighter than wall
+/// time because memory footprint doesn't jitter with scheduling — and
+/// for the same reason it is **not** downgraded on single-core hosts.
+pub const RSS_FAIL_RATIO: f64 = 1.5;
+
+/// Soft threshold for `*_rss_kb` fields; above this multiple of the
+/// baseline is reported as a warning.
+pub const RSS_WARN_RATIO: f64 = 1.2;
+
 /// Outcome of [`gate`]: hard failures and advisory warnings.
 #[derive(Debug, Default, Clone, PartialEq, Eq)]
 pub struct GateReport {
@@ -389,8 +400,9 @@ pub fn gate(fresh: &Json, baseline: Option<&Json>) -> GateReport {
     let mut report = GateReport::default();
 
     // 1. Every expected section must exist and be non-empty. `large`
-    //    is only mandatory when the fresh run actually ran at large
-    //    scale (local smoke runs default to medium and emit it empty).
+    //    and `spill` are only mandatory when the fresh run actually ran
+    //    at large scale (local smoke runs default to medium and emit
+    //    them empty).
     let large_required = fresh.get("scale").and_then(Json::as_str) == Some("large");
     for &section in REQUIRED_SECTIONS {
         match fresh.get(section).and_then(Json::as_arr) {
@@ -403,14 +415,16 @@ pub fn gate(fresh: &Json, baseline: Option<&Json>) -> GateReport {
             Some(_) => {}
         }
     }
-    match fresh.get("large").and_then(Json::as_arr) {
-        None if large_required => report
-            .errors
-            .push("fresh artifact is missing the `large` section".into()),
-        Some([]) if large_required => report
-            .errors
-            .push("fresh artifact ran at large scale but its `large` section is empty".into()),
-        _ => {}
+    for section in ["large", "spill"] {
+        match fresh.get(section).and_then(Json::as_arr) {
+            None if large_required => report
+                .errors
+                .push(format!("fresh artifact is missing the `{section}` section")),
+            Some([]) if large_required => report.errors.push(format!(
+                "fresh artifact ran at large scale but its `{section}` section is empty"
+            )),
+            _ => {}
+        }
     }
 
     // 2. The determinism field must assert every bit-identity contract.
@@ -426,10 +440,13 @@ pub fn gate(fresh: &Json, baseline: Option<&Json>) -> GateReport {
         }
     }
 
-    // 3. Wall-time ratios against the baseline, matched by section and
-    //    row name over every `*_ms` field both rows report. Timings on
-    //    a single-core host measure scheduling overhead, so regressions
-    //    there degrade to warnings.
+    // 3. Wall-time and peak-RSS ratios against the baseline, matched by
+    //    section and row name over every `*_ms` / `*_rss_kb` field both
+    //    rows report. Timings on a single-core host measure scheduling
+    //    overhead, so wall-time regressions there degrade to warnings;
+    //    RSS does not depend on scheduling, so its gate always holds.
+    //    An RSS of zero means the probe was unavailable on that host
+    //    (non-Linux), so those fields are skipped rather than ratioed.
     let Some(baseline) = baseline else {
         report
             .warnings
@@ -438,7 +455,7 @@ pub fn gate(fresh: &Json, baseline: Option<&Json>) -> GateReport {
     };
     let single_core = host_parallelism(fresh) <= 1.0 || host_parallelism(baseline) <= 1.0;
     let mut compared = 0usize;
-    for section in REQUIRED_SECTIONS.iter().copied().chain(["large"]) {
+    for section in REQUIRED_SECTIONS.iter().copied().chain(["large", "spill"]) {
         let fresh_rows = fresh.get(section).and_then(Json::as_arr).unwrap_or(&[]);
         let base_rows = baseline.get(section).and_then(Json::as_arr).unwrap_or(&[]);
         for row in fresh_rows {
@@ -453,29 +470,45 @@ pub fn gate(fresh: &Json, baseline: Option<&Json>) -> GateReport {
             };
             let Json::Obj(fields) = row else { continue };
             for (key, value) in fields {
-                if !key.ends_with("_ms") {
+                let is_rss = key.ends_with("_rss_kb");
+                if !key.ends_with("_ms") && !is_rss {
                     continue;
                 }
-                let (Some(fresh_ms), Some(base_ms)) =
+                let (Some(fresh_v), Some(base_v)) =
                     (value.as_f64(), base_row.get(key).and_then(Json::as_f64))
                 else {
                     continue;
                 };
-                if !(fresh_ms.is_finite() && base_ms.is_finite()) || base_ms <= 0.0 {
+                if !(fresh_v.is_finite() && base_v.is_finite()) || base_v <= 0.0 {
+                    continue;
+                }
+                if is_rss && fresh_v <= 0.0 {
                     continue;
                 }
                 compared += 1;
-                let ratio = fresh_ms / base_ms;
-                if ratio <= WARN_RATIO {
+                let (warn_ratio, fail_ratio) = if is_rss {
+                    (RSS_WARN_RATIO, RSS_FAIL_RATIO)
+                } else {
+                    (WARN_RATIO, FAIL_RATIO)
+                };
+                let ratio = fresh_v / base_v;
+                if ratio <= warn_ratio {
                     continue;
                 }
-                let finding = format!(
-                    "{section}/{name} {key}: {fresh_ms:.3}ms vs baseline {base_ms:.3}ms \
-                     ({ratio:.2}x)"
-                );
-                if ratio > FAIL_RATIO && !single_core {
+                let finding = if is_rss {
+                    format!(
+                        "{section}/{name} {key}: {fresh_v:.0}kB vs baseline {base_v:.0}kB \
+                         ({ratio:.2}x)"
+                    )
+                } else {
+                    format!(
+                        "{section}/{name} {key}: {fresh_v:.3}ms vs baseline {base_v:.3}ms \
+                         ({ratio:.2}x)"
+                    )
+                };
+                if ratio > fail_ratio && (is_rss || !single_core) {
                     report.errors.push(finding);
-                } else if ratio > FAIL_RATIO {
+                } else if ratio > fail_ratio {
                     report
                         .warnings
                         .push(format!("{finding} [single-core host: warning only]"));
@@ -519,17 +552,19 @@ mod tests {
 
     fn fresh_doc() -> String {
         r#"{
-          "schema": "moby-bench-smoke/v7",
+          "schema": "moby-bench-smoke/v8",
           "scale": "medium",
           "host_parallelism": 4,
-          "determinism": "bit-identical serial vs parallel, hashmap-freeze vs sort-merge, delta-apply vs full rebuild, windowed evict vs rebuild over surviving rows, permuted vs natural sweeps, sharded vs unsharded construction, and served snapshot vs offline rebuild (verified)",
+          "determinism": "bit-identical serial vs parallel, hashmap-freeze vs sort-merge, delta-apply vs full rebuild, windowed evict vs rebuild over surviving rows, permuted vs natural sweeps, sharded vs unsharded construction, served snapshot vs offline rebuild, and spilled vs in-memory construction (verified)",
           "benches": [{"name": "pagerank/trip_graph", "serial_ms": 1.0, "parallel_ms": 0.5}],
           "construction": [{"name": "construct/directed_trips", "sortmerge_1t_ms": 2.0}],
           "delta": [{"name": "delta/directed_trips", "apply_ms": 0.1, "rebuild_ms": 1.0}],
           "window": [{"name": "window/advance_window", "apply_ms": 3.0, "rebuild_ms": 4.0}],
           "sweep": [{"name": "sweep/pagerank_pull/ghour", "scalar_natural_ms": 0.8, "batched_natural_ms": 0.5}],
           "serve": [{"name": "serve/mixed_queries", "p50_ms": 0.05, "p99_ms": 0.2}],
-          "large": []
+          "large": [],
+          "spill": [{"name": "spill/city_build_inmem", "wall_ms": 100.0, "peak_rss_kb": 500000},
+                    {"name": "spill/city_build_spilled", "wall_ms": 130.0, "peak_rss_kb": 200000}]
         }"#
         .to_string()
     }
@@ -605,6 +640,104 @@ mod tests {
     }
 
     #[test]
+    fn large_scale_requires_spill_section() {
+        let fresh = Json::parse(
+            &fresh_doc().replace("\"medium\"", "\"large\"").replace(
+                r#"[{"name": "spill/city_build_inmem", "wall_ms": 100.0, "peak_rss_kb": 500000},
+                    {"name": "spill/city_build_spilled", "wall_ms": 130.0, "peak_rss_kb": 200000}]"#,
+                "[]",
+            ),
+        )
+        .unwrap();
+        let report = gate(&fresh, None);
+        assert!(report
+            .errors
+            .iter()
+            .any(|e| e.contains("`spill` section is empty")));
+    }
+
+    #[test]
+    fn rss_regression_fails_even_on_single_core() {
+        // 500000 -> 900000 kB is a 1.8x blow-up past RSS_FAIL_RATIO, and
+        // memory footprint doesn't depend on scheduling, so the
+        // single-core downgrade must NOT apply.
+        let fresh = Json::parse(
+            &fresh_doc()
+                .replace("\"peak_rss_kb\": 500000", "\"peak_rss_kb\": 900000")
+                .replace("\"host_parallelism\": 4", "\"host_parallelism\": 1"),
+        )
+        .unwrap();
+        let baseline = Json::parse(&fresh_doc()).unwrap();
+        let report = gate(&fresh, Some(&baseline));
+        assert!(!report.passed());
+        assert!(report
+            .errors
+            .iter()
+            .any(|e| e.contains("spill/city_build_inmem peak_rss_kb") && e.contains("1.80x")));
+    }
+
+    #[test]
+    fn rss_soft_regression_warns() {
+        // 200000 -> 260000 kB is 1.3x: past RSS_WARN_RATIO, under
+        // RSS_FAIL_RATIO.
+        let fresh =
+            Json::parse(&fresh_doc().replace("\"peak_rss_kb\": 200000", "\"peak_rss_kb\": 260000"))
+                .unwrap();
+        let baseline = Json::parse(&fresh_doc()).unwrap();
+        let report = gate(&fresh, Some(&baseline));
+        assert!(report.passed(), "errors: {:?}", report.errors);
+        assert!(report
+            .warnings
+            .iter()
+            .any(|w| w.contains("spill/city_build_spilled peak_rss_kb") && w.contains("1.30x")));
+    }
+
+    #[test]
+    fn zero_rss_probe_is_skipped_not_ratioed() {
+        // peak_rss_kb of 0 means /proc/self/status wasn't readable on
+        // that host; neither direction of the comparison may fire.
+        let fresh =
+            Json::parse(&fresh_doc().replace("\"peak_rss_kb\": 500000", "\"peak_rss_kb\": 0"))
+                .unwrap();
+        let baseline = Json::parse(&fresh_doc()).unwrap();
+        for (a, b) in [(&fresh, &baseline), (&baseline, &fresh)] {
+            let report = gate(a, Some(b));
+            assert!(report.passed(), "errors: {:?}", report.errors);
+            assert!(
+                !report
+                    .warnings
+                    .iter()
+                    .any(|w| w.contains("city_build_inmem peak_rss_kb")),
+                "warnings: {:?}",
+                report.warnings
+            );
+        }
+    }
+
+    #[test]
+    fn v7_baseline_without_spill_section_is_accepted() {
+        // Pre-PR10 baselines have no `spill` array and don't assert the
+        // spilled-build contract; only the fresh artifact is held to
+        // the new schema.
+        let fresh = Json::parse(&fresh_doc()).unwrap();
+        let v7 = Json::parse(
+            &fresh_doc()
+                .replace(
+                    "served snapshot vs offline rebuild, and spilled vs in-memory construction",
+                    "and served snapshot vs offline rebuild",
+                )
+                .replace(
+                    r#"[{"name": "spill/city_build_inmem", "wall_ms": 100.0, "peak_rss_kb": 500000},
+                    {"name": "spill/city_build_spilled", "wall_ms": 130.0, "peak_rss_kb": 200000}]"#,
+                    "[]",
+                ),
+        )
+        .unwrap();
+        let report = gate(&fresh, Some(&v7));
+        assert!(report.passed(), "errors: {:?}", report.errors);
+    }
+
+    #[test]
     fn unasserted_determinism_contract_fails() {
         let fresh =
             Json::parse(&fresh_doc().replace("windowed evict vs rebuild", "windowed")).unwrap();
@@ -669,7 +802,9 @@ mod tests {
                 .replace("delta/directed_trips", "x3")
                 .replace("window/advance_window", "x4")
                 .replace("sweep/pagerank_pull/ghour", "x5")
-                .replace("serve/mixed_queries", "x6"),
+                .replace("serve/mixed_queries", "x6")
+                .replace("spill/city_build_inmem", "x7")
+                .replace("spill/city_build_spilled", "x8"),
         )
         .unwrap();
         let disjoint_report = gate(&fresh, Some(&disjoint));

@@ -41,9 +41,19 @@
 //!   reporting sustained QPS and p50/p99 latency, *verifying the served
 //!   snapshot is bit-identical to an offline rebuild* over the writer's
 //!   final trip table (any divergence panics, failing CI);
+//! * verifies the **out-of-core construction contract** (PR 10) at every
+//!   scale — a forced-spill build (budget 0) of all three temporal
+//!   graphs against the in-memory build, bit-for-bit — and at `--scale
+//!   large` additionally runs the **spill tier**: the city pipeline
+//!   (generate → clean → temporal builds) once fully in memory and once
+//!   through the spooled + spilled out-of-core path, each in its *own
+//!   child process* so the per-mode peak RSS is honest (`VmHWM` is a
+//!   process-lifetime high-water mark — measuring both modes in one
+//!   process would report the in-memory peak for both), panicking unless
+//!   the two builds' graph fingerprints agree;
 //!
 //! and writes the timings to a `BENCH_*.json` file
-//! (`moby-bench-smoke/v7`: every section row carries the `scale` it ran
+//! (`moby-bench-smoke/v8`: every section row carries the `scale` it ran
 //! at and the process peak RSS when it finished) that the `bench-smoke`
 //! CI job uploads as a workflow artifact and gates with `bench_check`.
 //! This is where the repo's perf trajectory accumulates from PR 2 onward.
@@ -62,10 +72,11 @@ use moby_bench::{city_config, peak_rss_kb, run_pipeline, Scale};
 use moby_community::{louvain_csr, louvain_seeded, modularity_csr_threads, LouvainConfig};
 use moby_core::candidate::TRIP_LABEL;
 use moby_core::temporal::{
-    apply_batch_all, apply_window_all, build_all_from_trips, build_all_from_trips_sharded,
-    build_temporal_graph, TemporalGranularity,
+    apply_batch_all, apply_window_all, build_all_from_spool, build_all_from_trips,
+    build_all_from_trips_sharded, build_all_from_trips_spilled, build_temporal_graph,
+    TemporalGranularity, TemporalGraph,
 };
-use moby_data::clean::clean_trip_stream;
+use moby_data::clean::{clean_trip_stream, clean_trip_stream_spooled};
 use moby_data::synth::city_trip_stream;
 use moby_data::trips::WindowStart;
 use moby_data::trips::{TripBatch, TripTable};
@@ -789,6 +800,206 @@ fn smoke_large(threads: usize, shards: usize) -> (Vec<LargeStage>, CsrGraph) {
     (stages, sharded)
 }
 
+/// Default spill budget (MB) for the spill tier when `MOBY_SPILL_BUDGET_MB`
+/// is not set: well under the city tier's in-memory scatter footprint, so
+/// the out-of-core path genuinely engages.
+const SPILL_DEFAULT_BUDGET_MB: u64 = 128;
+
+/// The spill budget (MB) the spill tier reports and the child probes run
+/// under.
+fn spill_budget_mb() -> u64 {
+    std::env::var("MOBY_SPILL_BUDGET_MB")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(SPILL_DEFAULT_BUDGET_MB)
+}
+
+/// One row of the spill tier: the full city pipeline in one mode
+/// (in-memory or spooled + spilled), run in its own child process.
+struct SpillStage {
+    name: String,
+    /// Cleaned trip rows flowing into the builds.
+    rows: usize,
+    nodes: usize,
+    edges: usize,
+    wall_ms: f64,
+    /// The child process's peak RSS (kB); 0 means "not measured".
+    peak_rss_kb: u64,
+    /// Budget the mode ran under (0 for the unbudgeted in-memory mode).
+    budget_mb: u64,
+    /// FNV-1a-64 fingerprint of the three frozen temporal graphs.
+    fingerprint: u64,
+}
+
+/// FNV-1a-64 over a byte slice, continuing from `h`.
+fn fnv1a(mut h: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// FNV-1a-64 fingerprint of the three temporal graphs, covering every
+/// bit that the equality contract covers: node ids, offsets, targets,
+/// weight bits, total-weight bits and edge counts, in granularity order.
+/// Two processes that build bit-identical graphs produce the same value;
+/// any single differing bit changes it.
+fn fingerprint_temporals(temporals: &[TemporalGraph]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for t in temporals {
+        let g = &t.csr;
+        for &id in g.node_ids() {
+            h = fnv1a(h, &id.to_le_bytes());
+        }
+        for &o in g.offsets() {
+            h = fnv1a(h, &o.to_le_bytes());
+        }
+        for v in 0..g.node_count() {
+            let (targets, weights) = g.row(v);
+            for (&t, &w) in targets.iter().zip(weights) {
+                h = fnv1a(h, &t.to_le_bytes());
+                h = fnv1a(h, &w.to_bits().to_le_bytes());
+            }
+        }
+        h = fnv1a(h, &g.total_weight().to_bits().to_le_bytes());
+        h = fnv1a(h, &(g.edge_count() as u64).to_le_bytes());
+    }
+    h
+}
+
+/// Child-process body of the spill tier (`--city-probe inmem|spill`):
+/// run the city pipeline end to end in one mode, print a single
+/// machine-readable line and exit. Runs in a separate process so that
+/// `VmHWM` — a process-lifetime high-water mark — reports *this mode's*
+/// peak and nothing else's.
+fn run_city_probe(mode: &str, threads: usize, shards: usize) -> ! {
+    let cfg = city_config();
+    let stations = cfg.station_ids();
+    let budget_mb = spill_budget_mb();
+    let start = Instant::now();
+    let (temporals, rows, budget_mb) = match mode {
+        "inmem" => {
+            let (table, report) =
+                clean_trip_stream(stations, cfg.trips as usize, city_trip_stream(&cfg));
+            let t = build_all_from_trips_sharded(&table, None, Some(shards), Some(threads));
+            (t, report.rows_kept, 0)
+        }
+        "spill" => {
+            // The out-of-core arm end to end: cleaned rows spool to disk
+            // instead of materialising a trip table, and the builds read
+            // the spool back shard by shard through the spill path.
+            let (spool, report) = clean_trip_stream_spooled(stations, city_trip_stream(&cfg), None)
+                .expect("city probe: spooling the cleaned trips failed");
+            let t = build_all_from_spool(&spool, Some(shards), Some(threads), None)
+                .expect("city probe: spilled build failed");
+            (t, report.rows_kept, budget_mb)
+        }
+        other => {
+            eprintln!("unknown city probe mode '{other}'; expected inmem|spill");
+            std::process::exit(2);
+        }
+    };
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    println!(
+        "CITY_PROBE mode={mode} rows={rows} nodes={} edges={} wall_ms={wall_ms:.3} \
+         peak_rss_kb={} budget_mb={budget_mb} fingerprint={:016x}",
+        temporals.iter().map(|t| t.csr.node_count()).sum::<usize>(),
+        temporals.iter().map(|t| t.csr.edge_count()).sum::<usize>(),
+        peak_rss_kb().unwrap_or(0),
+        fingerprint_temporals(&temporals),
+    );
+    std::process::exit(0)
+}
+
+/// Pull one `key=value` field out of a `CITY_PROBE` line.
+fn probe_field<'a>(line: &'a str, key: &str) -> &'a str {
+    line.split_whitespace()
+        .find_map(|tok| tok.strip_prefix(key).and_then(|r| r.strip_prefix('=')))
+        .unwrap_or_else(|| panic!("city probe line missing `{key}`: {line}"))
+}
+
+/// Run the spill tier: spawn this same binary twice as `--city-probe`
+/// children (in-memory, then spooled + spilled), parse their summary
+/// lines, and panic unless the two modes' graph fingerprints agree — the
+/// spilled-vs-in-memory bit-identity contract, asserted across a process
+/// boundary.
+fn smoke_spill(threads: usize, shards: usize) -> Vec<SpillStage> {
+    let exe = std::env::current_exe().expect("resolving the bench_smoke binary path");
+    let mut stages = Vec::new();
+    for mode in ["inmem", "spill"] {
+        println!("  spawning city {mode} probe ...");
+        let out = std::process::Command::new(&exe)
+            .args([
+                "--city-probe",
+                mode,
+                "--threads",
+                &threads.to_string(),
+                "--shards",
+                &shards.to_string(),
+            ])
+            .output()
+            .expect("spawning the city probe child process");
+        assert!(
+            out.status.success(),
+            "city {mode} probe failed ({}):\n{}",
+            out.status,
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        let line = stdout
+            .lines()
+            .find(|l| l.starts_with("CITY_PROBE"))
+            .unwrap_or_else(|| panic!("city {mode} probe printed no CITY_PROBE line:\n{stdout}"));
+        let field = |key: &str| probe_field(line, key);
+        stages.push(SpillStage {
+            name: format!(
+                "spill/city_build_{}",
+                if mode == "spill" { "spilled" } else { mode }
+            ),
+            rows: field("rows").parse().expect("probe rows"),
+            nodes: field("nodes").parse().expect("probe nodes"),
+            edges: field("edges").parse().expect("probe edges"),
+            wall_ms: field("wall_ms").parse().expect("probe wall_ms"),
+            peak_rss_kb: field("peak_rss_kb").parse().expect("probe peak_rss_kb"),
+            budget_mb: field("budget_mb").parse().expect("probe budget_mb"),
+            fingerprint: u64::from_str_radix(field("fingerprint"), 16).expect("probe fingerprint"),
+        });
+    }
+    assert_eq!(
+        stages[0].fingerprint, stages[1].fingerprint,
+        "city tier: spilled build fingerprint diverged from in-memory — \
+         spilled-vs-in-memory bit-identity contract broken"
+    );
+    stages
+}
+
+/// Assert the spilled-vs-in-memory contract at pipeline scale: a forced
+/// spill (budget 0) of all three temporal graphs must be bit-identical
+/// to the in-memory build. Cheap enough to run at every scale; the
+/// large tier's child probes assert the same contract again at city
+/// scale across a process boundary.
+fn assert_spill_contract(outcome: &moby_core::pipeline::ExpansionOutcome, threads: usize) {
+    let trips = &outcome.selected.trips;
+    let spilled = build_all_from_trips_spilled(trips, None, None, Some(threads), Some(0), None)
+        .expect("forced-spill build failed");
+    let inmem = build_all_from_trips(trips, None, Some(threads));
+    for (s, m) in spilled.iter().zip(&inmem) {
+        assert_eq!(
+            s.csr, m.csr,
+            "{:?}: spilled construction diverged from in-memory — \
+             spill bit-identity contract broken",
+            s.granularity
+        );
+        assert_eq!(
+            s.csr.total_weight().to_bits(),
+            m.csr.total_weight().to_bits(),
+            "{:?}: total weight bits diverged between spilled and in-memory builds",
+            s.granularity
+        );
+    }
+}
+
 /// Per-variant wall times for one hot sweep kernel (PR 8): a single full
 /// pass over every row, scalar vs batched loop shape, natural vs
 /// degree-permuted layout. The JSON derives per-iteration ns/edge from
@@ -1416,6 +1627,7 @@ fn main() {
     let mut out = String::from("BENCH_latest.json");
     let mut threads = par::thread_count(None).max(2);
     let mut shards: Option<usize> = None;
+    let mut city_probe: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -1459,6 +1671,16 @@ fn main() {
                 }
                 i += 2;
             }
+            "--city-probe" => {
+                match args.get(i + 1) {
+                    Some(mode) => city_probe = Some(mode.clone()),
+                    None => {
+                        eprintln!("--city-probe requires a mode (inmem|spill)");
+                        std::process::exit(2);
+                    }
+                }
+                i += 2;
+            }
             other => {
                 eprintln!("unknown argument '{other}'");
                 std::process::exit(2);
@@ -1469,6 +1691,12 @@ fn main() {
     // meaningfully smaller than the whole edge list even with every
     // worker busy.
     let shards = shards.unwrap_or_else(|| (threads * 2).max(4));
+
+    // Child-process mode for the spill tier: run one city pipeline
+    // variant, print one summary line, exit.
+    if let Some(mode) = city_probe {
+        run_city_probe(&mode, threads, shards);
+    }
 
     let host = std::thread::available_parallelism()
         .map(|p| p.get())
@@ -1525,12 +1753,25 @@ fn main() {
     );
     let (window, window_louvain) = smoke_window(&outcome, threads);
 
+    println!("\nverifying spilled vs in-memory construction (forced spill, budget 0) ...");
+    assert_spill_contract(&outcome, threads);
+
     let (large, city_graph) = if scale == Scale::Large {
         println!("\nrunning the city tier (streaming generation + sharded builds) ...");
         let (stages, station) = smoke_large(threads, shards);
         (stages, Some(station))
     } else {
         (Vec::new(), None)
+    };
+
+    let spill = if scale == Scale::Large {
+        println!(
+            "\nrunning the spill tier (in-memory vs spooled+spilled city builds, \
+             one child process each) ..."
+        );
+        smoke_spill(threads, shards)
+    } else {
+        Vec::new()
     };
 
     println!("\ntiming the hot sweep kernels (scalar vs batched, natural vs degree-permuted) ...");
@@ -1707,6 +1948,25 @@ fn main() {
         }
     }
 
+    if !spill.is_empty() {
+        println!(
+            "\n{:<26} {:>9} {:>9} {:>10} {:>10} {:>11} {:>11}",
+            "spill tier", "rows", "nodes", "edges", "wall(ms)", "rss(MB)", "budget(MB)"
+        );
+        for r in &spill {
+            println!(
+                "{:<26} {:>9} {:>9} {:>10} {:>10.1} {:>11.1} {:>11}",
+                r.name,
+                r.rows,
+                r.nodes,
+                r.edges,
+                r.wall_ms,
+                r.peak_rss_kb as f64 / 1024.0,
+                r.budget_mb,
+            );
+        }
+    }
+
     let json = render_json(
         scale,
         pipeline_scale,
@@ -1720,6 +1980,7 @@ fn main() {
         &sweeps,
         &serve,
         &large,
+        &spill,
     );
     match std::fs::write(&out, &json) {
         Ok(()) => println!("\nwrote {out} ({} bytes)", json.len()),
@@ -1737,10 +1998,11 @@ fn main() {
 /// Hand-rolled JSON (the workspace has no serde_json; every value below is
 /// a number or a plain ASCII identifier, so no string escaping is needed).
 ///
-/// Schema `moby-bench-smoke/v7`: `v6` plus a `serve` section (sustained
-/// mixed-query throughput and p50/p99 latency from the snapshot-isolated
-/// serving layer while a background writer continuously publishes, with
-/// the served snapshot asserted bit-identical to an offline rebuild).
+/// Schema `moby-bench-smoke/v8`: `v7` plus a `spill` section (the city
+/// pipeline run once in memory and once through the spooled + spilled
+/// out-of-core path, each in its own child process so the per-mode
+/// `peak_rss_kb` is honest, with the two builds' graph fingerprints
+/// asserted equal; populated at `--scale large`, empty otherwise).
 /// Every section row carries the `scale` it ran at (pipeline sections
 /// may run at `medium` while the `large` section runs at city scale in
 /// the same artifact) and a `peak_rss_kb` process high-water mark (0 =
@@ -1759,6 +2021,7 @@ fn render_json(
     sweeps: &[SweepResult],
     serve: &[ServeResult],
     large: &[LargeStage],
+    spill: &[SpillStage],
 ) -> String {
     let host = std::thread::available_parallelism()
         .map(|p| p.get())
@@ -1767,7 +2030,7 @@ fn render_json(
     let rss = peak_rss_kb().unwrap_or(0);
     let mut s = String::new();
     s.push_str("{\n");
-    s.push_str("  \"schema\": \"moby-bench-smoke/v7\",\n");
+    s.push_str("  \"schema\": \"moby-bench-smoke/v8\",\n");
     s.push_str(&format!("  \"scale\": \"{}\",\n", scale.name()));
     s.push_str(&format!("  \"parallel_threads\": {threads},\n"));
     s.push_str(&format!("  \"shards\": {shards},\n"));
@@ -1785,7 +2048,8 @@ fn render_json(
          windowed evict vs rebuild over surviving rows, \
          permuted vs natural sweeps, \
          sharded vs unsharded construction, \
-         and served snapshot vs offline rebuild (verified)\",\n",
+         served snapshot vs offline rebuild, \
+         and spilled vs in-memory construction (verified)\",\n",
     );
     s.push_str("  \"benches\": [\n");
     for (i, r) in results.iter().enumerate() {
@@ -1933,6 +2197,25 @@ fn render_json(
             r.peak_rss_kb,
             r.graph_bytes,
             if i + 1 < large.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ],\n");
+    s.push_str("  \"spill\": [\n");
+    for (i, r) in spill.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"name\": \"{}\", \"scale\": \"large\", \"rows\": {}, \
+             \"nodes\": {}, \"edges\": {}, \"wall_ms\": {:.3}, \
+             \"peak_rss_kb\": {}, \"budget_mb\": {}, \
+             \"fingerprint\": \"{:016x}\"}}{}\n",
+            r.name,
+            r.rows,
+            r.nodes,
+            r.edges,
+            r.wall_ms,
+            r.peak_rss_kb,
+            r.budget_mb,
+            r.fingerprint,
+            if i + 1 < spill.len() { "," } else { "" }
         ));
     }
     s.push_str("  ]\n}\n");

@@ -9,8 +9,8 @@
 use crate::temporal::{TemporalGranularity, TemporalGraph};
 use moby_community::stats::{community_table, CommunityTable};
 use moby_community::{
-    label_propagation_csr, louvain_csr, louvain_permuted, louvain_seeded, louvain_seeded_active,
-    modularity_csr_threads, modularity_permuted,
+    label_propagation_csr, labelprop_permuted, louvain_csr, louvain_permuted, louvain_seeded,
+    louvain_seeded_active, modularity_csr_threads, modularity_permuted,
 };
 use moby_community::{LabelPropagationConfig, LouvainConfig, Partition};
 use moby_graph::{par, CsrGraph, NodeId};
@@ -39,14 +39,14 @@ pub struct DetectConfig {
     /// [`moby_graph::par::thread_count`]). Detection results are
     /// bit-identical at any thread count, so this only tunes speed.
     pub threads: Option<usize>,
-    /// Run the Louvain detector through a **degree-permuted layout**
+    /// Run the detector through a **degree-permuted layout**
     /// ([`moby_graph::CsrGraph::permute_by_degree`]): hub rows and their
     /// neighbour state cluster at low indices, which speeds up the
     /// detection sweeps on detection-heavy workloads at the cost of one
-    /// permutation pass per detection. The detected partition and the
+    /// permutation pass per detection. Applies to both Louvain and the
+    /// label-propagation detector. The detected partition and the
     /// reported modularity are **bit-identical** either way, so this is
-    /// purely a performance policy. Ignored by the label-propagation
-    /// detector (it has no permuted path).
+    /// purely a performance policy.
     pub permute: bool,
 }
 
@@ -183,6 +183,29 @@ pub fn detect_communities(
                 },
             );
             let q = modularity_csr_threads(&temporal.csr, &raw, config.threads);
+            (raw, q)
+        }
+        Detector::LabelPropagation if config.permute => {
+            // Same scheme as the permuted Louvain arm: permute the
+            // undirected projection once, then run both the sweeps and
+            // the score through the mapped layout — identical bits.
+            let undirected;
+            let base = if temporal.csr.is_directed() {
+                undirected = temporal.csr.to_undirected();
+                &undirected
+            } else {
+                &temporal.csr
+            };
+            let pg = base.permute_by_degree(par::thread_count(config.threads));
+            let raw = labelprop_permuted(
+                &pg,
+                &LabelPropagationConfig {
+                    seed: config.seed.unwrap_or(1),
+                    threads: config.threads,
+                    ..Default::default()
+                },
+            );
+            let q = modularity_permuted(&pg, &raw, config.threads);
             (raw, q)
         }
         Detector::LabelPropagation => {
@@ -483,36 +506,43 @@ mod tests {
         let directed = aggregate::project_directed(&s, TRIP_LABEL).freeze();
         for g in TemporalGranularity::ALL {
             let temporal = build_temporal_graph(&s, g);
-            for threads in [Some(1), Some(4)] {
-                let natural = detect_communities(
-                    &temporal,
-                    &directed,
-                    &old(),
-                    &DetectConfig {
-                        threads,
-                        ..Default::default()
-                    },
-                );
-                let permuted = detect_communities(
-                    &temporal,
-                    &directed,
-                    &old(),
-                    &DetectConfig {
-                        threads,
-                        permute: true,
-                        ..Default::default()
-                    },
-                );
-                assert_eq!(natural.raw_partition, permuted.raw_partition, "{g:?}");
-                assert_eq!(
-                    natural.station_partition, permuted.station_partition,
-                    "{g:?}"
-                );
-                assert_eq!(
-                    natural.modularity.to_bits(),
-                    permuted.modularity.to_bits(),
-                    "{g:?}"
-                );
+            for detector in [Detector::Louvain, Detector::LabelPropagation] {
+                for threads in [Some(1), Some(4)] {
+                    let natural = detect_communities(
+                        &temporal,
+                        &directed,
+                        &old(),
+                        &DetectConfig {
+                            detector,
+                            threads,
+                            ..Default::default()
+                        },
+                    );
+                    let permuted = detect_communities(
+                        &temporal,
+                        &directed,
+                        &old(),
+                        &DetectConfig {
+                            detector,
+                            threads,
+                            permute: true,
+                            ..Default::default()
+                        },
+                    );
+                    assert_eq!(
+                        natural.raw_partition, permuted.raw_partition,
+                        "{g:?} {detector:?}"
+                    );
+                    assert_eq!(
+                        natural.station_partition, permuted.station_partition,
+                        "{g:?} {detector:?}"
+                    );
+                    assert_eq!(
+                        natural.modularity.to_bits(),
+                        permuted.modularity.to_bits(),
+                        "{g:?} {detector:?}"
+                    );
+                }
             }
         }
     }

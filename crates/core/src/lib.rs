@@ -70,6 +70,18 @@ pub enum CoreError {
     UnknownStation(u64),
     /// An internal invariant was violated (bug); the message describes it.
     Internal(String),
+    /// An out-of-core spilled graph build failed on I/O (temp dir not
+    /// writable, disk full). Carries the rendered context + OS error.
+    Spill(String),
+}
+
+impl From<moby_graph::GraphError> for CoreError {
+    fn from(err: moby_graph::GraphError) -> CoreError {
+        match err {
+            moby_graph::GraphError::Spill(msg) => CoreError::Spill(msg),
+            other => CoreError::Internal(other.to_string()),
+        }
+    }
 }
 
 impl fmt::Display for CoreError {
@@ -82,6 +94,7 @@ impl fmt::Display for CoreError {
                 write!(f, "trip batch references unknown station {id}")
             }
             CoreError::Internal(msg) => write!(f, "internal error: {msg}"),
+            CoreError::Spill(msg) => write!(f, "spill I/O failed: {msg}"),
         }
     }
 }
@@ -104,5 +117,12 @@ mod tests {
         assert!(CoreError::Internal("y".into()).to_string().contains('y'));
         assert!(!CoreError::NoRentals.to_string().is_empty());
         assert!(CoreError::UnknownStation(42).to_string().contains("42"));
+        assert!(CoreError::Spill("disk full".into())
+            .to_string()
+            .contains("disk full"));
+        assert_eq!(
+            CoreError::from(moby_graph::GraphError::Spill("x".into())),
+            CoreError::Spill("x".into())
+        );
     }
 }

@@ -13,7 +13,7 @@ use crate::detect::{
 };
 use crate::reassign::{build_selected_network, SelectedNetwork, WindowOutcome};
 use crate::selection::{select_stations, SelectionOutcome};
-use crate::temporal::{apply_window_all, build_all_from_trips_sharded, TemporalGraph};
+use crate::temporal::{apply_window_all, build_all_from_trips_spilled, TemporalGraph};
 use crate::{ExpansionConfig, Result};
 use moby_data::clean::{clean_dataset, CleaningReport};
 use moby_data::schema::{CleanDataset, RawDataset};
@@ -32,6 +32,14 @@ pub struct PipelineConfig {
     /// Sharding changes peak construction memory, never the result —
     /// frozen graphs are bit-identical at any shard count.
     pub build_shards: Option<usize>,
+    /// Out-of-core spill budget in megabytes for the temporal graph
+    /// builds (`None` defers to the `MOBY_SPILL_BUDGET_MB` environment
+    /// knob; no budget anywhere means the builds never spill). When a
+    /// granularity's estimated scatter footprint exceeds the budget its
+    /// half-edge columns spill to per-shard disk runs instead of
+    /// in-memory buffers. Spilling changes peak construction memory,
+    /// never the result — frozen graphs are bit-identical at any budget.
+    pub spill_budget_mb: Option<u64>,
     /// Windowed-lifecycle settings used by [`WindowedPipeline::advance`].
     pub window: WindowConfig,
 }
@@ -180,13 +188,17 @@ impl ExpansionPipeline {
         // all three granularities; `GBasic` shares the already-built
         // undirected CSR and the directed trip graph was frozen once at
         // network build — nothing on this path touches a hash-map builder
-        // or re-derives adjacency.
-        let temporals = build_all_from_trips_sharded(
+        // or re-derives adjacency. With a spill budget set (config or
+        // `MOBY_SPILL_BUDGET_MB`), oversized builds route through the
+        // out-of-core disk runs — bit-identical either way.
+        let temporals = build_all_from_trips_spilled(
             &selected.trips,
             Some(&selected.undirected),
             self.config.build_shards,
             self.config.detect.threads,
-        );
+            self.config.spill_budget_mb,
+            None,
+        )?;
         let communities = detect_set(&self.config.detect, &temporals, &selected);
 
         let outcome = ExpansionOutcome {

@@ -36,11 +36,14 @@
 //!   the columnar path buys.
 
 use crate::candidate::TRIP_LABEL;
+use crate::CoreError;
+use moby_data::spool::TripSpool;
 use moby_data::trips::{AppendOutcome, EvictOutcome, TripTable};
-use moby_graph::aggregate;
+use moby_graph::{aggregate, spill};
 use moby_graph::{CsrBuilder, CsrDelta, CsrEvict, CsrGraph, GraphStore, NodeId, WeightedGraph};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
+use std::path::Path;
 
 /// Temporal granularity of a station graph.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -328,6 +331,226 @@ pub fn build_all_from_trips_sharded(
         TemporalGraph::from_csr(TemporalGranularity::TDay, day_csr, Some(day_map)),
         TemporalGraph::from_csr(TemporalGranularity::THour, hour_csr, Some(hour_map)),
     ]
+}
+
+/// A replayable stream of cleaned, interned trips — the abstraction that
+/// lets the spilled temporal builds consume either the in-memory
+/// [`TripTable`] columns or a disk-backed [`TripSpool`] through one code
+/// path. Rows are `(src, dst, day, hour, weight)` with dense station
+/// indices, replayed in insertion order on every call.
+trait TripSource {
+    /// The sorted station intern table the dense indices refer to.
+    fn stations(&self) -> &[NodeId];
+    /// Replay every row in insertion order.
+    fn replay(
+        &self,
+        f: &mut dyn FnMut(u32, u32, u8, u8, f64),
+    ) -> std::result::Result<(), moby_graph::GraphError>;
+}
+
+impl TripSource for TripTable {
+    fn stations(&self) -> &[NodeId] {
+        self.station_ids()
+    }
+
+    fn replay(
+        &self,
+        f: &mut dyn FnMut(u32, u32, u8, u8, f64),
+    ) -> std::result::Result<(), moby_graph::GraphError> {
+        let (src, dst) = (self.src(), self.dst());
+        let (day, hour, weight) = (self.day(), self.hour(), self.weights());
+        for k in 0..self.len() {
+            f(src[k], dst[k], day[k], hour[k], weight[k]);
+        }
+        Ok(())
+    }
+}
+
+impl TripSource for TripSpool {
+    fn stations(&self) -> &[NodeId] {
+        self.station_ids()
+    }
+
+    fn replay(
+        &self,
+        f: &mut dyn FnMut(u32, u32, u8, u8, f64),
+    ) -> std::result::Result<(), moby_graph::GraphError> {
+        // City trips are unit-weight by construction (the spool stores no
+        // weight column); I/O failures surface as spill errors.
+        self.for_each(&mut |s, d, day, hour| f(s, d, day, hour, 1.0))
+            .map_err(|e| moby_graph::GraphError::Spill(format!("replaying trip spool: {e}")))
+    }
+}
+
+/// [`build_all_from_trips_sharded`] with an out-of-core **spill budget**
+/// — the bounded-memory city-scale entry point.
+///
+/// `budget_mb = None` resolves the `MOBY_SPILL_BUDGET_MB` environment
+/// knob (via [`spill::budget_bytes`]); when the resolved budget exists
+/// and a granularity's estimated scatter footprint exceeds it, that
+/// build routes through
+/// [`build_dense_csr_spilled`](moby_graph::build_dense_csr_spilled):
+/// half-edges partition to per-shard disk runs under `spill_dir`
+/// (default: the system temp dir) instead of in-memory scatter columns.
+/// The frozen graphs and layer maps are **bit-identical** to
+/// [`build_all_from_trips_sharded`] at any shard count × thread count ×
+/// budget — the fourth independence axis; see `DESIGN.md`,
+/// "Out-of-core construction". Spill I/O failures surface as
+/// [`CoreError::Spill`].
+pub fn build_all_from_trips_spilled(
+    trips: &TripTable,
+    basic: Option<&CsrGraph>,
+    shards: Option<usize>,
+    threads: Option<usize>,
+    budget_mb: Option<u64>,
+    spill_dir: Option<&Path>,
+) -> crate::Result<Vec<TemporalGraph>> {
+    // Every granularity is undirected with one edge per trip: 2m halves.
+    let est_halves = 2 * trips.len();
+    if !spill::should_spill(est_halves, spill::budget_bytes(budget_mb)) {
+        return Ok(build_all_from_trips_sharded(trips, basic, shards, threads));
+    }
+    build_all_spilled(trips, basic, shards, threads, spill_dir)
+}
+
+/// Build all three temporal graphs straight from a disk-backed
+/// [`TripSpool`] — the fully streaming arm: the city generator's rows
+/// flow through
+/// [`clean_trip_stream_spooled`](moby_data::clean::clean_trip_stream_spooled)
+/// to one spool, and that **single spill pass per granularity** feeds
+/// `GBasic`, `GDay` and `GHour` without the full `TripTable` edge
+/// columns ever materialising in memory.
+///
+/// `GBasic` seeds the full station table (isolated stations stay
+/// visible, like every other build path). The result is bit-identical
+/// to [`build_all_from_trips`] over the equivalent in-memory table.
+pub fn build_all_from_spool(
+    spool: &TripSpool,
+    shards: Option<usize>,
+    threads: Option<usize>,
+    spill_dir: Option<&Path>,
+) -> crate::Result<Vec<TemporalGraph>> {
+    build_all_spilled(spool, None, shards, threads, spill_dir)
+}
+
+/// Shared body of the spilled builds: `GBasic` over the station table,
+/// `GDay`/`GHour` through the layered candidate intern — all three via
+/// [`build_dense_csr_spilled`](moby_graph::build_dense_csr_spilled).
+fn build_all_spilled(
+    source: &dyn TripSource,
+    basic: Option<&CsrGraph>,
+    shards: Option<usize>,
+    threads: Option<usize>,
+    spill_dir: Option<&Path>,
+) -> crate::Result<Vec<TemporalGraph>> {
+    let basic_csr = match basic {
+        Some(csr) => csr.clone(),
+        None => moby_graph::build_dense_csr_spilled(
+            false,
+            source.stations().to_vec(),
+            |f| source.replay(&mut |s, d, _, _, w| f(s, d, w)),
+            shards,
+            threads,
+            spill_dir,
+        )?,
+    };
+    let day_csr = build_layered_spilled(
+        source,
+        TemporalGranularity::TDay,
+        shards,
+        threads,
+        spill_dir,
+    )?;
+    let hour_csr = build_layered_spilled(
+        source,
+        TemporalGranularity::THour,
+        shards,
+        threads,
+        spill_dir,
+    )?;
+    let day_map = decode_layer_map(&day_csr, TemporalGranularity::TDay.stride());
+    let hour_map = decode_layer_map(&hour_csr, TemporalGranularity::THour.stride());
+    Ok(vec![
+        TemporalGraph::from_csr(TemporalGranularity::TNull, basic_csr, None),
+        TemporalGraph::from_csr(TemporalGranularity::TDay, day_csr, Some(day_map)),
+        TemporalGraph::from_csr(TemporalGranularity::THour, hour_csr, Some(hour_map)),
+    ])
+}
+
+/// One layered granularity, spilled. The node table must match what
+/// [`CsrBuilder`] would intern over the same layered edge pushes —
+/// **first-appearance order** (src before dst within each trip) — so the
+/// spilled graph stays bit-identical to the in-memory build. The intern
+/// runs over the **dense candidate space** `station_index * stride + key`
+/// (bounded by the station table, never by the trip count): a forward
+/// replay records each present candidate's first slot (`2k` for trip
+/// `k`'s src, `2k + 1` for its dst, set-if-absent = minimum), and
+/// ordering present candidates by that slot reproduces the builder's
+/// sort-dedup-resort intern exactly — slots are unique, and no seeds
+/// exist on this path.
+fn build_layered_spilled(
+    source: &dyn TripSource,
+    granularity: TemporalGranularity,
+    shards: Option<usize>,
+    threads: Option<usize>,
+    spill_dir: Option<&Path>,
+) -> crate::Result<CsrGraph> {
+    debug_assert!(
+        granularity != TemporalGranularity::TNull,
+        "TNull has no layers"
+    );
+    let stride = granularity.stride();
+    let pick_day = granularity == TemporalGranularity::TDay;
+    let stations = source.stations();
+    let n_cand = stations.len() * stride as usize;
+    const ABSENT: u64 = u64::MAX;
+    let mut first: Vec<u64> = vec![ABSENT; n_cand];
+    let mut k: u64 = 0;
+    source.replay(&mut |s, d, day, hour, _| {
+        let key = usize::from(if pick_day { day } else { hour });
+        let cs = s as usize * stride as usize + key;
+        let cd = d as usize * stride as usize + key;
+        if first[cs] == ABSENT {
+            first[cs] = 2 * k;
+        }
+        if first[cd] == ABSENT {
+            first[cd] = 2 * k + 1;
+        }
+        k += 1;
+    })?;
+    let mut order: Vec<(u64, u32)> = first
+        .iter()
+        .enumerate()
+        .filter(|&(_, &slot)| slot != ABSENT)
+        .map(|(cand, &slot)| (slot, cand as u32))
+        .collect();
+    order.sort_unstable();
+    let mut node_ids: Vec<NodeId> = Vec::with_capacity(order.len());
+    let mut dense: Vec<u32> = vec![u32::MAX; n_cand];
+    for (i, &(_, cand)) in order.iter().enumerate() {
+        let station_idx = cand as usize / stride as usize;
+        let key = u64::from(cand) % stride;
+        node_ids.push(stations[station_idx] * stride + key);
+        dense[cand as usize] = i as u32;
+    }
+    moby_graph::build_dense_csr_spilled(
+        false,
+        node_ids,
+        |f| {
+            source.replay(&mut |s, d, day, hour, w| {
+                let key = usize::from(if pick_day { day } else { hour });
+                f(
+                    dense[s as usize * stride as usize + key],
+                    dense[d as usize * stride as usize + key],
+                    w,
+                )
+            })
+        },
+        shards,
+        threads,
+        spill_dir,
+    )
+    .map_err(CoreError::from)
 }
 
 /// Advance all three temporal graphs by one ingested trip batch — the
@@ -918,6 +1141,89 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn spilled_build_matches_in_memory_build_bitwise() {
+        let trips = trip_table();
+        let baseline = build_all_from_trips(&trips, None, Some(1));
+        // Budget 0 forces every granularity through the disk runs.
+        for shards in [Some(1), Some(2), Some(4)] {
+            for threads in [Some(1), Some(2)] {
+                let spilled =
+                    build_all_from_trips_spilled(&trips, None, shards, threads, Some(0), None)
+                        .unwrap();
+                for (g, b) in spilled.iter().zip(&baseline) {
+                    assert_eq!(g.granularity, b.granularity);
+                    assert_eq!(g.csr, b.csr, "{:?} @ {shards:?} shards", g.granularity);
+                    assert_eq!(
+                        g.csr.total_weight().to_bits(),
+                        b.csr.total_weight().to_bits()
+                    );
+                    assert_eq!(g.layer_map, b.layer_map, "{:?} map", g.granularity);
+                }
+            }
+        }
+        // A huge budget takes the in-memory arm; same bits either way.
+        let unspilled =
+            build_all_from_trips_spilled(&trips, None, Some(2), Some(2), Some(1 << 20), None)
+                .unwrap();
+        for (g, b) in unspilled.iter().zip(&baseline) {
+            assert_eq!(g.csr, b.csr);
+        }
+        // A shared GBasic swaps in untouched.
+        let shared =
+            build_all_from_trips_spilled(&trips, Some(&baseline[0].csr), None, None, Some(0), None)
+                .unwrap();
+        assert_eq!(shared[0].csr, baseline[0].csr);
+        assert_eq!(shared[2].csr, baseline[2].csr);
+    }
+
+    #[test]
+    fn spool_build_matches_table_build_bitwise() {
+        let trips = trip_table();
+        let mut spool = TripSpool::create(vec![1, 2, 3], None).unwrap();
+        let (day, hour) = (trips.day(), trips.hour());
+        for k in 0..trips.len() {
+            spool.push_keyed(trips.src()[k], trips.dst()[k], day[k], hour[k]);
+        }
+        spool.finish().unwrap();
+        let got = build_all_from_spool(&spool, Some(2), Some(2), None).unwrap();
+        let want = build_all_from_trips(&trips, None, Some(1));
+        for (g, w) in got.iter().zip(&want) {
+            assert_eq!(g.granularity, w.granularity);
+            assert_eq!(
+                g.csr, w.csr,
+                "{:?} diverged from table build",
+                g.granularity
+            );
+            assert_eq!(
+                g.csr.total_weight().to_bits(),
+                w.csr.total_weight().to_bits()
+            );
+            assert_eq!(g.layer_map, w.layer_map, "{:?} map", g.granularity);
+        }
+    }
+
+    #[test]
+    fn spilled_build_surfaces_unwritable_dir_as_error() {
+        let trips = trip_table();
+        let file = std::env::temp_dir().join(format!("moby-core-spill-f-{}", std::process::id()));
+        std::fs::write(&file, b"not a dir").unwrap();
+        let err = build_all_from_trips_spilled(
+            &trips,
+            None,
+            Some(2),
+            Some(1),
+            Some(0),
+            Some(&file.join("sub")),
+        )
+        .unwrap_err();
+        assert!(
+            matches!(err, CoreError::Spill(_)),
+            "expected Spill: {err:?}"
+        );
+        std::fs::remove_file(&file).ok();
     }
 
     #[test]

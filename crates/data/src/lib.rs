@@ -46,6 +46,7 @@ pub mod clean;
 pub mod csvio;
 pub mod loader;
 pub mod schema;
+pub mod spool;
 pub mod stats;
 pub mod synth;
 pub mod timeparse;

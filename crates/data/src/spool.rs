@@ -1,0 +1,291 @@
+//! Out-of-core trip spooling for the city-scale streaming arm.
+//!
+//! [`TripSpool`] is the disk-backed counterpart of
+//! [`TripTable`](crate::trips::TripTable): cleaned city trips land in a
+//! flat columnar run file instead of in-memory columns, so the streaming
+//! cleaner ([`clean_trip_stream_spooled`]) holds only the station table
+//! and a write buffer no matter how many rows the generator yields. The
+//! graph layer's spilled construction then replays the spool — as many
+//! passes as it needs — through [`TripSpool::for_each`].
+//!
+//! ## Record format
+//!
+//! 10 bytes per trip, little endian, no header:
+//!
+//! ```text
+//! src u32 | dst u32 | day u8 | hour u8
+//! ```
+//!
+//! `src`/`dst` are dense indices into the spool's sorted station table;
+//! `day`/`hour` are the temporal keys derived at push time via the same
+//! function every [`TripTable`](crate::trips::TripTable) path uses.
+//! City trips are unit-weight, so no weight column is stored — replay
+//! yields rows in exact insertion order, which is what lets a
+//! spool-built graph reproduce a table-built graph bit for bit.
+//!
+//! The spool directory (`moby-spool-{pid}-{seq}` under the chosen base)
+//! is removed when the [`TripSpool`] drops — success, early return and
+//! panic unwind alike.
+//!
+//! [`clean_trip_stream_spooled`]: crate::clean::clean_trip_stream_spooled
+
+use crate::timeparse::Timestamp;
+use crate::trips::{temporal_keys, StationNodeId};
+use std::fs::File;
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Bytes per spooled trip record (`src u32 | dst u32 | day u8 | hour u8`).
+pub const TRIP_RECORD_BYTES: usize = 10;
+
+/// Monotone suffix so concurrent spools in one process never collide.
+static SPOOL_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// A disk-backed columnar run of cleaned, interned trips — the
+/// out-of-core stand-in for [`TripTable`](crate::trips::TripTable) on
+/// the streaming city arm. See the [module docs](self).
+#[derive(Debug)]
+pub struct TripSpool {
+    dir: PathBuf,
+    path: PathBuf,
+    station_ids: Vec<StationNodeId>,
+    /// Open only while filling; [`TripSpool::finish`] drops it.
+    writer: Option<BufWriter<File>>,
+    /// First write error, latched; push stays infallible and the error
+    /// surfaces at [`TripSpool::finish`].
+    err: Option<io::Error>,
+    rows: u64,
+}
+
+impl TripSpool {
+    /// Create an empty spool over a **sorted** station table, backed by
+    /// a fresh private directory under `base` (default: the system temp
+    /// dir). Fails with a clear [`io::Error`] when the base is not
+    /// writable.
+    pub fn create(station_ids: Vec<StationNodeId>, base: Option<&Path>) -> io::Result<TripSpool> {
+        debug_assert!(
+            station_ids.windows(2).all(|w| w[0] < w[1]),
+            "station table must be sorted and unique"
+        );
+        let base = base
+            .map(Path::to_path_buf)
+            .unwrap_or_else(std::env::temp_dir);
+        let dir = base.join(format!(
+            "moby-spool-{}-{}",
+            std::process::id(),
+            SPOOL_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::create_dir_all(&dir).map_err(|e| {
+            io::Error::new(
+                e.kind(),
+                format!("creating spool dir {}: {e}", dir.display()),
+            )
+        })?;
+        let path = dir.join("trips.bin");
+        let file = File::create(&path).map_err(|e| {
+            let msg = format!("creating spool run {}: {e}", path.display());
+            std::fs::remove_dir_all(&dir).ok();
+            io::Error::new(e.kind(), msg)
+        })?;
+        Ok(TripSpool {
+            dir,
+            path,
+            station_ids,
+            writer: Some(BufWriter::with_capacity(1 << 16, file)),
+            err: None,
+            rows: 0,
+        })
+    }
+
+    /// Append one interned trip, deriving its temporal keys from the
+    /// start time exactly like
+    /// [`TripTable::push`](crate::trips::TripTable::push). Infallible:
+    /// the first write error latches and surfaces at
+    /// [`TripSpool::finish`].
+    pub fn push(&mut self, src: u32, dst: u32, start: Timestamp) {
+        let (day, hour) = temporal_keys(start);
+        self.push_keyed(src, dst, day, hour);
+    }
+
+    /// Append one interned trip with pre-derived temporal keys.
+    pub fn push_keyed(&mut self, src: u32, dst: u32, day: u8, hour: u8) {
+        if self.err.is_some() {
+            return;
+        }
+        let Some(writer) = self.writer.as_mut() else {
+            self.err = Some(io::Error::other("push after TripSpool::finish"));
+            return;
+        };
+        let mut rec = [0u8; TRIP_RECORD_BYTES];
+        rec[0..4].copy_from_slice(&src.to_le_bytes());
+        rec[4..8].copy_from_slice(&dst.to_le_bytes());
+        rec[8] = day;
+        rec[9] = hour;
+        if let Err(e) = writer.write_all(&rec) {
+            self.err = Some(io::Error::new(
+                e.kind(),
+                format!("writing spool run {}: {e}", self.path.display()),
+            ));
+            return;
+        }
+        self.rows += 1;
+    }
+
+    /// Flush and seal the spool for replay. Returns the first latched
+    /// write error, if any — the one fallible point of the fill phase.
+    pub fn finish(&mut self) -> io::Result<()> {
+        if let Some(e) = self.err.take() {
+            self.writer = None;
+            return Err(e);
+        }
+        if let Some(mut w) = self.writer.take() {
+            w.flush().map_err(|e| {
+                io::Error::new(
+                    e.kind(),
+                    format!("flushing spool run {}: {e}", self.path.display()),
+                )
+            })?;
+        }
+        Ok(())
+    }
+
+    /// Number of trips spooled so far.
+    pub fn len(&self) -> usize {
+        self.rows as usize
+    }
+
+    /// Whether the spool holds no trips.
+    pub fn is_empty(&self) -> bool {
+        self.rows == 0
+    }
+
+    /// The sorted station table the dense indices refer to.
+    pub fn station_ids(&self) -> &[StationNodeId] {
+        &self.station_ids
+    }
+
+    /// Replay every spooled trip as `(src, dst, day, hour)` in exact
+    /// insertion order, streaming from disk through a buffered reader.
+    /// Callable any number of times after [`TripSpool::finish`].
+    pub fn for_each(&self, f: &mut dyn FnMut(u32, u32, u8, u8)) -> io::Result<()> {
+        let ctx = |e: io::Error| {
+            io::Error::new(
+                e.kind(),
+                format!("reading spool run {}: {e}", self.path.display()),
+            )
+        };
+        let file = File::open(&self.path).map_err(ctx)?;
+        let mut reader = BufReader::with_capacity(1 << 16, file);
+        let mut rec = [0u8; TRIP_RECORD_BYTES];
+        for _ in 0..self.rows {
+            reader.read_exact(&mut rec).map_err(ctx)?;
+            let src = u32::from_le_bytes(rec[0..4].try_into().expect("4-byte slice"));
+            let dst = u32::from_le_bytes(rec[4..8].try_into().expect("4-byte slice"));
+            f(src, dst, rec[8], rec[9]);
+        }
+        Ok(())
+    }
+}
+
+impl Drop for TripSpool {
+    fn drop(&mut self) {
+        // Best effort: the run lives in our private directory, so a
+        // failed removal only leaks temp files, never corrupts state.
+        self.writer = None;
+        std::fs::remove_dir_all(&self.dir).ok();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ts(day: u32, h: u32) -> Timestamp {
+        Timestamp::from_ymd_hms(2021, 6, day, h, 0, 0).unwrap()
+    }
+
+    #[test]
+    fn round_trips_rows_in_insertion_order() {
+        let mut spool = TripSpool::create(vec![1, 2, 3], None).unwrap();
+        spool.push(0, 1, ts(1, 8)); // 2021-06-01 is a Tuesday
+        spool.push(2, 2, ts(2, 17));
+        spool.push_keyed(1, 0, 6, 23);
+        spool.finish().unwrap();
+        assert_eq!(spool.len(), 3);
+        let mut rows = Vec::new();
+        spool
+            .for_each(&mut |s, d, day, hour| rows.push((s, d, day, hour)))
+            .unwrap();
+        assert_eq!(rows, vec![(0, 1, 1, 8), (2, 2, 2, 17), (1, 0, 6, 23)]);
+        // Replay is repeatable.
+        let mut again = 0usize;
+        spool.for_each(&mut |_, _, _, _| again += 1).unwrap();
+        assert_eq!(again, 3);
+    }
+
+    #[test]
+    fn spool_dir_is_removed_on_drop() {
+        let dir;
+        {
+            let mut spool = TripSpool::create(vec![1, 2], None).unwrap();
+            spool.push_keyed(0, 1, 0, 0);
+            spool.finish().unwrap();
+            dir = spool.dir.clone();
+            assert!(dir.exists());
+        }
+        assert!(!dir.exists(), "spool dir should be removed on drop");
+    }
+
+    #[test]
+    fn spool_dir_is_removed_on_panic_unwind() {
+        use std::sync::Mutex;
+        let cell: Mutex<PathBuf> = Mutex::new(PathBuf::new());
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let spool = TripSpool::create(vec![1], None).unwrap();
+            *cell.lock().unwrap() = spool.dir.clone();
+            panic!("boom");
+        }));
+        assert!(result.is_err());
+        let dir = cell.lock().unwrap().clone();
+        assert!(!dir.exists(), "spool dir should be removed on unwind");
+    }
+
+    #[test]
+    fn unwritable_base_is_a_clear_error() {
+        let file = std::env::temp_dir().join(format!("moby-spool-test-f-{}", std::process::id()));
+        std::fs::write(&file, b"not a dir").unwrap();
+        let err = TripSpool::create(vec![1], Some(&file.join("sub"))).unwrap_err();
+        assert!(
+            err.to_string().contains("spool dir"),
+            "unexpected error: {err}"
+        );
+        std::fs::remove_file(&file).ok();
+    }
+
+    #[test]
+    fn temporal_keys_match_trip_table() {
+        // The spool and the table must derive identical keys, or a
+        // spool-built GDay/GHour would diverge from a table-built one.
+        let mut table = crate::trips::TripTable::new(vec![10, 20]);
+        let mut spool = TripSpool::create(vec![10, 20], None).unwrap();
+        for (i, &(day, h)) in [(1u32, 0u32), (6, 12), (7, 23), (28, 4)].iter().enumerate() {
+            let start = ts(day, h);
+            let (s, d) = ((i % 2) as u32, ((i + 1) % 2) as u32);
+            table.push(s, d, start);
+            spool.push(s, d, start);
+        }
+        spool.finish().unwrap();
+        let mut k = 0usize;
+        spool
+            .for_each(&mut |s, d, day, hour| {
+                assert_eq!(s, table.src()[k]);
+                assert_eq!(d, table.dst()[k]);
+                assert_eq!(day, table.day()[k]);
+                assert_eq!(hour, table.hour()[k]);
+                k += 1;
+            })
+            .unwrap();
+        assert_eq!(k, table.len());
+    }
+}

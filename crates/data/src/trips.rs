@@ -34,11 +34,12 @@ fn valid_weight(weight: f64) -> bool {
 }
 
 /// Derive a trip's temporal keys (weekday 0–6 Monday-first, hour 0–23)
-/// from its start time. Shared by [`TripTable`] and [`TripBatch`] pushes,
-/// so an appended table is indistinguishable from one built in a single
-/// pass — the delta path's equivalence contract leans on this.
+/// from its start time. Shared by [`TripTable`], [`TripBatch`] and the
+/// out-of-core [`TripSpool`](crate::spool::TripSpool) pushes, so a
+/// spooled or appended table is indistinguishable from one built in a
+/// single pass — the delta and spill equivalence contracts lean on this.
 #[inline]
-fn temporal_keys(start: Timestamp) -> (u8, u8) {
+pub(crate) fn temporal_keys(start: Timestamp) -> (u8, u8) {
     (start.weekday().index() as u8, start.hour() as u8)
 }
 

@@ -37,6 +37,23 @@
 //! third independence axis after the thread-count and builder/freeze
 //! contracts. See [`build_dense_csr_sharded`] and `DESIGN.md`.
 //!
+//! ## Out-of-core spilled construction
+//!
+//! When a memory budget is set ([`CsrBuilder::spill_budget`] /
+//! [`spill::BUDGET_ENV`]) and the estimated scatter footprint — half-edge
+//! count × [`spill::HALF_EDGE_BYTES`] — exceeds it, the half-edge columns
+//! are never materialised: the counting pass streams the edges once to
+//! build the provisional offsets, a partition pass appends each half-edge
+//! to its owning shard's **disk run** (plain little-endian columnar
+//! records under a RAII temp dir, see [`spill`]) in global insertion
+//! order, and each shard's merge streams back only its own run through
+//! the same shard-local scatter + `sort_merge_rows` as the in-memory
+//! sharded pass. Because the runs preserve global insertion order within
+//! each row, the per-row buckets are byte-equal to the in-memory scatter
+//! and the frozen graph is **bit-identical to the in-memory build at any
+//! shard count × thread count × budget** — the fourth independence axis,
+//! enforced by `tests/proptest_spill.rs`.
+//!
 //! The output is *exactly* the graph `WeightedGraph::freeze()` would have
 //! produced from the same inserts — same dense node table, same sorted
 //! rows, same bit pattern in every merged weight and cached degree — which
@@ -44,7 +61,8 @@
 //! path survives as the compatibility baseline; this is the hot path.
 
 use crate::csr::CsrParts;
-use crate::{par, CsrGraph, NodeId};
+use crate::{par, spill, CsrGraph, NodeId};
+use std::path::{Path, PathBuf};
 
 /// A struct-of-arrays list of weighted edges — the columnar intermediate
 /// between trip records and a frozen [`CsrGraph`].
@@ -148,6 +166,8 @@ pub struct CsrBuilder {
     edges: EdgeList,
     threads: Option<usize>,
     shards: Option<usize>,
+    spill_budget: Option<u64>,
+    spill_dir: Option<PathBuf>,
 }
 
 impl CsrBuilder {
@@ -184,6 +204,27 @@ impl CsrBuilder {
     /// [module docs](self).
     pub fn shards(mut self, shards: Option<usize>) -> CsrBuilder {
         self.shards = shards;
+        self
+    }
+
+    /// Set the out-of-core spill budget in **megabytes**. `None` (the
+    /// default) resolves [`spill::BUDGET_ENV`]; no budget anywhere means
+    /// the build never spills. When the estimated scatter footprint
+    /// exceeds the budget, [`CsrBuilder::build`] partitions the
+    /// half-edges to per-shard disk runs instead of in-memory columns —
+    /// the frozen graph is **bit-identical either way** (see the
+    /// [module docs](self)), so this only trades build speed for bounded
+    /// peak memory. `Some(0)` spills every non-empty build.
+    pub fn spill_budget(mut self, budget_mb: Option<u64>) -> CsrBuilder {
+        self.spill_budget = budget_mb;
+        self
+    }
+
+    /// Override the base directory spill runs are created under (default:
+    /// [`std::env::temp_dir`]). The build creates — and removes, even on
+    /// panic — its own subdirectory beneath it.
+    pub fn spill_dir(mut self, dir: Option<PathBuf>) -> CsrBuilder {
+        self.spill_dir = dir;
         self
     }
 
@@ -228,7 +269,23 @@ impl CsrBuilder {
 
     /// Freeze the buffered edges into a [`CsrGraph`] by parallel
     /// sort-merge. See the [module docs](self).
+    ///
+    /// # Panics
+    ///
+    /// If an out-of-core spill engaged (via [`CsrBuilder::spill_budget`]
+    /// or [`spill::BUDGET_ENV`]) and failed on I/O. Use
+    /// [`CsrBuilder::try_build`] to handle spill failures as errors.
     pub fn build(&self) -> CsrGraph {
+        self.try_build()
+            .expect("spill I/O failed; use CsrBuilder::try_build to handle it")
+    }
+
+    /// [`CsrBuilder::build`] with spill I/O failures surfaced as
+    /// [`crate::GraphError::Spill`] instead of panics — the entry for
+    /// callers that configure a spill budget and want to degrade
+    /// gracefully (e.g. retry in memory or report the temp-dir problem).
+    /// Without a resolved budget this never errors.
+    pub fn try_build(&self) -> crate::Result<CsrGraph> {
         let threads = par::thread_count(self.threads);
         let m = self.edges.len();
         assert!(
@@ -286,15 +343,32 @@ impl CsrBuilder {
             }
         }
 
-        assemble(
-            self.directed,
-            node_ids,
-            &srcs,
-            &dsts,
-            &self.edges.weight,
-            par::shard_count(self.shards),
-            threads,
-        )
+        let est_halves = if self.directed { m } else { 2 * m };
+        if spill::should_spill(est_halves, spill::budget_bytes(self.spill_budget)) {
+            build_dense_csr_spilled(
+                self.directed,
+                node_ids,
+                |f| {
+                    for k in 0..m {
+                        f(srcs[k], dsts[k], self.edges.weight[k]);
+                    }
+                    Ok(())
+                },
+                self.shards,
+                self.threads,
+                self.spill_dir.as_deref(),
+            )
+        } else {
+            Ok(assemble(
+                self.directed,
+                node_ids,
+                &srcs,
+                &dsts,
+                &self.edges.weight,
+                par::shard_count(self.shards),
+                threads,
+            ))
+        }
     }
 }
 
@@ -342,6 +416,11 @@ pub fn build_dense_csr(
 /// scatter/merge stages, so pick `shards >= threads` when sharding for
 /// speed; per-shard scatter buffers hold only that shard's half-edges,
 /// which is what keeps peak memory bounded on 10M-trip builds.
+///
+/// # Panics
+///
+/// If an out-of-core spill engaged via [`spill::BUDGET_ENV`] and failed
+/// on I/O. Use [`build_dense_csr_budgeted`] to handle spill errors.
 pub fn build_dense_csr_sharded(
     directed: bool,
     node_ids: Vec<NodeId>,
@@ -351,15 +430,161 @@ pub fn build_dense_csr_sharded(
     shards: Option<usize>,
     threads: Option<usize>,
 ) -> CsrGraph {
+    build_dense_csr_budgeted(
+        directed, node_ids, src, dst, weight, shards, threads, None, None,
+    )
+    .expect("spill I/O failed; use build_dense_csr_budgeted to handle it")
+}
+
+/// [`build_dense_csr_sharded`] with an explicit out-of-core **spill
+/// budget** — the bounded-memory city-scale entry point.
+///
+/// `budget_mb = None` resolves [`spill::BUDGET_ENV`]; when the resolved
+/// budget exists and the estimated scatter footprint (half-edge count ×
+/// [`spill::HALF_EDGE_BYTES`]) exceeds it, the half-edge columns are
+/// partitioned to per-shard disk runs under `spill_dir` (default: the
+/// system temp dir) and merged by streaming each shard's run back — see
+/// the [module docs](self). The result is **bit-identical to the
+/// in-memory build at any shard count × thread count × budget**; only
+/// peak memory and build speed change. Spill I/O failures surface as
+/// [`crate::GraphError::Spill`].
+#[allow(clippy::too_many_arguments)]
+pub fn build_dense_csr_budgeted(
+    directed: bool,
+    node_ids: Vec<NodeId>,
+    src: &[u32],
+    dst: &[u32],
+    weight: &[f64],
+    shards: Option<usize>,
+    threads: Option<usize>,
+    budget_mb: Option<u64>,
+    spill_dir: Option<&Path>,
+) -> crate::Result<CsrGraph> {
     assert_eq!(src.len(), dst.len(), "dense edge columns must align");
     assert_eq!(src.len(), weight.len(), "dense edge columns must align");
     assert!(
         src.len() <= (u32::MAX / 2) as usize,
         "edge list exceeds the u32 CSR index space"
     );
+    let m = src.len();
+    let est_halves = if directed { m } else { 2 * m };
+    if spill::should_spill(est_halves, spill::budget_bytes(budget_mb)) {
+        build_dense_csr_spilled(
+            directed,
+            node_ids,
+            |f| {
+                for k in 0..m {
+                    f(src[k], dst[k], weight[k]);
+                }
+                Ok(())
+            },
+            shards,
+            threads,
+            spill_dir,
+        )
+    } else {
+        Ok(assemble(
+            directed,
+            node_ids,
+            src,
+            dst,
+            weight,
+            par::shard_count(shards),
+            par::thread_count(threads),
+        ))
+    }
+}
+
+/// Out-of-core spilled assembly from a **replayable dense edge stream** —
+/// the entry the streaming city arm uses so the full edge columns never
+/// materialise in memory.
+///
+/// `for_each_edge` must replay the same `(src, dst, weight)` sequence —
+/// dense indices into `node_ids`, validated weights — on every call, in
+/// insertion order (it is called once per pass: counting, partition, and
+/// for directed graphs the same two passes again for the in-adjacency).
+/// A closure over in-memory columns, a disk spool, or a deterministic
+/// generator all qualify. Errors returned by the stream propagate.
+///
+/// The frozen graph — node table, offsets, targets, merged weight bits,
+/// cached degrees, edge count and total weight — is **bit-identical** to
+/// [`build_dense_csr`] over the same columns; see the
+/// [module docs](self) for why insertion-order runs preserve the fold
+/// bits. Spill runs live under `spill_dir` (default: the system temp
+/// dir) in a subdirectory that is removed on return, error and panic
+/// alike.
+pub fn build_dense_csr_spilled<F>(
+    directed: bool,
+    node_ids: Vec<NodeId>,
+    mut for_each_edge: F,
+    shards: Option<usize>,
+    threads: Option<usize>,
+    spill_dir: Option<&Path>,
+) -> crate::Result<CsrGraph>
+where
+    F: FnMut(&mut dyn FnMut(u32, u32, f64)) -> crate::Result<()>,
+{
     let threads = par::thread_count(threads);
     let shards = par::shard_count(shards);
-    assemble(directed, node_ids, src, dst, weight, shards, threads)
+    let n = node_ids.len();
+    let dir = spill::SpillDir::create(spill_dir)?;
+
+    // Total weight folds in insertion order during the first pass only —
+    // at *edge* granularity, before the undirected expansion, exactly
+    // like the in-memory `assemble` fold.
+    let mut total_weight = 0.0f64;
+    let mut m = 0u64;
+    let mut fold_done = false;
+    let mut out_halves = |f: &mut dyn FnMut(u32, u32, f64)| -> crate::Result<()> {
+        let fold = !fold_done;
+        fold_done = true;
+        for_each_edge(&mut |s, d, w| {
+            debug_assert!(w.is_finite() && w >= 0.0, "invalid weight {w}");
+            if fold {
+                total_weight += w;
+                m += 1;
+            }
+            f(s, d, w);
+            if !directed && s != d {
+                f(d, s, w);
+            }
+        })
+    };
+    let (offsets, targets, weights, pairs_once) =
+        pack_rows_spilled(n, &mut out_halves, shards, threads, dir.path(), "out")?;
+    assert!(
+        m <= (u32::MAX / 2) as u64,
+        "edge list exceeds the u32 CSR index space"
+    );
+    let (in_offsets, in_targets, in_weights) = if directed {
+        let mut in_halves = |f: &mut dyn FnMut(u32, u32, f64)| -> crate::Result<()> {
+            for_each_edge(&mut |s, d, w| f(d, s, w))
+        };
+        let (io, it, iw, _) =
+            pack_rows_spilled(n, &mut in_halves, shards, threads, dir.path(), "in")?;
+        (io, it, iw)
+    } else {
+        (Vec::new(), Vec::new(), Vec::new())
+    };
+    let edge_count = if directed { targets.len() } else { pairs_once };
+
+    // `dir` drops after assembly: the runs are removed on success, and
+    // the RAII guard cleans up on every early-`?` and unwind path above.
+    Ok(CsrGraph::from_parts(
+        CsrParts {
+            directed,
+            node_ids,
+            offsets,
+            targets,
+            weights,
+            in_offsets,
+            in_targets,
+            in_weights,
+            edge_count,
+            total_weight,
+        },
+        threads,
+    ))
 }
 
 /// The shared tail of both construction entries: pack the dense edge
@@ -591,6 +816,17 @@ fn pack_rows(
         })
     };
 
+    concat_segments(n, merged)
+}
+
+/// One merged row-range output: `(targets, weights, row lens, pairs_once)`
+/// as produced by [`sort_merge_rows`] for a contiguous row range.
+type PackSegment = (Vec<u32>, Vec<f64>, Vec<u32>, usize);
+
+/// Concatenate per-range [`sort_merge_rows`] outputs in range order into
+/// final `(offsets, targets, weights, pairs_once)` CSR columns — shared
+/// by the in-memory and spilled packing paths.
+fn concat_segments(n: usize, merged: Vec<PackSegment>) -> (Vec<u32>, Vec<u32>, Vec<f64>, usize) {
     let mut final_offsets = Vec::with_capacity(n + 1);
     final_offsets.push(0u32);
     let mut final_targets = Vec::new();
@@ -609,6 +845,97 @@ fn pack_rows(
         final_offsets.push(*final_offsets.last().unwrap());
     }
     (final_offsets, final_targets, final_weights, pairs_once)
+}
+
+/// The out-of-core counterpart of [`pack_rows`]: the half-edge stream is
+/// replayed twice — a counting pass builds the provisional offsets, then
+/// a partition pass appends each half-edge to its owning shard's disk
+/// run (per-shard contiguous row ranges balanced by half-edge count,
+/// exactly [`pack_rows`]'s shard boundaries). Each shard then streams
+/// its own run back into a scatter bucket and merges with the shared
+/// [`sort_merge_rows`] — since the run preserves global insertion order
+/// for that shard's rows, the buckets (and therefore the merged columns
+/// and fold bits) are byte-equal to the in-memory pass.
+fn pack_rows_spilled(
+    n: usize,
+    halves: &mut dyn FnMut(&mut dyn FnMut(u32, u32, f64)) -> crate::Result<()>,
+    shards: usize,
+    threads: usize,
+    dir: &Path,
+    tag: &str,
+) -> crate::Result<(Vec<u32>, Vec<u32>, Vec<f64>, usize)> {
+    // Counting pass: provisional per-row offsets, no storage of the
+    // half-edges themselves.
+    let mut offsets = vec![0u32; n + 1];
+    let mut h = 0u64;
+    halves(&mut |row, _, _| {
+        offsets[row as usize + 1] += 1;
+        h += 1;
+    })?;
+    assert!(h <= u32::MAX as u64, "half-edge space exceeds u32");
+    for u in 0..n {
+        offsets[u + 1] += offsets[u];
+    }
+
+    // Shard boundaries are the same pure function of (offsets, shards)
+    // the in-memory path uses, so the row partition is identical.
+    let shard_chunks = par::RowChunks::balanced(&offsets, shards, 1);
+    let mut shard_of = vec![0u32; n];
+    for (s, rows) in shard_chunks.ranges().iter().enumerate() {
+        for slot in &mut shard_of[rows.clone()] {
+            *slot = s as u32;
+        }
+    }
+
+    // Partition pass: every half-edge appends to its shard's run file in
+    // stream order, so each run lists its shard's half-edges in global
+    // insertion order. Write errors latch inside the writers and surface
+    // at finish().
+    let mut writers = spill::ShardRunWriters::create(dir, shard_chunks.len(), tag)?;
+    halves(&mut |row, col, w| {
+        writers.push(shard_of[row as usize] as usize, row, col, w);
+    })?;
+    let runs = writers.finish()?;
+
+    // Per-shard streaming read-back + scatter + sort-merge: the bucket a
+    // shard fills from its run is byte-equal to the slice the in-memory
+    // forward scan would have produced for the same rows.
+    let merged = par::par_map(
+        &shard_chunks,
+        threads,
+        |s, rows| -> crate::Result<PackSegment> {
+            let base = offsets[rows.start];
+            let len = (offsets[rows.end] - base) as usize;
+            debug_assert_eq!(
+                runs.shard_len(s) as usize,
+                len,
+                "run/offset length mismatch"
+            );
+            let mut bucket_col = vec![0u32; len];
+            let mut bucket_w = vec![0.0f64; len];
+            let mut cursor: Vec<u32> = offsets[rows.clone()].to_vec();
+            runs.for_each(s, &mut |row, col, w| {
+                let r = row as usize;
+                debug_assert!(r >= rows.start && r < rows.end, "half-edge in wrong run");
+                let p = (cursor[r - rows.start] - base) as usize;
+                cursor[r - rows.start] += 1;
+                bucket_col[p] = col;
+                bucket_w[p] = w;
+            })?;
+            Ok(sort_merge_rows(
+                rows,
+                &offsets,
+                base,
+                &bucket_col,
+                &bucket_w,
+            ))
+        },
+    );
+    let mut segments = Vec::with_capacity(merged.len());
+    for seg in merged {
+        segments.push(seg?);
+    }
+    Ok(concat_segments(n, segments))
 }
 
 #[cfg(test)]
@@ -653,6 +980,140 @@ mod tests {
                 assert_eq!(a.to_bits(), b.to_bits(), "in-row {u} weights");
             }
         }
+    }
+
+    #[test]
+    fn forced_spill_matches_in_memory_bitwise() {
+        // Budget 0 forces every half-edge through the disk runs; the
+        // frozen graph must stay bit-identical to the in-memory build
+        // across shard and thread counts, directed and undirected.
+        let edges = sample_edges();
+        let (src_ids, dst_ids, w): (Vec<_>, Vec<_>, Vec<_>) = {
+            let mut s = Vec::new();
+            let mut d = Vec::new();
+            let mut ww = Vec::new();
+            for &(a, b, c) in &edges {
+                s.push(a);
+                d.push(b);
+                ww.push(c);
+            }
+            (s, d, ww)
+        };
+        let mut node_ids: Vec<NodeId> = src_ids.iter().chain(&dst_ids).copied().collect();
+        node_ids.sort_unstable();
+        node_ids.dedup();
+        let dense = |ids: &[NodeId]| -> Vec<u32> {
+            ids.iter()
+                .map(|id| node_ids.binary_search(id).unwrap() as u32)
+                .collect()
+        };
+        let (src, dst) = (dense(&src_ids), dense(&dst_ids));
+        for directed in [false, true] {
+            let baseline = build_dense_csr(directed, node_ids.clone(), &src, &dst, &w, Some(1));
+            for shards in [1usize, 2, 4] {
+                for threads in [1usize, 2, 4] {
+                    let spilled = build_dense_csr_budgeted(
+                        directed,
+                        node_ids.clone(),
+                        &src,
+                        &dst,
+                        &w,
+                        Some(shards),
+                        Some(threads),
+                        Some(0),
+                        None,
+                    )
+                    .expect("spilled build");
+                    assert_identical(&spilled, &baseline);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn huge_budget_never_spills_and_matches() {
+        // A budget far above the footprint takes the in-memory branch;
+        // result equality is the observable contract either way.
+        let edges = sample_edges();
+        let mut b = CsrBuilder::undirected().spill_budget(Some(1 << 20));
+        let mut plain = CsrBuilder::undirected();
+        for &(s, d, w) in &edges {
+            b.push(s, d, w);
+            plain.push(s, d, w);
+        }
+        assert_identical(&b.try_build().expect("build"), &plain.build());
+    }
+
+    #[test]
+    fn builder_spill_budget_matches_plain_build() {
+        let edges = sample_edges();
+        for directed in [false, true] {
+            let mk = || {
+                if directed {
+                    CsrBuilder::directed()
+                } else {
+                    CsrBuilder::undirected()
+                }
+            };
+            let mut plain = mk();
+            let mut spilled = mk().spill_budget(Some(0)).shards(Some(3)).threads(Some(2));
+            for &(s, d, w) in &edges {
+                plain.push(s, d, w);
+                spilled.push(s, d, w);
+            }
+            assert_identical(&spilled.build(), &plain.build());
+        }
+    }
+
+    #[test]
+    fn spill_runs_are_removed_on_success() {
+        let base = std::env::temp_dir().join(format!("moby-spill-test-ok-{}", std::process::id()));
+        std::fs::create_dir_all(&base).unwrap();
+        let mut b = CsrBuilder::undirected()
+            .spill_budget(Some(0))
+            .spill_dir(Some(base.clone()));
+        for &(s, d, w) in &sample_edges() {
+            b.push(s, d, w);
+        }
+        let g = b.build();
+        assert_eq!(g.node_count(), 4);
+        let leftovers: Vec<_> = std::fs::read_dir(&base).unwrap().collect();
+        assert!(
+            leftovers.is_empty(),
+            "spill runs left behind: {leftovers:?}"
+        );
+        std::fs::remove_dir_all(&base).ok();
+    }
+
+    #[test]
+    fn unwritable_spill_dir_is_an_error_not_a_panic() {
+        // A plain file as the base dir: create_dir_all under it fails,
+        // and try_build surfaces GraphError::Spill instead of panicking.
+        let file = std::env::temp_dir().join(format!("moby-spill-test-f-{}", std::process::id()));
+        std::fs::write(&file, b"not a dir").unwrap();
+        let mut b = CsrBuilder::undirected()
+            .spill_budget(Some(0))
+            .spill_dir(Some(file.join("sub")));
+        for &(s, d, w) in &sample_edges() {
+            b.push(s, d, w);
+        }
+        match b.try_build() {
+            Err(crate::GraphError::Spill(msg)) => {
+                assert!(msg.contains("spill dir"), "unexpected message: {msg}")
+            }
+            other => panic!("expected Err(Spill), got {other:?}"),
+        }
+        std::fs::remove_file(&file).ok();
+    }
+
+    #[test]
+    fn empty_build_never_spills() {
+        let g = CsrBuilder::undirected()
+            .spill_budget(Some(0))
+            .try_build()
+            .expect("empty build");
+        assert_eq!(g.node_count(), 0);
+        assert_eq!(g.edge_count(), 0);
     }
 
     #[test]

@@ -69,10 +69,14 @@ pub mod export;
 mod graph;
 pub mod metrics;
 pub mod par;
+pub mod spill;
 mod store;
 mod value;
 
-pub use build::{build_dense_csr, build_dense_csr_sharded, CsrBuilder, EdgeList};
+pub use build::{
+    build_dense_csr, build_dense_csr_budgeted, build_dense_csr_sharded, build_dense_csr_spilled,
+    CsrBuilder, EdgeList,
+};
 pub use csr::{AlignedSlab, CsrGraph, PermutedGraph, CACHE_LINE};
 pub use delta::CsrDelta;
 pub use evict::CsrEvict;
@@ -103,6 +107,11 @@ pub enum GraphError {
         /// Whether the graph the operation was invoked on is directed.
         directed: bool,
     },
+    /// A spill-to-disk construction run failed on I/O (temp dir not
+    /// writable, disk full, a run vanished mid-merge). Carries the
+    /// rendered context + OS error, since `std::io::Error` is neither
+    /// `Clone` nor `PartialEq`.
+    Spill(String),
 }
 
 impl fmt::Display for GraphError {
@@ -124,6 +133,7 @@ impl fmt::Display for GraphError {
                 "operation not defined for a {} graph",
                 if *directed { "directed" } else { "undirected" }
             ),
+            GraphError::Spill(msg) => write!(f, "spill I/O failed: {msg}"),
         }
     }
 }
@@ -148,5 +158,8 @@ mod tests {
         assert!(GraphError::WrongDirectedness { directed: true }
             .to_string()
             .contains("directed"));
+        assert!(GraphError::Spill("disk full".into())
+            .to_string()
+            .contains("disk full"));
     }
 }
